@@ -1,0 +1,44 @@
+//! `cargo bench -p pscg-bench --bench figures` — regenerates every table
+//! and figure of the paper at the `PSCG_SCALE` scale (default `small`),
+//! writing CSVs to `results/` and printing the tables. This is the
+//! canonical entry point recorded in EXPERIMENTS.md.
+//!
+//! Note on paths: cargo runs bench targets with the *package* directory as
+//! cwd, so this target writes `crates/bench/results/`; the `repro` binary
+//! run from the workspace root writes `./results/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pscg_bench::{experiments, Scale};
+use pscg_sim::Machine;
+
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let scale = Scale::from_env();
+    let machine = Machine::sahasrat();
+    let results = PathBuf::from("results");
+    println!(
+        "# figures bench — scale '{}' (125-pt grid {}^3), machine '{}'",
+        scale.name, scale.poisson_n, machine.name
+    );
+    let t0 = Instant::now();
+
+    experiments::table1(3).emit(&results);
+    let (fig1, runs) = experiments::fig1(&scale, &machine);
+    fig1.emit(&results);
+    experiments::fig5(&runs, &machine).emit(&results);
+    let (fig2, _) = experiments::fig2(&scale, &machine);
+    fig2.emit(&results);
+    experiments::table2(&scale, &machine).emit(&results);
+    experiments::fig3(&scale, &machine).emit(&results);
+    experiments::fig4(&scale, &machine).emit(&results);
+    experiments::ablation_progress(&scale).emit(&results);
+    experiments::crossover(&scale, &machine).emit(&results);
+    experiments::mpk(&scale, &machine).emit(&results);
+
+    eprintln!(
+        "\n[figures] all experiments regenerated in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,120 @@
+//! Paper-reproduction driver.
+//!
+//! ```text
+//! repro [--scale ci|small|paper] <experiment>...
+//! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 ablation-progress crossover mpk all
+//! ```
+//!
+//! Results are printed as markdown and written to `results/<id>.csv`.
+//! `fig5` implies running `fig1`'s solves first (it replays the same
+//! traces at 80 nodes).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pscg_bench::experiments;
+use pscg_bench::Scale;
+use pscg_sim::Machine;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "ci" => Scale::ci(),
+                    "small" => Scale::small(),
+                    "paper" => Scale::paper(),
+                    other => {
+                        eprintln!("unknown scale '{other}' (ci|small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scale ci|small|paper] <experiment>...\n\
+                     experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
+                     ablation-progress crossover mpk all"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    const KNOWN: [&str; 11] = [
+        "all",
+        "table1",
+        "fig1",
+        "fig2",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "ablation-progress",
+        "crossover",
+        "mpk",
+    ];
+    for w in &wanted {
+        if !KNOWN.contains(&w.as_str()) {
+            eprintln!("unknown experiment '{w}'; known: {}", KNOWN.join(" "));
+            std::process::exit(2);
+        }
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let machine = Machine::sahasrat();
+    let results = PathBuf::from("results");
+    println!(
+        "# PIPE-PsCG reproduction — scale '{}' (125-pt grid {}^3), machine '{}'",
+        scale.name, scale.poisson_n, machine.name
+    );
+
+    let t0 = Instant::now();
+    if want("table1") {
+        experiments::table1(3).emit(&results);
+        experiments::table1(5).emit(&results);
+    }
+    let mut fig1_runs = None;
+    if want("fig1") || want("fig5") {
+        let (rep, runs) = experiments::fig1(&scale, &machine);
+        if want("fig1") {
+            rep.emit(&results);
+        }
+        fig1_runs = Some(runs);
+    }
+    if want("fig2") {
+        let (rep, _) = experiments::fig2(&scale, &machine);
+        rep.emit(&results);
+    }
+    if want("table2") {
+        experiments::table2(&scale, &machine).emit(&results);
+    }
+    if want("fig3") {
+        experiments::fig3(&scale, &machine).emit(&results);
+    }
+    if want("fig4") {
+        experiments::fig4(&scale, &machine).emit(&results);
+    }
+    if want("fig5") {
+        let runs = fig1_runs.as_ref().expect("fig1 runs present");
+        experiments::fig5(runs, &machine).emit(&results);
+    }
+    if want("ablation-progress") {
+        experiments::ablation_progress(&scale).emit(&results);
+    }
+    if want("crossover") {
+        experiments::crossover(&scale, &machine).emit(&results);
+    }
+    if want("mpk") {
+        experiments::mpk(&scale, &machine).emit(&results);
+    }
+    eprintln!("\n[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

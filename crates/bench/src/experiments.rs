@@ -1,0 +1,555 @@
+//! Runners for every table and figure of the paper's evaluation (§VI).
+//!
+//! Methodology: each method's numerics run **once** per problem under the
+//! tracing engine (`SimCtx::traced`); the recorded operation trace is then
+//! replayed against the SahasraT machine model at every rank count of the
+//! sweep. Speedups are reported the paper's way — relative to PCG on one
+//! node (24 cores).
+
+use pipescg::methods::MethodKind;
+use pipescg::solver::{RefNorm, SolveOptions};
+use pscg_precond::PcKind;
+use pscg_sim::{replay, Machine, OpTrace, SimCtx};
+
+use crate::problems::{self, Problem};
+use crate::report::Report;
+use crate::scale::Scale;
+use pscg_sparse::suitesparse::Surrogate;
+
+/// A traced solve: the solver result plus its replayable trace.
+pub struct TracedRun {
+    /// Method that ran.
+    pub method: MethodKind,
+    /// CG steps to convergence.
+    pub iterations: usize,
+    /// Whether it converged (methods that stagnate at tight tolerances
+    /// legitimately do not).
+    pub converged: bool,
+    /// Final relative residual seen by the convergence test.
+    pub final_relres: f64,
+    /// The operation trace.
+    pub trace: OpTrace,
+}
+
+/// Runs `method` on `problem` with preconditioner `pc`, tracing.
+pub fn traced_solve(
+    problem: &Problem,
+    method: MethodKind,
+    pc: PcKind,
+    opts: &SolveOptions,
+) -> TracedRun {
+    let b = problem.rhs();
+    let pc_op = pc.build(&problem.a, problem.grid);
+    let mut ctx = SimCtx::traced(&problem.a, pc_op, problem.profile.clone());
+    let res = method.solve(&mut ctx, &b, None, opts);
+    TracedRun {
+        method,
+        iterations: res.iterations,
+        converged: res.converged(),
+        final_relres: res.final_relres,
+        trace: ctx.take_trace().expect("tracing was enabled"),
+    }
+}
+
+/// Preconditioner each method uses in the Figure 1/2 sweeps: Jacobi for the
+/// preconditioned methods, none for PIPE-sCG (the unpreconditioned variant).
+pub fn default_pc(method: MethodKind) -> PcKind {
+    match method {
+        MethodKind::PipeScg | MethodKind::Scg | MethodKind::ScgSspmv => PcKind::None,
+        _ => PcKind::Jacobi,
+    }
+}
+
+/// The time-to-solution of a traced run at `p` ranks.
+pub fn time_at(run: &TracedRun, machine: &Machine, p: usize) -> f64 {
+    replay(&run.trace, machine, p).total_time
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Table I
+// ---------------------------------------------------------------------------
+
+/// Regenerates Table I (the analytic cost comparison) at a given `s`.
+pub fn table1(s: usize) -> Report {
+    let mut rep = Report::new(
+        "table1",
+        &format!("Differences between various PCG methods for s = {s} iterations"),
+        &[
+            "Method",
+            "#Allr",
+            "Time per s iterations",
+            "FLOPS (xN)",
+            "Memory",
+        ],
+    );
+    for row in pipescg::costmodel::table1() {
+        let time = match row.time {
+            pipescg::costmodel::TimeExpr::Pcg => format!("{s}(3G+PC+SPMV)"),
+            pipescg::costmodel::TimeExpr::Pipecg => format!("{s}(max(G, PC+SPMV))"),
+            pipescg::costmodel::TimeExpr::Pipelcg | pipescg::costmodel::TimeExpr::PipePscg => {
+                format!("max(G, {s}(PC+SPMV))")
+            }
+            pipescg::costmodel::TimeExpr::HalfStep => {
+                format!("{}(max(G, 2(PC+SPMV)))", s.div_ceil(2))
+            }
+            pipescg::costmodel::TimeExpr::Pscg => format!("G+{}(PC+SPMV)", s + 1),
+        };
+        rep.push_row(vec![
+            row.method.to_string(),
+            (row.allreduces)(s).to_string(),
+            time,
+            format!("{:.0}", (row.flops)(s)),
+            format!("{:.0}", (row.memory)(s)),
+        ]);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E2/E3 — Figures 1 and 2 (strong scaling)
+// ---------------------------------------------------------------------------
+
+/// Strong-scaling sweep: every figure method, replayed over the node sweep;
+/// speedups relative to PCG on one node. Returns the report and the traced
+/// runs (Figure 5 reuses them).
+pub fn strong_scaling(
+    id: &str,
+    problem: &Problem,
+    machine: &Machine,
+    scale: &Scale,
+    max_nodes: usize,
+    s: usize,
+) -> (Report, Vec<TracedRun>) {
+    // The figures use the paper's literal threshold `rtol * ||b||` (§VI-E).
+    let opts = SolveOptions {
+        rtol: problem.rtol,
+        s,
+        max_iters: scale.max_iters,
+        ref_norm: RefNorm::PlainB,
+        ..Default::default()
+    };
+    let methods = MethodKind::figure_set();
+    let runs: Vec<TracedRun> = methods
+        .iter()
+        .map(|&m| traced_solve(problem, m, default_pc(m), &opts))
+        .collect();
+
+    let nodes = Scale::node_sweep(max_nodes);
+    let t_ref = time_at(&runs[0], machine, machine.cores_per_node); // PCG @ 1 node
+
+    let mut headers: Vec<String> = vec!["nodes".into(), "cores".into()];
+    headers.extend(runs.iter().map(|r| format!("{} speedup", r.method.name())));
+    let mut rep = Report::new(
+        id,
+        &format!(
+            "Strong scaling on {} (rtol {:.0e}, s = {s}); speedup wrt PCG on 1 node",
+            problem.name, problem.rtol
+        ),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &n in &nodes {
+        let p = n * machine.cores_per_node;
+        let mut row = vec![n.to_string(), p.to_string()];
+        for run in &runs {
+            let t = time_at(run, machine, p);
+            row.push(format!("{:.2}", t_ref / t));
+        }
+        rep.push_row(row);
+    }
+    (rep, runs)
+}
+
+/// Figure 1: 125-pt Poisson, rtol 1e-5, s = 3, up to 120 nodes.
+pub fn fig1(scale: &Scale, machine: &Machine) -> (Report, Vec<TracedRun>) {
+    let problem = problems::poisson125(scale);
+    strong_scaling("fig1", &problem, machine, scale, 120, 3)
+}
+
+/// Figure 2: ecology2 (surrogate), rtol 1e-2, s = 3, up to 120 nodes.
+pub fn fig2(scale: &Scale, machine: &Machine) -> (Report, Vec<TracedRun>) {
+    let mut problem = problems::surrogate(Surrogate::Ecology2, scale);
+    problem.rtol = 1e-2; // the paper's tolerance for this matrix (§VI-B)
+    strong_scaling("fig2", &problem, machine, scale, 120, 3)
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Table II (SuiteSparse matrices, hybrid method)
+// ---------------------------------------------------------------------------
+
+/// Table II: ecology2/thermal2/Serena at 120 nodes, rtol 1e-5; speedups wrt
+/// PCG on one node for PCG, PIPECG, PIPECG-OATI and Hybrid-pipelined.
+pub fn table2(scale: &Scale, machine: &Machine) -> Report {
+    let methods = [
+        MethodKind::Pcg,
+        MethodKind::Pipecg,
+        MethodKind::PipecgOati,
+        MethodKind::Hybrid,
+    ];
+    let mut rep = Report::new(
+        "table2",
+        "SuiteSparse matrices (surrogates) on 120 nodes, rtol 1e-5; speedups wrt PCG on 1 node",
+        &[
+            "Matrix",
+            "N",
+            "nnz",
+            "PCG",
+            "PIPECG",
+            "PIPECG-OATI",
+            "Hybrid-pipelined",
+        ],
+    );
+    let p_big = 120 * machine.cores_per_node;
+    for which in [Surrogate::Ecology2, Surrogate::Thermal2, Surrogate::Serena] {
+        let problem = problems::surrogate(which, scale);
+        // Table II keeps the norm-matched reference (the stricter PETSc
+        // convention): the synthetic surrogates are better conditioned than
+        // the real SuiteSparse matrices, and the matched reference restores
+        // a comparable effective difficulty at rtol 1e-5 (see
+        // EXPERIMENTS.md).
+        let opts = SolveOptions {
+            rtol: 1e-5,
+            s: 3,
+            max_iters: scale.max_iters,
+            ..Default::default()
+        };
+        let mut row = vec![
+            problem.name.clone(),
+            problem.a.nrows().to_string(),
+            problem.a.nnz().to_string(),
+        ];
+        let mut t_ref = None;
+        for m in methods {
+            let run = traced_solve(&problem, m, default_pc(m), &opts);
+            if !run.converged {
+                eprintln!(
+                    "warning: {} on {} stopped unconverged at {:.2e}",
+                    m.name(),
+                    problem.name,
+                    run.final_relres
+                );
+            }
+            let t_ref = *t_ref.get_or_insert_with(|| {
+                // The reference must be PCG at one node (the paper's metric).
+                assert_eq!(run.method, MethodKind::Pcg, "reference run must be PCG");
+                time_at(&run, machine, machine.cores_per_node)
+            });
+            row.push(format!("{:.2}", t_ref / time_at(&run, machine, p_big)));
+        }
+        rep.push_row(row);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Figure 3 (s sensitivity)
+// ---------------------------------------------------------------------------
+
+/// Figure 3: PIPE-PsCG at s = 3, 4, 5 on the 125-pt problem, up to 140
+/// nodes; speedups wrt PCG on one node.
+pub fn fig3(scale: &Scale, machine: &Machine) -> Report {
+    let problem = problems::poisson125(scale);
+    let svals = [3usize, 4, 5];
+    let base_opts = SolveOptions {
+        rtol: problem.rtol,
+        max_iters: scale.max_iters,
+        ref_norm: RefNorm::PlainB,
+        ..Default::default()
+    };
+    let pcg_run = traced_solve(&problem, MethodKind::Pcg, PcKind::Jacobi, &base_opts);
+    let runs: Vec<(usize, TracedRun)> = svals
+        .iter()
+        .map(|&s| {
+            let opts = SolveOptions { s, ..base_opts };
+            (
+                s,
+                traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts),
+            )
+        })
+        .collect();
+
+    let t_ref = time_at(&pcg_run, machine, machine.cores_per_node);
+    let mut rep = Report::new(
+        "fig3",
+        &format!(
+            "s sensitivity of PIPE-PsCG on {}; speedup wrt PCG on 1 node",
+            problem.name
+        ),
+        &["nodes", "cores", "s=3", "s=4", "s=5"],
+    );
+    for n in Scale::node_sweep(140) {
+        let p = n * machine.cores_per_node;
+        let mut row = vec![n.to_string(), p.to_string()];
+        for (_, run) in &runs {
+            row.push(format!("{:.2}", t_ref / time_at(run, machine, p)));
+        }
+        rep.push_row(row);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Figure 4 (preconditioners)
+// ---------------------------------------------------------------------------
+
+/// Figure 4: SOR / MG / GAMG with each CG variant on the 125-pt problem at
+/// 120 nodes; speedup wrt PCG (same preconditioner) on one node.
+pub fn fig4(scale: &Scale, machine: &Machine) -> Report {
+    let problem = problems::poisson125(scale);
+    let methods = [
+        MethodKind::Pcg,
+        MethodKind::Pipecg,
+        MethodKind::Pipecg3,
+        MethodKind::PipecgOati,
+        MethodKind::Pscg,
+        MethodKind::PipePscg,
+    ];
+    let pcs = [PcKind::Sor, PcKind::Mg, PcKind::Gamg];
+    let p_big = 120 * machine.cores_per_node;
+    let opts = SolveOptions {
+        rtol: problem.rtol,
+        s: 3,
+        max_iters: scale.max_iters,
+        ref_norm: RefNorm::PlainB,
+        ..Default::default()
+    };
+    let mut headers = vec!["preconditioner".to_string()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    let mut rep = Report::new(
+        "fig4",
+        &format!(
+            "Preconditioner study on {} at 120 nodes; speedup wrt PCG on 1 node",
+            problem.name
+        ),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for pc in pcs {
+        let mut row = vec![pc.name().to_string()];
+        let mut t_ref = None;
+        for m in methods {
+            let run = traced_solve(&problem, m, pc, &opts);
+            let t_ref = *t_ref.get_or_insert_with(|| {
+                // The reference must be PCG at one node (the paper's metric).
+                assert_eq!(run.method, MethodKind::Pcg, "reference run must be PCG");
+                time_at(&run, machine, machine.cores_per_node)
+            });
+            row.push(format!("{:.2}", t_ref / time_at(&run, machine, p_big)));
+        }
+        rep.push_row(row);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E7 — Figure 5 (accuracy/performance trajectories)
+// ---------------------------------------------------------------------------
+
+/// Figure 5: relative residual as a function of time at 80 nodes, reusing
+/// the Figure 1 traces. Each row is `(method, time, relres)`.
+pub fn fig5(runs: &[TracedRun], machine: &Machine) -> Report {
+    let p = 80 * machine.cores_per_node;
+    let mut rep = Report::new(
+        "fig5",
+        "Relative residual vs time at 80 nodes (125-pt Poisson)",
+        &["method", "time_s", "relres"],
+    );
+    for run in runs {
+        let r = replay(&run.trace, machine, p);
+        for &(t, res) in &r.residual_timeline {
+            rep.push_row(vec![
+                run.method.name().to_string(),
+                format!("{t:.6}"),
+                format!("{res:.3e}"),
+            ]);
+        }
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E8 — async-progress ablation
+// ---------------------------------------------------------------------------
+
+/// §VI-A ablation: PIPE-PsCG with and without asynchronous progress of the
+/// non-blocking allreduce (DMAPP / MPICH_NEMESIS_ASYNC_PROGRESS).
+pub fn ablation_progress(scale: &Scale) -> Report {
+    let problem = problems::poisson125(scale);
+    let opts = SolveOptions {
+        rtol: problem.rtol,
+        s: 3,
+        max_iters: scale.max_iters,
+        ref_norm: RefNorm::PlainB,
+        ..Default::default()
+    };
+    let run = traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts);
+    let on = Machine::sahasrat();
+    let off = Machine::sahasrat_no_async_progress();
+    let mut rep = Report::new(
+        "ablation-progress",
+        "PIPE-PsCG with vs without asynchronous allreduce progress",
+        &[
+            "nodes",
+            "time async-on",
+            "time async-off",
+            "slowdown",
+            "overlap hidden (on)",
+        ],
+    );
+    for n in Scale::node_sweep(120) {
+        let p = n * on.cores_per_node;
+        let r_on = replay(&run.trace, &on, p);
+        let r_off = replay(&run.trace, &off, p);
+        rep.push_row(vec![
+            n.to_string(),
+            crate::report::fmt_time(r_on.total_time),
+            crate::report::fmt_time(r_off.total_time),
+            format!("{:.2}x", r_off.total_time / r_on.total_time),
+            format!("{:.0}%", 100.0 * r_on.overlap_fraction()),
+        ]);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E10 — matrix-powers-kernel extension (§II discussion)
+// ---------------------------------------------------------------------------
+
+/// §II discusses Hoemmen's matrix-powers kernel and why the paper avoids it
+/// (it constrains preconditioning). This extension quantifies the trade-off
+/// for the unpreconditioned PIPE-sCG: identical numerics, batched halo.
+pub fn mpk(scale: &Scale, machine: &Machine) -> Report {
+    let problem = problems::poisson125(scale);
+    let opts = SolveOptions {
+        rtol: problem.rtol,
+        s: 3,
+        max_iters: scale.max_iters,
+        ref_norm: RefNorm::PlainB,
+        ..Default::default()
+    };
+    let b = problem.rhs();
+    let run_variant = |use_mpk: bool| {
+        let mut ctx = pscg_sim::SimCtx::traced(
+            &problem.a,
+            PcKind::None.build(&problem.a, problem.grid),
+            problem.profile.clone(),
+        );
+        let res = if use_mpk {
+            pipescg::methods::pipe_scg::solve_mpk(&mut ctx, &b, None, &opts)
+        } else {
+            pipescg::methods::pipe_scg::solve(&mut ctx, &b, None, &opts)
+        };
+        assert!(res.converged(), "PIPE-sCG mpk={use_mpk} did not converge");
+        ctx.take_trace().expect("traced")
+    };
+    let plain = run_variant(false);
+    let ca = run_variant(true);
+    let mut rep = Report::new(
+        "mpk",
+        "PIPE-sCG with vs without the matrix-powers kernel (halo batching)",
+        &[
+            "nodes",
+            "time plain",
+            "time MPK",
+            "speedup",
+            "halo plain",
+            "halo MPK",
+        ],
+    );
+    for n in Scale::node_sweep(120) {
+        let p = n * machine.cores_per_node;
+        let r1 = replay(&plain, machine, p);
+        let r2 = replay(&ca, machine, p);
+        rep.push_row(vec![
+            n.to_string(),
+            crate::report::fmt_time(r1.total_time),
+            crate::report::fmt_time(r2.total_time),
+            format!("{:.2}x", r1.total_time / r2.total_time),
+            crate::report::fmt_time(r1.halo_time),
+            crate::report::fmt_time(r2.halo_time),
+        ]);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// E9 — §V break-even analysis
+// ---------------------------------------------------------------------------
+
+/// §V: where does G overtake s·(PC+SPMV)? Prints the kernel times per node
+/// count and the break-even points for s = 1, 3, 4, 5.
+pub fn crossover(scale: &Scale, machine: &Machine) -> Report {
+    let problem = problems::poisson125(scale);
+    let mut rep = Report::new(
+        "crossover",
+        &format!("Allreduce vs overlap budget on {} (Jacobi)", problem.name),
+        &[
+            "nodes",
+            "G",
+            "PC+SPMV",
+            "G/(PC+SPMV)",
+            "hides s=1",
+            "hides s=3",
+            "hides s=5",
+        ],
+    );
+    for n in Scale::node_sweep(140) {
+        let p = n * machine.cores_per_node;
+        let (g, pc, spmv) = pipescg::costmodel::kernel_times(
+            machine,
+            &problem.profile,
+            p,
+            pipescg::sstep::GramPacket::len(3),
+            1.0,
+            24.0,
+        );
+        let k = pc + spmv;
+        rep.push_row(vec![
+            n.to_string(),
+            crate::report::fmt_time(g),
+            crate::report::fmt_time(k),
+            format!("{:.2}", g / k),
+            (g <= k).to_string(),
+            (g <= 3.0 * k).to_string(),
+            (g <= 5.0 * k).to_string(),
+        ]);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci() -> Scale {
+        Scale::ci()
+    }
+
+    #[test]
+    fn traced_solve_produces_replayable_trace() {
+        let problem = problems::poisson125(&ci());
+        let opts = SolveOptions {
+            rtol: 1e-5,
+            s: 3,
+            ..Default::default()
+        };
+        let run = traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts);
+        assert!(run.converged);
+        let m = Machine::sahasrat();
+        let t24 = time_at(&run, &m, 24);
+        let t960 = time_at(&run, &m, 960);
+        assert!(t24 > t960, "strong scaling must help at these sizes");
+    }
+
+    #[test]
+    fn table1_report_has_seven_rows() {
+        let rep = table1(3);
+        assert_eq!(rep.rows.len(), 7);
+        assert_eq!(rep.rows[6][0], "PIPE-PsCG");
+        assert_eq!(rep.rows[6][1], "1");
+    }
+
+    #[test]
+    fn crossover_report_covers_sweep() {
+        let rep = crossover(&ci(), &Machine::sahasrat());
+        assert_eq!(rep.rows.len(), Scale::node_sweep(140).len());
+    }
+}

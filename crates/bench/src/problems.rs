@@ -1,0 +1,113 @@
+//! Problem construction for the reproduction experiments: matrices together
+//! with their machine-model workload profiles.
+
+use pscg_sim::{Layout, MatrixProfile};
+use pscg_sparse::stencil::{poisson3d_125pt, Grid3};
+use pscg_sparse::suitesparse::Surrogate;
+use pscg_sparse::CsrMatrix;
+
+use crate::scale::Scale;
+
+/// A matrix, its profile and the metadata the reports need.
+pub struct Problem {
+    /// Display name.
+    pub name: String,
+    /// The operator.
+    pub a: CsrMatrix,
+    /// Workload profile for the replay engine.
+    pub profile: MatrixProfile,
+    /// The structured grid, when the problem has one (enables GMG).
+    pub grid: Option<Grid3>,
+    /// Relative tolerance the paper uses for this problem.
+    pub rtol: f64,
+}
+
+impl Problem {
+    /// The paper's b = A·x* with x* = 1 (§VI-A).
+    pub fn rhs(&self) -> Vec<f64> {
+        self.a.mul_vec(&vec![1.0; self.a.nrows()])
+    }
+}
+
+/// The 125-pt 3-D Poisson problem (Figures 1, 3, 4, 5), DMDA box layout.
+pub fn poisson125(scale: &Scale) -> Problem {
+    let g = Grid3::cube(scale.poisson_n);
+    let a = poisson3d_125pt(g);
+    let nnz = a.nnz();
+    Problem {
+        name: format!("125-pt Poisson {}^3", scale.poisson_n),
+        profile: MatrixProfile::stencil3d(g.nx, g.ny, g.nz, 2, nnz, Layout::Box),
+        a,
+        grid: Some(g),
+        rtol: 1e-5,
+    }
+}
+
+/// A SuiteSparse surrogate with its (MatAIJ row-block) profile.
+pub fn surrogate(which: Surrogate, scale: &Scale) -> Problem {
+    let a = which.generate_scaled(scale.surrogate_scale);
+    let nnz = a.nnz();
+    let n = a.nrows();
+    // All three surrogates are grid-based generators; their slab profiles
+    // follow the generating grid (see pscg_sparse::suitesparse).
+    let profile = match which {
+        Surrogate::Ecology2 => {
+            // 2-D grid: rows are y-lines of length nx.
+            let f = scale.surrogate_scale.sqrt();
+            let nx = ((999.0 * f).round() as usize).max(3);
+            let ny = n / nx;
+            MatrixProfile::stencil2d(nx, ny, 1, nnz, Layout::Slab)
+        }
+        Surrogate::Thermal2 => {
+            let c = (n as f64).cbrt().round() as usize;
+            MatrixProfile::stencil3d(c, c, c, 1, nnz, Layout::Slab)
+        }
+        Surrogate::Serena => {
+            let f = scale.surrogate_scale.cbrt();
+            let nx = ((112.0 * f).round() as usize).max(5);
+            let nz = n / (nx * nx);
+            MatrixProfile::stencil3d(nx, nx, nz, 2, nnz, Layout::Slab)
+        }
+    };
+    Problem {
+        name: which.name().to_string(),
+        a,
+        profile,
+        grid: None,
+        rtol: 1e-5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_profile_matches_matrix() {
+        let scale = Scale::ci();
+        let p = poisson125(&scale);
+        assert_eq!(p.a.nrows(), p.profile.nrows());
+        assert_eq!(p.a.nnz(), p.profile.nnz());
+        assert!(p.grid.is_some());
+    }
+
+    #[test]
+    fn surrogate_profiles_match_matrices() {
+        let scale = Scale::ci();
+        for which in [Surrogate::Ecology2, Surrogate::Thermal2, Surrogate::Serena] {
+            let p = surrogate(which, &scale);
+            assert_eq!(p.a.nrows(), p.profile.nrows(), "{}", p.name);
+            assert_eq!(p.a.nnz(), p.profile.nnz(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn rhs_is_row_sums() {
+        let p = poisson125(&Scale::ci());
+        let b = p.rhs();
+        assert_eq!(b.len(), p.a.nrows());
+        // Dirichlet Laplacian: row sums are >= 0, positive on the boundary.
+        assert!(b.iter().all(|&v| v > -1e-12));
+        assert!(b.iter().any(|&v| v > 0.0));
+    }
+}

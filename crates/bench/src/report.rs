@@ -1,0 +1,118 @@
+//! Tabular reports: markdown to stdout, CSV to `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-oriented report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `fig1`.
+    pub id: String,
+    /// Human title (paper caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "report row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes `results/<id>.csv` (creating the directory) and prints the
+    /// markdown table to stdout.
+    pub fn emit(&self, results_dir: &Path) {
+        print!("{}", self.to_markdown());
+        if let Err(e) = fs::create_dir_all(results_dir)
+            .and_then(|_| fs::write(results_dir.join(format!("{}.csv", self.id)), self.to_csv()))
+        {
+            eprintln!("warning: could not write results CSV for {}: {e}", self.id);
+        }
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1}us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_agree_on_shape() {
+        let mut r = Report::new("t", "test", &["a", "b"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        let md = r.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = r.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("t", "test", &["a", "b"]);
+        r.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert_eq!(fmt_time(5e-6), "5.0us");
+        assert_eq!(fmt_time(2.5e-3), "2.50ms");
+        assert_eq!(fmt_time(1.5), "1.500s");
+    }
+}

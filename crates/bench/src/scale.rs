@@ -1,0 +1,86 @@
+//! Problem-scale presets for the reproduction runs.
+
+/// A reproduction scale (see crate docs for the table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Preset name.
+    pub name: &'static str,
+    /// Cube edge of the 125-pt Poisson problem (paper: 100 → 1M unknowns).
+    pub poisson_n: usize,
+    /// Linear scale factor applied to the SuiteSparse surrogates.
+    pub surrogate_scale: f64,
+    /// Cap on CG steps (safety for the hard problems at small scales).
+    pub max_iters: usize,
+}
+
+impl Scale {
+    /// Tiny smoke-test scale.
+    pub fn ci() -> Scale {
+        Scale {
+            name: "ci",
+            poisson_n: 24,
+            surrogate_scale: 0.005,
+            max_iters: 20_000,
+        }
+    }
+
+    /// Default scale: full behaviour in minutes.
+    pub fn small() -> Scale {
+        Scale {
+            name: "small",
+            poisson_n: 64,
+            surrogate_scale: 0.1,
+            max_iters: 50_000,
+        }
+    }
+
+    /// The paper's exact problem sizes.
+    pub fn paper() -> Scale {
+        Scale {
+            name: "paper",
+            poisson_n: 100,
+            surrogate_scale: 1.0,
+            max_iters: 100_000,
+        }
+    }
+
+    /// Reads `PSCG_SCALE` (`ci` | `small` | `paper`), defaulting to `small`.
+    pub fn from_env() -> Scale {
+        match std::env::var("PSCG_SCALE").as_deref() {
+            Ok("ci") => Scale::ci(),
+            Ok("paper") => Scale::paper(),
+            Ok("small") | Err(_) => Scale::small(),
+            Ok(other) => {
+                eprintln!("unknown PSCG_SCALE '{other}', using 'small'");
+                Scale::small()
+            }
+        }
+    }
+
+    /// The node counts of the strong-scaling sweeps (the paper plots up to
+    /// 120 nodes in Figures 1–2 and 140 in Figure 3).
+    pub fn node_sweep(max_nodes: usize) -> Vec<usize> {
+        [1, 10, 20, 30, 40, 50, 60, 70, 80, 100, 120, 140]
+            .into_iter()
+            .filter(|&n| n <= max_nodes)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        assert!(Scale::ci().poisson_n < Scale::small().poisson_n);
+        assert!(Scale::small().poisson_n < Scale::paper().poisson_n);
+        assert_eq!(Scale::paper().poisson_n, 100, "paper uses 1M unknowns");
+    }
+
+    #[test]
+    fn node_sweep_caps_at_max() {
+        assert_eq!(Scale::node_sweep(40), vec![1, 10, 20, 30, 40]);
+        assert_eq!(Scale::node_sweep(140).last(), Some(&140));
+    }
+}

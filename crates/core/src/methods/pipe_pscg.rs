@@ -1,0 +1,436 @@
+//! PIPE-PsCG — the paper's Algorithms 6–7 (§IV-C, main contribution).
+//!
+//! The preconditioned pipelined s-step method carries *dual* power lists —
+//! u-type (`upow[j] = (M⁻¹A)^j u`, the paper's `Q/P` family) and r-type
+//! (`rpow[j] = (AM⁻¹)^j r`, the paper's `Q2/P2` family) — together with
+//! both A-power families (`AQm`/`AQ2m`). Per s-step iteration it performs:
+//!
+//! * recurrence LCs only for the direction blocks, both power families and
+//!   the fresh bases (no PC/SPMV on the critical path of the dot products);
+//! * **one** non-blocking allreduce of the Gram packet, overlapped with
+//! * exactly **s** preconditioner applications and **s** SPMVs — the deep
+//!   powers `(AM⁻¹)^{s+1..2s}r` / `(M⁻¹A)^{s+1..2s}u` whose results feed the
+//!   *next* iteration's recurrences, not the pending dot products.
+//!
+//! Because `rpow\[0\] = r`, `upow\[0\] = u` and both travel in the packet, the
+//! convergence test can use the unpreconditioned, preconditioned or natural
+//! norm with no extra kernels — the advantage the paper emphasises over
+//! PIPELCG.
+//!
+//! The depth-2 methods (PIPECG-OATI, PIPECG3) and the hybrid driver reuse
+//! this core through [`PipeConfig`].
+
+use pscg_sim::Context;
+use pscg_sparse::MultiVector;
+
+use crate::methods::{global_ref_norm, init_residual};
+use crate::solver::{SolveOptions, SolveResult, StopReason};
+use crate::sstep::{conjugate_window, estimate_sigma, GramPacket, ScalarWork};
+
+/// Stagnation detector: stop with [`StopReason::Stagnated`] when the
+/// relative residual improved by less than `min_ratio` over the last
+/// `window` convergence checks.
+#[derive(Debug, Clone, Copy)]
+pub struct StagnationCheck {
+    /// Number of checks to look back.
+    pub window: usize,
+    /// Required improvement factor (e.g. 0.9 = at least 10 % better).
+    pub min_ratio: f64,
+}
+
+/// Tuning knobs for the pipelined s-step core.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeConfig {
+    /// Reported method name.
+    pub method: &'static str,
+    /// Step-block size (overrides `SolveOptions::s`).
+    pub s: usize,
+    /// Replace the recurrence basis with explicitly computed products every
+    /// `k` outer iterations (the "non-recurrence computations" of
+    /// PIPECG-OATI \[11\]); `None` = pure recurrences (Algorithm 6).
+    pub replace_every: Option<usize>,
+    /// Optional stagnation detection (used by the hybrid driver).
+    pub stagnation: Option<StagnationCheck>,
+    /// Extra VMA work (flops per row) charged once per outer iteration —
+    /// used to reflect a method's Table I FLOP count when the shared core
+    /// under-counts it (e.g. PIPECG3's costlier three-term recurrences).
+    pub extra_flops_per_row: f64,
+}
+
+impl PipeConfig {
+    /// The plain PIPE-PsCG configuration for a given `s`.
+    pub fn pipe_pscg(s: usize) -> Self {
+        PipeConfig {
+            method: "PIPE-PsCG",
+            s,
+            replace_every: None,
+            stagnation: None,
+            extra_flops_per_row: 0.0,
+        }
+    }
+}
+
+/// Solves `M⁻¹A x = M⁻¹b` with PIPE-PsCG at `opts.s`. `x0` defaults to zero.
+pub fn solve<C: Context>(
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    solve_with(ctx, b, x0, opts, PipeConfig::pipe_pscg(opts.s))
+}
+
+/// Solves with an explicit [`PipeConfig`] (used by PIPECG-OATI, PIPECG3 and
+/// the hybrid driver).
+pub fn solve_with<C: Context>(
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    cfg: PipeConfig,
+) -> SolveResult {
+    // A basis deeper than the problem dimension is rank deficient by
+    // construction; clamp (matters only for toy systems).
+    let s = cfg.s.min(ctx.nrows().max(1));
+    assert!(s >= 1, "{} requires s >= 1", cfg.method);
+    let bnorm = global_ref_norm(ctx, b, opts);
+    let threshold = opts.threshold(bnorm);
+    let (mut x, r) = init_residual(ctx, b, x0);
+
+    // Dual power lists, j = 0..=2s, double-buffered.
+    let mut rpow = ctx.alloc_multi(2 * s + 1);
+    let mut upow = ctx.alloc_multi(2 * s + 1);
+    let mut rpow_next = ctx.alloc_multi(2 * s + 1);
+    let mut upow_next = ctx.alloc_multi(2 * s + 1);
+
+    // Lines 7–10: r₀, u₀ and the first s powers of both lists, built with
+    // the σ-scaled operator (σ from the first chain link; see sstep docs).
+    rpow.col_mut(0).copy_from_slice(&r);
+    ctx.pc_apply(rpow.col(0), upow.col_mut(0));
+    ctx.spmv(upow.col(0), rpow.col_mut(1));
+    let sigma = estimate_sigma(ctx, rpow.col(0), rpow.col(1));
+    ctx.scale_v(sigma, rpow.col_mut(1));
+    ctx.pc_apply(rpow.col(1), upow.col_mut(1));
+    extend_powers(ctx, &mut rpow, &mut upow, 1, s, sigma);
+
+    // Line 11–12: local dot products and the non-blocking allreduce.
+    let udirs0 = ctx.alloc_multi(s);
+    let pkt = GramPacket::assemble(ctx, s, &upow, &rpow, &udirs0);
+    let mut handle = ctx.iallreduce(&pkt.pack());
+    // Line 13: deep powers overlapped with it — s PCs + s SPMVs.
+    extend_powers(ctx, &mut rpow, &mut upow, s, 2 * s, sigma);
+
+    // Direction blocks (paper's P/Q and P2/Q2) and the A-power families
+    // (AQm[j] = (M⁻¹A)^{j+1}·udirs, AQ2m[j] = (AM⁻¹)^{j+1}·rdirs).
+    let mut udirs = udirs0;
+    let mut rdirs = ctx.alloc_multi(s);
+    let mut udirs_next = ctx.alloc_multi(s);
+    let mut rdirs_next = ctx.alloc_multi(s);
+    let mut uapow: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+    let mut rapow: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+    let mut uapow_next: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+    let mut rapow_next: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+
+    let mut ax = ctx.alloc_vec();
+    let mut scalar = ScalarWork::new(s);
+    let mut history: Vec<f64> = Vec::new();
+    let mut iters = 0usize;
+    let mut outer = 0usize;
+    let stop;
+
+    loop {
+        // Line 35 wait (posted one overlap window ago).
+        let red = ctx.wait(handle);
+        let pkt = GramPacket::unpack(s, &red);
+
+        let relres = opts
+            .norm
+            .pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2])
+            .max(0.0)
+            .sqrt()
+            / bnorm;
+        history.push(relres);
+        ctx.note_residual(relres);
+        if relres * bnorm < threshold {
+            stop = StopReason::Converged;
+            break;
+        }
+        if iters >= opts.max_iters {
+            stop = StopReason::MaxIterations;
+            break;
+        }
+        if !relres.is_finite() || relres > 1e8 {
+            // The recurrences have left the basin of useful arithmetic;
+            // report breakdown instead of iterating into overflow.
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if let Some(st) = cfg.stagnation {
+            if history.len() > st.window {
+                let past = history[history.len() - 1 - st.window];
+                if relres > past * st.min_ratio {
+                    stop = StopReason::Stagnated;
+                    break;
+                }
+            }
+        }
+        // Line 15: Scalar Work.
+        if scalar.step(ctx, &pkt).is_err() {
+            stop = StopReason::Stagnated;
+            break;
+        }
+
+        // Lines 17–26: conjugate both direction blocks and all A-power
+        // blocks with the same β-matrix. Fresh windows come from the *old*
+        // power lists.
+        conjugate_window(ctx, &mut udirs_next, &upow, 0, &udirs, &scalar.b);
+        conjugate_window(ctx, &mut rdirs_next, &rpow, 0, &rdirs, &scalar.b);
+        for j in 0..=s {
+            conjugate_window(ctx, &mut uapow_next[j], &upow, j + 1, &uapow[j], &scalar.b);
+            conjugate_window(ctx, &mut rapow_next[j], &rpow, j + 1, &rapow[j], &scalar.b);
+        }
+        std::mem::swap(&mut udirs, &mut udirs_next);
+        std::mem::swap(&mut rdirs, &mut rdirs_next);
+        std::mem::swap(&mut uapow, &mut uapow_next);
+        std::mem::swap(&mut rapow, &mut rapow_next);
+
+        // Line 27: x += Q (σα) — the u-type directions live in the
+        // σ-scaled basis; the AQm/AQ2m blocks carry the σ factor, so the
+        // basis recurrences below consume the raw α.
+        let alpha_x: Vec<f64> = scalar.alpha.iter().map(|a| a * sigma).collect();
+        ctx.block_gemv_acc(&udirs, &alpha_x, &mut x);
+
+        if cfg.extra_flops_per_row > 0.0 {
+            ctx.charge_local(
+                pscg_sim::LocalKind::Vma,
+                cfg.extra_flops_per_row,
+                8.0 * cfg.extra_flops_per_row,
+            );
+        }
+
+        let replace = cfg
+            .replace_every
+            .is_some_and(|k| outer > 0 && outer.is_multiple_of(k));
+        if replace {
+            // Non-recurrence computation: recompute the residual and the
+            // leading basis columns explicitly (extra, *unoverlapped* PCs
+            // and SPMVs — the price PIPECG-OATI pays for repaying the
+            // rounding drift of the recurrences).
+            ctx.spmv(&x, &mut ax);
+            ctx.waxpy(rpow_next.col_mut(0), -1.0, &ax, b);
+            extend_powers(ctx, &mut rpow_next, &mut upow_next, 0, s, sigma);
+        } else {
+            // Lines 28–33: fresh bases by recurrence only —
+            // rpow[j] ← rpow[j] − AQ2m[j]·α, upow[j] ← upow[j] − AQm[j]·α.
+            for j in 0..=s {
+                ctx.copy_v(rpow.col(j), rpow_next.col_mut(j));
+                ctx.block_gemv_sub(&rapow[j], &scalar.alpha, rpow_next.col_mut(j));
+                ctx.copy_v(upow.col(j), upow_next.col_mut(j));
+                ctx.block_gemv_sub(&uapow[j], &scalar.alpha, upow_next.col_mut(j));
+            }
+        }
+
+        // Lines 34–35: dot products of the new bases, posted non-blocking.
+        let pkt = GramPacket::assemble(ctx, s, &upow_next, &rpow_next, &udirs);
+        handle = ctx.iallreduce(&pkt.pack());
+
+        // Line 36: the deep powers — s PCs + s SPMVs — overlapped with the
+        // allreduce.
+        extend_powers(ctx, &mut rpow_next, &mut upow_next, s, 2 * s, sigma);
+
+        std::mem::swap(&mut rpow, &mut rpow_next);
+        std::mem::swap(&mut upow, &mut upow_next);
+        iters += s;
+        outer += 1;
+    }
+
+    SolveResult {
+        x,
+        iterations: iters,
+        stop,
+        final_relres: history.last().copied().unwrap_or(f64::NAN),
+        history,
+        counters: *ctx.counters(),
+        method: cfg.method,
+    }
+}
+
+/// Extends the dual σ-scaled chains: `rpow[j+1] = σ·A·upow[j]` and
+/// `upow[j+1] = M⁻¹ rpow[j+1]` for `j = from..to` — `to − from` PCs and
+/// SPMVs (plus the boundary PC when starting from a fresh residual). With
+/// `from = s, to = 2s` this is the paper's overlap window of s PCs and
+/// s SPMVs.
+fn extend_powers<C: Context>(
+    ctx: &mut C,
+    rpow: &mut MultiVector,
+    upow: &mut MultiVector,
+    from: usize,
+    to: usize,
+    sigma: f64,
+) {
+    if from == 0 {
+        // Boundary PC; at from = s, upow[s] already exists from the
+        // recurrence phase.
+        ctx.pc_apply(rpow.col(0), upow.col_mut(0));
+    }
+    for j in from..to {
+        ctx.spmv(upow.col(j), rpow.col_mut(j + 1));
+        if sigma != 1.0 {
+            ctx.scale_v(sigma, rpow.col_mut(j + 1));
+        }
+        ctx.pc_apply(rpow.col(j + 1), upow.col_mut(j + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::pscg;
+    use crate::solver::NormType;
+    use pscg_precond::Jacobi;
+    use pscg_sim::SimCtx;
+    use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+    fn problem() -> (pscg_sparse::CsrMatrix, Vec<f64>) {
+        let g = Grid3::cube(6);
+        let a = poisson3d_7pt(g, None);
+        let n = a.nrows();
+        let xstar: Vec<f64> = (0..n).map(|i| (0.23 * i as f64).sin() + 0.5).collect();
+        let b = a.mul_vec(&xstar);
+        (a, b)
+    }
+
+    fn jacobi_ctx(a: &pscg_sparse::CsrMatrix) -> SimCtx<'_> {
+        SimCtx::serial(a, Box::new(Jacobi::new(a)))
+    }
+
+    #[test]
+    fn pipe_pscg_converges_for_various_s() {
+        let (a, b) = problem();
+        for s in [1usize, 2, 3, 4, 5] {
+            let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+            let opts = SolveOptions {
+                rtol: 1e-7,
+                s,
+                ..Default::default()
+            };
+            let res = solve(&mut ctx, &b, None, &opts);
+            assert!(res.converged(), "s={s}: {:?}", res.stop);
+            assert!(res.true_relres(&a, &b) < 1e-5, "s={s}");
+        }
+    }
+
+    #[test]
+    fn pipe_pscg_matches_pscg_trajectory() {
+        let (a, b) = problem();
+        let opts = SolveOptions {
+            rtol: 1e-7,
+            s: 3,
+            ..Default::default()
+        };
+        let mut c1 = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+        let r1 = pscg::solve(&mut c1, &b, None, &opts);
+        let mut c2 = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+        let r2 = solve(&mut c2, &b, None, &opts);
+        assert!(r1.converged() && r2.converged());
+        assert_eq!(r1.iterations, r2.iterations, "same s-step Krylov process");
+    }
+
+    #[test]
+    fn pipe_pscg_has_s_pcs_s_spmvs_one_iallreduce_per_iteration() {
+        let (a, b) = problem();
+        let s = 3u64;
+        let mut ctx = jacobi_ctx(&a);
+        let opts = SolveOptions {
+            rtol: 1e-6,
+            s: s as usize,
+            ..Default::default()
+        };
+        let res = solve(&mut ctx, &b, None, &opts);
+        assert!(res.converged());
+        let outer = res.iterations as u64 / s;
+        let passes = res.history.len() as u64;
+        assert_eq!(res.counters.nonblocking_allreduce, passes);
+        assert_eq!(res.counters.blocking_allreduce, 2);
+        // Setup: 1 + 2s SPMVs and 2s + 2 PCs (incl. the reference norm);
+        // per iteration: s and s.
+        assert_eq!(res.counters.spmv, 1 + 2 * s + outer * s);
+        assert_eq!(res.counters.pc, 2 * s + 2 + outer * s);
+    }
+
+    #[test]
+    fn pipe_pscg_converges_under_all_three_norms_without_extra_kernels() {
+        let (a, b) = problem();
+        let s = 3u64;
+        for norm in [
+            NormType::Preconditioned,
+            NormType::Unpreconditioned,
+            NormType::Natural,
+        ] {
+            let mut ctx = jacobi_ctx(&a);
+            let opts = SolveOptions {
+                rtol: 1e-7,
+                s: s as usize,
+                norm,
+                ..Default::default()
+            };
+            let res = solve(&mut ctx, &b, None, &opts);
+            assert!(res.converged(), "norm {norm:?}");
+            assert!(res.true_relres(&a, &b) < 1e-5, "norm {norm:?}");
+            // The paper's "no extra PC or SPMV" claim: regardless of the
+            // norm, kernels are exactly s per iteration beyond setup.
+            let outer = res.iterations as u64 / s;
+            assert_eq!(res.counters.spmv, 1 + 2 * s + outer * s, "norm {norm:?}");
+            assert_eq!(res.counters.pc, 2 * s + 2 + outer * s, "norm {norm:?}");
+        }
+    }
+
+    #[test]
+    fn residual_replacement_curbs_recurrence_drift() {
+        let (a, b) = problem();
+        let opts = SolveOptions {
+            rtol: 1e-12,
+            s: 2,
+            max_iters: 400,
+            ..Default::default()
+        };
+        let mut c1 = jacobi_ctx(&a);
+        let cfg_plain = PipeConfig {
+            replace_every: None,
+            ..PipeConfig::pipe_pscg(2)
+        };
+        let r1 = solve_with(&mut c1, &b, None, &opts, cfg_plain);
+        let mut c2 = jacobi_ctx(&a);
+        let cfg_rr = PipeConfig {
+            replace_every: Some(8),
+            ..PipeConfig::pipe_pscg(2)
+        };
+        let r2 = solve_with(&mut c2, &b, None, &opts, cfg_rr);
+        // With replacement the *true* residual at exit is at least as good.
+        assert!(r2.true_relres(&a, &b) <= r1.true_relres(&a, &b) * 10.0);
+    }
+
+    #[test]
+    fn stagnation_detection_fires_at_unreachable_tolerance() {
+        let (a, b) = problem();
+        let opts = SolveOptions {
+            rtol: 1e-30,
+            atol: 0.0,
+            max_iters: 5000,
+            s: 3,
+            ..Default::default()
+        };
+        let cfg = PipeConfig {
+            stagnation: Some(StagnationCheck {
+                window: 4,
+                min_ratio: 0.5,
+            }),
+            ..PipeConfig::pipe_pscg(3)
+        };
+        let mut ctx = jacobi_ctx(&a);
+        let res = solve_with(&mut ctx, &b, None, &opts, cfg);
+        assert_eq!(res.stop, StopReason::Stagnated);
+        // It still made real progress before stagnating.
+        assert!(res.final_relres < 1e-3);
+    }
+}

@@ -1,0 +1,366 @@
+//! PIPE-sCG — the paper's Algorithm 5 (§IV-B, main contribution,
+//! unpreconditioned form).
+//!
+//! Starting from Algorithm 4, the dependency between the 2s dot products and
+//! the s SPMVs is eliminated by carrying the *matrix of matrices*
+//! `AQm[j] = A^{j+1}·P` (here `apow`, j = 0..s) with recurrence linear
+//! combinations. The fresh monomial basis `{r, Ar, …, Aˢr}` then comes from
+//! recurrences too, so the only SPMVs left in an iteration are the s *deep
+//! power* products `A^{s+1}r … A^{2s}r` — whose results the dot products do
+//! **not** need. The allreduce is posted non-blocking before them and waited
+//! after them: one allreduce per s steps, fully overlapped with s SPMVs.
+
+use pscg_sim::Context;
+use pscg_sparse::MultiVector;
+
+use crate::methods::{global_ref_norm, init_residual};
+use crate::solver::{SolveOptions, SolveResult, StopReason};
+use crate::sstep::{
+    conjugate_window, estimate_sigma, extend_scaled_powers, GramPacket, ScalarWork,
+};
+
+/// Solves `A x = b` with PIPE-sCG. `x0` defaults to zero.
+pub fn solve<C: Context>(
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    solve_inner(ctx, b, x0, opts, false)
+}
+
+/// PIPE-sCG with the matrix-powers kernel: the basis and deep powers are
+/// produced by CA-SpMV sweeps (one widened halo exchange for s products)
+/// instead of s individual SpMVs. The paper's §II explains why the authors
+/// avoid MPK — it constrains preconditioning — but for the unpreconditioned
+/// method it composes cleanly; the `mpk` experiment in the benchmark
+/// harness quantifies the halo-latency trade-off.
+pub fn solve_mpk<C: Context>(
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    solve_inner(ctx, b, x0, opts, true)
+}
+
+fn solve_inner<C: Context>(
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    use_mpk: bool,
+) -> SolveResult {
+    let s = opts.s.min(ctx.nrows().max(1));
+    assert!(s >= 1, "PIPE-sCG requires s >= 1");
+    let bnorm = global_ref_norm(ctx, b, opts);
+    let threshold = opts.threshold(bnorm);
+    let (mut x, r) = init_residual(ctx, b, x0);
+
+    // pow[j] = A^j r, j = 0..=2s (double-buffered: recurrences read the old
+    // basis while writing the new one).
+    let mut pow = ctx.alloc_multi(2 * s + 1);
+    let mut pow_next = ctx.alloc_multi(2 * s + 1);
+    pow.col_mut(0).copy_from_slice(&r);
+    // Lines 6–7: the first s powers, built with the σ-scaled operator
+    // (σ from the first link; see sstep docs)...
+    {
+        let (src, dst) = pow.col_pair_mut(0, 1);
+        ctx.spmv(src, dst);
+    }
+    let sigma = estimate_sigma(ctx, pow.col(0), pow.col(1));
+    ctx.scale_v(sigma, pow.col_mut(1));
+    if use_mpk {
+        ctx.mpk(&mut pow, 1, s, sigma);
+    } else {
+        extend_scaled_powers(ctx, &mut pow, 1, s, sigma);
+    }
+    // Lines 8–9: ...the dot products and their non-blocking allreduce...
+    let dirs0 = ctx.alloc_multi(s);
+    let pkt = GramPacket::assemble(ctx, s, &pow, &pow, &dirs0);
+    let mut handle = ctx.iallreduce(&pkt.pack());
+    // Line 10: ...overlapped with the deep powers A^{s+1}r … A^{2s}r.
+    if use_mpk {
+        ctx.mpk(&mut pow, s, 2 * s, sigma);
+    } else {
+        extend_scaled_powers(ctx, &mut pow, s, 2 * s, sigma);
+    }
+
+    // Direction block and its A-power family AQm[j] = A^{j+1}·dirs.
+    let mut dirs = dirs0;
+    let mut dirs_next = ctx.alloc_multi(s);
+    let mut apow: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+    let mut apow_next: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+
+    let mut scalar = ScalarWork::new(s);
+    let mut history: Vec<f64> = Vec::new();
+    let mut iters = 0usize;
+    let stop;
+
+    loop {
+        // Wait on the allreduce posted one overlap window ago.
+        let red = ctx.wait(handle);
+        let pkt = GramPacket::unpack(s, &red);
+
+        let relres = opts
+            .norm
+            .pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2])
+            .max(0.0)
+            .sqrt()
+            / bnorm;
+        history.push(relres);
+        ctx.note_residual(relres);
+        if relres * bnorm < threshold {
+            stop = StopReason::Converged;
+            break;
+        }
+        if iters >= opts.max_iters {
+            stop = StopReason::MaxIterations;
+            break;
+        }
+        if !relres.is_finite() || relres > 1e8 {
+            // The recurrences have left the basin of useful arithmetic;
+            // report breakdown instead of iterating into overflow.
+            stop = StopReason::Breakdown;
+            break;
+        }
+        // Line 12: Scalar Work.
+        if scalar.step(ctx, &pkt).is_err() {
+            stop = StopReason::Breakdown;
+            break;
+        }
+
+        // Lines 14–20: conjugate the direction block and every AQm[j]
+        // against the previous family with the same β-matrix. AQm[j]'s
+        // fresh window is {A^{j+1}r, …, A^{j+s}r} = pow[j+1 .. j+s].
+        conjugate_window(ctx, &mut dirs_next, &pow, 0, &dirs, &scalar.b);
+        for j in 0..=s {
+            conjugate_window(ctx, &mut apow_next[j], &pow, j + 1, &apow[j], &scalar.b);
+        }
+        std::mem::swap(&mut dirs, &mut dirs_next);
+        std::mem::swap(&mut apow, &mut apow_next);
+
+        // Line 21: x += Q (σα) — the directions live in the σ-scaled
+        // basis; the AQm blocks carry the σ factor, so the basis
+        // recurrences below consume the raw α.
+        let alpha_x: Vec<f64> = scalar.alpha.iter().map(|a| a * sigma).collect();
+        ctx.block_gemv_acc(&dirs, &alpha_x, &mut x);
+
+        // Lines 22–25: the new basis by recurrence only —
+        // A^j r_{i+1} = A^j r_i − AQm[j]·α for j = 0..=s. No SPMV.
+        for j in 0..=s {
+            ctx.copy_v(pow.col(j), pow_next.col_mut(j));
+            ctx.block_gemv_sub(&apow[j], &scalar.alpha, pow_next.col_mut(j));
+        }
+
+        // Line 26–27: dot products of the new basis, posted non-blocking.
+        let pkt = GramPacket::assemble(ctx, s, &pow_next, &pow_next, &dirs);
+        handle = ctx.iallreduce(&pkt.pack());
+
+        // Line 28: the s deep powers, overlapped with the allreduce.
+        if use_mpk {
+            ctx.mpk(&mut pow_next, s, 2 * s, sigma);
+        } else {
+            extend_scaled_powers(ctx, &mut pow_next, s, 2 * s, sigma);
+        }
+
+        std::mem::swap(&mut pow, &mut pow_next);
+        iters += s;
+    }
+
+    SolveResult {
+        x,
+        iterations: iters,
+        stop,
+        final_relres: history.last().copied().unwrap_or(f64::NAN),
+        history,
+        counters: *ctx.counters(),
+        method: if use_mpk { "PIPE-sCG+MPK" } else { "PIPE-sCG" },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{scg, scg_sspmv};
+    use pscg_sim::SimCtx;
+    use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+    use pscg_sparse::IdentityOp;
+
+    fn problem() -> (pscg_sparse::CsrMatrix, Vec<f64>) {
+        let g = Grid3::cube(6);
+        let a = poisson3d_7pt(g, None);
+        let n = a.nrows();
+        let xstar: Vec<f64> = (0..n).map(|i| (0.11 * i as f64).cos()).collect();
+        let b = a.mul_vec(&xstar);
+        (a, b)
+    }
+
+    fn serial_ctx(a: &pscg_sparse::CsrMatrix) -> SimCtx<'_> {
+        SimCtx::serial(a, Box::new(IdentityOp::new(a.nrows())))
+    }
+
+    #[test]
+    fn pipe_scg_converges_for_various_s() {
+        let (a, b) = problem();
+        for s in [1usize, 2, 3, 4] {
+            let mut ctx = serial_ctx(&a);
+            let opts = SolveOptions {
+                rtol: 1e-7,
+                s,
+                ..Default::default()
+            };
+            let res = solve(&mut ctx, &b, None, &opts);
+            assert!(res.converged(), "s={s}: {:?}", res.stop);
+            assert!(res.true_relres(&a, &b) < 1e-5, "s={s}");
+        }
+    }
+
+    #[test]
+    fn pipe_scg_tracks_the_blocking_variants() {
+        let (a, b) = problem();
+        let opts = SolveOptions {
+            rtol: 1e-7,
+            s: 3,
+            ..Default::default()
+        };
+        let mut c1 = serial_ctx(&a);
+        let r1 = scg::solve(&mut c1, &b, None, &opts);
+        let mut c2 = serial_ctx(&a);
+        let r2 = scg_sspmv::solve(&mut c2, &b, None, &opts);
+        let mut c3 = serial_ctx(&a);
+        let r3 = solve(&mut c3, &b, None, &opts);
+        assert!(r3.converged());
+        // All three realise the same s-step Krylov process.
+        assert_eq!(r1.iterations, r3.iterations);
+        assert_eq!(r2.iterations, r3.iterations);
+    }
+
+    #[test]
+    fn pipe_scg_has_s_spmvs_and_one_nonblocking_allreduce_per_iteration() {
+        let (a, b) = problem();
+        let s = 3;
+        let mut ctx = serial_ctx(&a);
+        let opts = SolveOptions {
+            rtol: 1e-6,
+            s,
+            ..Default::default()
+        };
+        let res = solve(&mut ctx, &b, None, &opts);
+        assert!(res.converged());
+        let su = s as u64;
+        // Loop passes = history length; each pass waits one allreduce that
+        // was posted the pass before (or at setup).
+        let passes = res.history.len() as u64;
+        assert_eq!(res.counters.nonblocking_allreduce, passes);
+        assert_eq!(
+            res.counters.blocking_allreduce, 2,
+            "only the bnorm and the basis-scale estimate are blocking"
+        );
+        // Setup: 1 + 2s SPMVs; each *completed* iteration: exactly s.
+        let outer = (res.iterations / s) as u64;
+        assert_eq!(res.counters.spmv, 1 + 2 * su + outer * su);
+        // The reference-norm computation applies M^-1 once (identity here).
+        assert_eq!(res.counters.pc, 1);
+    }
+
+    #[test]
+    fn pipe_scg_posts_allreduce_before_deep_spmvs() {
+        // Structural check on the recorded trace: between an ArPost and its
+        // ArWait there must be exactly s SPMVs (the overlap window).
+        use pscg_sim::{Layout, MatrixProfile, Op};
+        let (a, b) = problem();
+        let s = 3;
+        let prof = MatrixProfile::stencil3d(6, 6, 6, 1, a.nnz(), Layout::Box);
+        let mut ctx = SimCtx::traced(&a, Box::new(IdentityOp::new(a.nrows())), prof);
+        let opts = SolveOptions {
+            rtol: 1e-6,
+            s,
+            ..Default::default()
+        };
+        let res = solve(&mut ctx, &b, None, &opts);
+        assert!(res.converged());
+        let trace = ctx.take_trace().unwrap();
+        let mut in_window = false;
+        let mut spmvs_in_window = 0;
+        let mut windows = 0;
+        for op in &trace.ops {
+            match op {
+                Op::ArPost { .. } => {
+                    in_window = true;
+                    spmvs_in_window = 0;
+                }
+                Op::ArWait { .. } => {
+                    assert_eq!(spmvs_in_window, s, "overlap window must hold s SPMVs");
+                    in_window = false;
+                    windows += 1;
+                }
+                Op::Spmv { .. } if in_window => spmvs_in_window += 1,
+                _ => {}
+            }
+        }
+        assert!(windows > 1);
+    }
+}
+
+#[cfg(test)]
+mod mpk_tests {
+    use super::*;
+    use pscg_sim::SimCtx;
+    use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+    use pscg_sparse::IdentityOp;
+
+    #[test]
+    fn mpk_variant_matches_plain_pipe_scg_numerically() {
+        let g = Grid3::cube(6);
+        let a = poisson3d_7pt(g, None);
+        let b = a.mul_vec(&vec![1.0; a.nrows()]);
+        let opts = SolveOptions {
+            rtol: 1e-7,
+            s: 3,
+            ..Default::default()
+        };
+        let mut c1 = SimCtx::serial(&a, Box::new(IdentityOp::new(a.nrows())));
+        let r1 = solve(&mut c1, &b, None, &opts);
+        let mut c2 = SimCtx::serial(&a, Box::new(IdentityOp::new(a.nrows())));
+        let r2 = solve_mpk(&mut c2, &b, None, &opts);
+        assert!(r1.converged() && r2.converged());
+        // Identical arithmetic, different communication schedule.
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r2.method, "PIPE-sCG+MPK");
+        // The MPK variant batches its SPMVs into powers-kernel calls while
+        // still accounting the constituent products.
+        assert!(r2.counters.mpk > 0);
+        assert_eq!(r2.counters.spmv, r1.counters.spmv);
+    }
+
+    #[test]
+    fn mpk_trace_replays_with_fewer_exposed_halo_messages() {
+        use pscg_sim::{replay, Layout, Machine, MatrixProfile};
+        let g = Grid3::cube(8);
+        let a = poisson3d_7pt(g, None);
+        let b = a.mul_vec(&vec![1.0; a.nrows()]);
+        let prof = MatrixProfile::stencil3d(8, 8, 8, 1, a.nnz(), Layout::Box);
+        let opts = SolveOptions {
+            rtol: 1e-6,
+            s: 3,
+            ..Default::default()
+        };
+        let mut c1 = SimCtx::traced(&a, Box::new(IdentityOp::new(a.nrows())), prof.clone());
+        let r1 = solve(&mut c1, &b, None, &opts);
+        let mut c2 = SimCtx::traced(&a, Box::new(IdentityOp::new(a.nrows())), prof);
+        let r2 = solve_mpk(&mut c2, &b, None, &opts);
+        assert!(r1.converged() && r2.converged());
+        let t1 = c1.take_trace().unwrap();
+        let t2 = c2.take_trace().unwrap();
+        // Same logical SPMV count either way.
+        assert_eq!(t1.comm_counts().0, t2.comm_counts().0);
+        // At high rank counts the batched halo (fewer message latencies)
+        // reduces the halo share of the replayed time.
+        let m = Machine::sahasrat();
+        let h1 = replay(&t1, &m, 64).halo_time;
+        let h2 = replay(&t2, &m, 64).halo_time;
+        assert!(h2 < h1, "MPK halo {h2} should undercut per-SpMV halo {h1}");
+    }
+}

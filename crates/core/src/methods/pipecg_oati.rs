@@ -1,0 +1,80 @@
+//! PIPECG-OATI — "One Allreduce per Two Iterations", Tiwari & Vadhiyar,
+//! HiPC 2020 \[11\].
+//!
+//! The authors' previous method: two PCG iterations are combined so that a
+//! single non-blocking allreduce is overlapped with **two** PCs and **two**
+//! SPMVs, using "iteration combination and non-recurrence computations".
+//!
+//! Reproduction note (see DESIGN.md §3): the defining paper is not part of
+//! the supplied text, so OATI is realised as the depth-2 instance of the
+//! pipelined preconditioned s-step core — which gives exactly the
+//! communication cadence and overlap structure the present paper ascribes to
+//! it — with periodic *non-recurrence* (explicitly recomputed) bases, which
+//! is what keeps its attainable accuracy close to PCG's and makes it the
+//! finishing method of the Hybrid-pipelined scheme.
+
+use pscg_sim::Context;
+
+use crate::methods::pipe_pscg::{self, PipeConfig};
+use crate::solver::{SolveOptions, SolveResult};
+
+/// How often (in outer = 2-step iterations) OATI recomputes its basis
+/// explicitly instead of by recurrence. The replacement kernels are not
+/// overlapped, so the period trades attainable accuracy against the few
+/// percent of extra time they cost at scale.
+pub const REPLACE_EVERY: usize = 24;
+
+/// Solves `M⁻¹A x = M⁻¹b` with PIPECG-OATI. `x0` defaults to zero.
+pub fn solve<C: Context>(
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let cfg = PipeConfig {
+        method: "PIPECG-OATI",
+        s: 2,
+        replace_every: Some(REPLACE_EVERY),
+        stagnation: None,
+        extra_flops_per_row: 0.0,
+    };
+    pipe_pscg::solve_with(ctx, b, x0, opts, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscg_precond::Jacobi;
+    use pscg_sim::SimCtx;
+    use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+    fn problem() -> (pscg_sparse::CsrMatrix, Vec<f64>) {
+        let g = Grid3::cube(6);
+        let a = poisson3d_7pt(g, None);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 3) as f64).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn oati_converges_to_tight_tolerance() {
+        let (a, b) = problem();
+        let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+        let res = solve(&mut ctx, &b, None, &SolveOptions::with_rtol(1e-9));
+        assert!(res.converged(), "{:?}", res.stop);
+        assert_eq!(res.method, "PIPECG-OATI");
+        assert!(res.true_relres(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn oati_reduces_allreduce_count_vs_two_per_two_steps() {
+        let (a, b) = problem();
+        let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+        let res = solve(&mut ctx, &b, None, &SolveOptions::with_rtol(1e-6));
+        assert!(res.converged());
+        // One non-blocking allreduce per 2 CG steps (plus the pipeline's
+        // lead-in), versus 3 per step for PCG.
+        let steps = res.iterations as u64;
+        assert!(res.counters.nonblocking_allreduce <= steps / 2 + 2);
+        assert_eq!(res.counters.blocking_allreduce, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Solver framework: options, convergence criteria, results.
+//!
+//! The paper checks convergence as `‖u_i‖ < max(rtol·‖b‖, atol)` (§VI-E),
+//! where the norm may be taken of the preconditioned residual `u = M⁻¹r`,
+//! the unpreconditioned residual `r`, or the "natural" norm `√(r, u)`. A
+//! selling point of PIPE-PsCG is that it can evaluate *any* of the three
+//! without extra PC or SPMV kernels; [`NormType`] threads that choice
+//! through every method.
+
+use pscg_sim::OpCounters;
+
+/// Which residual norm the convergence test uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormType {
+    /// `‖M⁻¹ r‖` — the PETSc default the paper quotes.
+    #[default]
+    Preconditioned,
+    /// `‖r‖`.
+    Unpreconditioned,
+    /// `√(r, M⁻¹r)`.
+    Natural,
+}
+
+impl NormType {
+    /// Selects the squared norm value from the triple
+    /// `(r·r, u·u, r·u)` that every method's reduction carries.
+    pub fn pick_sq(self, rr: f64, uu: f64, ru: f64) -> f64 {
+        match self {
+            NormType::Unpreconditioned => rr,
+            NormType::Preconditioned => uu,
+            NormType::Natural => ru,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NormType::Preconditioned => "preconditioned",
+            NormType::Unpreconditioned => "unpreconditioned",
+            NormType::Natural => "natural",
+        }
+    }
+}
+
+/// Which norm of `b` the convergence threshold `rtol·‖b‖` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefNorm {
+    /// The same norm as the residual test (`‖M⁻¹b‖` for the preconditioned
+    /// norm, etc.) — the PETSc convention, and the library default because
+    /// it makes `rtol` mean the same thing for every preconditioner.
+    #[default]
+    Matched,
+    /// The plain 2-norm `‖b‖`, as the paper's §VI-E formula literally
+    /// states — used by the figure harness for paper-exact runs.
+    PlainB,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Relative tolerance (`rtol`); the paper uses 1e-5 (Poisson, PETSc
+    /// default) and 1e-2 (ecology2, OpenFOAM default).
+    pub rtol: f64,
+    /// Absolute tolerance (`atol`).
+    pub atol: f64,
+    /// Maximum CG steps (s-step methods count s steps per iteration).
+    pub max_iters: usize,
+    /// Residual norm used in the convergence test.
+    pub norm: NormType,
+    /// Reference norm of `b` in the threshold.
+    pub ref_norm: RefNorm,
+    /// The s parameter of the s-step methods (ignored by the classic ones).
+    pub s: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            rtol: 1e-5,
+            atol: 1e-50,
+            max_iters: 10_000,
+            norm: NormType::default(),
+            ref_norm: RefNorm::default(),
+            s: 3,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Convenience: default options with the given `rtol`.
+    pub fn with_rtol(rtol: f64) -> Self {
+        SolveOptions {
+            rtol,
+            ..SolveOptions::default()
+        }
+    }
+
+    /// Convenience: sets `s`.
+    pub fn with_s(mut self, s: usize) -> Self {
+        self.s = s;
+        self
+    }
+
+    /// Convergence threshold for a right-hand side of norm `bnorm`.
+    pub fn threshold(&self, bnorm: f64) -> f64 {
+        f64::max(self.rtol * bnorm, self.atol)
+    }
+}
+
+/// Why the iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The selected residual norm dropped below the threshold.
+    Converged,
+    /// `max_iters` CG steps were spent.
+    MaxIterations,
+    /// The iteration broke down (indefinite scalar system, NaN, …).
+    Breakdown,
+    /// Residual stagnation was detected (used by the hybrid driver).
+    Stagnated,
+}
+
+/// Result of one solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// CG steps performed (one s-step iteration counts s).
+    pub iterations: usize,
+    /// Why the solve stopped.
+    pub stop: StopReason,
+    /// Relative residual (selected norm / ‖b‖) at each convergence check.
+    pub history: Vec<f64>,
+    /// Relative residual at exit (as seen by the convergence test).
+    pub final_relres: f64,
+    /// Kernel/communication counters accumulated during the solve.
+    pub counters: OpCounters,
+    /// Method name (paper spelling: "PCG", "PIPECG", "PIPE-PsCG", …).
+    pub method: &'static str,
+}
+
+impl SolveResult {
+    /// True when the solve converged.
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Converged
+    }
+
+    /// True 2-norm relative residual recomputed from scratch — used by
+    /// tests to confirm the recurrence residuals did not drift silently.
+    pub fn true_relres(&self, a: &pscg_sparse::CsrMatrix, b: &[f64]) -> f64 {
+        let ax = a.mul_vec(&self.x);
+        let mut r = b.to_vec();
+        for (ri, axi) in r.iter_mut().zip(&ax) {
+            *ri -= axi;
+        }
+        pscg_sparse::kernels::norm2(&r) / pscg_sparse::kernels::norm2(b).max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_type_picks_the_right_component() {
+        let n = NormType::Unpreconditioned;
+        assert_eq!(n.pick_sq(1.0, 2.0, 3.0), 1.0);
+        assert_eq!(NormType::Preconditioned.pick_sq(1.0, 2.0, 3.0), 2.0);
+        assert_eq!(NormType::Natural.pick_sq(1.0, 2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn threshold_takes_the_max() {
+        let o = SolveOptions {
+            rtol: 1e-2,
+            atol: 1e-3,
+            ..Default::default()
+        };
+        assert_eq!(o.threshold(1.0), 1e-2);
+        assert_eq!(o.threshold(1e-4), 1e-3);
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = SolveOptions::default();
+        assert_eq!(o.rtol, 1e-5);
+        assert_eq!(o.s, 3);
+        assert_eq!(o.norm, NormType::Preconditioned);
+    }
+}

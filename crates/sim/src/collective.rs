@@ -1,0 +1,158 @@
+//! Allreduce cost models.
+//!
+//! The paper's central quantity is `G`, "the time taken for global
+//! allreduce" (Table I), which grows with core count and eventually exceeds
+//! the work available to hide it. We model the two algorithms MPI
+//! implementations use for small reductions:
+//!
+//! * **Recursive doubling** — `⌈log₂ p⌉` rounds of `(α + m·β + m·γ)`;
+//! * **Two-level** — reduce inside each node over shared memory, recursive
+//!   doubling across nodes, then an intra-node broadcast. This is what
+//!   cray-mpich does on the XC40 and what makes `G` scale with
+//!   `log₂(nodes)` rather than `log₂(cores)`.
+//!
+//! The messages here are tiny (2s … ~2s²+2s+3 doubles), so the latency terms
+//! dominate; the `β`/`γ` terms exist so that deliberately large reductions
+//! are still costed sanely.
+
+use crate::machine::Machine;
+
+/// Which collective algorithm to model, with its constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllreduceModel {
+    /// Free communication (tests).
+    Zero,
+    /// Flat recursive doubling over all ranks.
+    RecursiveDoubling {
+        /// Per-round latency, seconds.
+        alpha: f64,
+        /// Per-byte transfer cost, seconds.
+        beta: f64,
+        /// Per-byte reduction (combine) cost, seconds.
+        gamma: f64,
+    },
+    /// Shared-memory reduce + inter-node recursive doubling + broadcast.
+    TwoLevel {
+        /// Per-round latency of the intra-node (shared-memory) phase.
+        alpha_shm: f64,
+        /// Per-round latency of the inter-node phase.
+        alpha_net: f64,
+        /// Per-byte transfer cost of the inter-node phase.
+        beta: f64,
+        /// Per-byte reduction cost.
+        gamma: f64,
+    },
+}
+
+impl AllreduceModel {
+    /// The free model.
+    pub fn zero() -> Self {
+        AllreduceModel::Zero
+    }
+
+    /// Recursive doubling with Aries-class constants.
+    pub fn recursive_doubling_default() -> Self {
+        AllreduceModel::RecursiveDoubling {
+            alpha: 1.8e-6,
+            beta: 1.0 / 8.0e9,
+            gamma: 2.5e-10,
+        }
+    }
+
+    /// Two-level with Aries-class constants (the SahasraT default).
+    pub fn two_level_default() -> Self {
+        AllreduceModel::TwoLevel {
+            alpha_shm: 0.4e-6,
+            alpha_net: 2.2e-6,
+            beta: 1.0 / 8.0e9,
+            gamma: 2.5e-10,
+        }
+    }
+
+    /// Models one allreduce over `p` ranks of `doubles` f64 values.
+    pub fn time(&self, machine: &Machine, p: usize, doubles: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let bytes = (doubles * 8) as f64;
+        match *self {
+            AllreduceModel::Zero => 0.0,
+            AllreduceModel::RecursiveDoubling { alpha, beta, gamma } => {
+                let rounds = (p as f64).log2().ceil();
+                rounds * (alpha + bytes * (beta + gamma))
+            }
+            AllreduceModel::TwoLevel {
+                alpha_shm,
+                alpha_net,
+                beta,
+                gamma,
+            } => {
+                let cores = machine.cores_per_node.min(p).max(1);
+                let nodes = p.div_ceil(machine.cores_per_node).max(1);
+                // Intra-node tree reduce + final broadcast.
+                let shm_rounds = (cores as f64).log2().ceil();
+                let shm = 2.0 * shm_rounds * (alpha_shm + bytes * gamma);
+                // Inter-node recursive doubling.
+                let net = if nodes > 1 {
+                    (nodes as f64).log2().ceil() * (alpha_net + bytes * (beta + gamma))
+                } else {
+                    0.0
+                };
+                shm + net
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::sahasrat()
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let m = machine();
+        for model in [
+            AllreduceModel::zero(),
+            AllreduceModel::recursive_doubling_default(),
+            AllreduceModel::two_level_default(),
+        ] {
+            assert_eq!(model.time(&m, 1, 64), 0.0);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_is_logarithmic() {
+        let m = machine();
+        let model = AllreduceModel::recursive_doubling_default();
+        let t64 = model.time(&m, 64, 8);
+        let t4096 = model.time(&m, 4096, 8);
+        // 6 rounds vs 12 rounds.
+        assert!((t4096 / t64 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_scales_with_nodes_not_cores() {
+        let m = machine();
+        let model = AllreduceModel::two_level_default();
+        // 24 ranks = 1 node: no inter-node phase.
+        let one_node = model.time(&m, 24, 8);
+        let two_nodes = model.time(&m, 48, 8);
+        assert!(two_nodes > one_node);
+        // Within one node, adding ranks only grows the shm tree.
+        let t12 = model.time(&m, 12, 8);
+        assert!(t12 <= one_node);
+    }
+
+    #[test]
+    fn message_size_matters_for_large_payloads() {
+        let m = machine();
+        let model = AllreduceModel::two_level_default();
+        let small = model.time(&m, 2880, 8);
+        let large = model.time(&m, 2880, 1_000_000);
+        assert!(large > 2.0 * small);
+    }
+}

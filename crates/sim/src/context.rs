@@ -1,0 +1,496 @@
+//! The execution-context abstraction: one solver codebase, three engines.
+//!
+//! Every solver in `pipescg` is written as an SPMD program against
+//! [`Context`]: it owns vectors of `vec_len()` entries, computes *local* dot
+//! products and Gram matrices, and combines them with explicit
+//! (non-)blocking allreduces — exactly the structure of the paper's MPI
+//! implementation. The trait has three implementations:
+//!
+//! * [`SimCtx`] — a single "rank" owning the whole problem. Runs the real
+//!   numerics and (optionally) records an [`OpTrace`] for the replay engine.
+//!   This is the engine behind all scaling figures.
+//! * `RankCtx` (in [`crate::thread`]) — one of `P` real threads exchanging
+//!   messages through the thread-backed MPI-like runtime. Validates that the
+//!   solvers are genuinely distributed (local data + explicit communication).
+//!
+//! The provided methods (`axpy`, `local_dot`, `block_add_mul`, …) pair each
+//! numerical kernel with its cost declaration so that solvers cannot forget
+//! to charge the machine model for the recurrence-LC FLOPs that Table I of
+//! the paper accounts so carefully.
+
+use std::collections::HashMap;
+
+use pscg_sparse::dense::DenseMatrix;
+use pscg_sparse::kernels;
+use pscg_sparse::op::Operator;
+use pscg_sparse::{CsrMatrix, MultiVector};
+
+use crate::profile::MatrixProfile;
+use crate::trace::{LocalKind, Op, OpTrace};
+
+/// Handle to an in-flight non-blocking allreduce. Must be waited exactly
+/// once; dropping it without waiting loses the reduction (as in MPI).
+#[derive(Debug)]
+pub struct ReduceHandle {
+    pub(crate) id: u64,
+}
+
+/// Operation counters, validated against the paper's Table I in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounters {
+    /// Sparse matrix–vector products.
+    pub spmv: u64,
+    /// Matrix-powers-kernel invocations (each computing several powers).
+    pub mpk: u64,
+    /// Preconditioner applications.
+    pub pc: u64,
+    /// Blocking allreduces.
+    pub blocking_allreduce: u64,
+    /// Non-blocking allreduces (posted).
+    pub nonblocking_allreduce: u64,
+    /// Total f64 values reduced.
+    pub reduced_doubles: u64,
+    /// VMA / recurrence-LC floating-point operations (absolute count).
+    pub vma_flops: f64,
+    /// Local dot-product floating-point operations (absolute count).
+    pub dot_flops: f64,
+    /// Rank-replicated scalar-work floating-point operations.
+    pub scalar_flops: f64,
+    /// Vectors allocated through the context (the paper's Memory column).
+    pub vectors_allocated: usize,
+}
+
+impl OpCounters {
+    /// Total allreduce operations of either kind.
+    pub fn allreduces(&self) -> u64 {
+        self.blocking_allreduce + self.nonblocking_allreduce
+    }
+}
+
+/// The SPMD execution context (see module docs).
+pub trait Context {
+    /// Global problem dimension.
+    fn nrows(&self) -> usize;
+    /// Length of locally owned vectors (`== nrows()` for the sim engine).
+    fn vec_len(&self) -> usize;
+    /// This rank's id.
+    fn rank(&self) -> usize;
+    /// Total ranks.
+    fn nranks(&self) -> usize;
+
+    /// `y = A x` on the local rows (halo exchange included).
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// Matrix-powers kernel: fills `pow[j] = σ·A·pow[j−1]` for
+    /// `j = from+1 ..= to` with a *single* widened halo exchange
+    /// (Hoemmen's CA-SpMV). The default falls back to repeated SpMVs
+    /// (numerically identical); the tracing engine overrides it to record
+    /// the communication-avoiding cost.
+    fn mpk(&mut self, pow: &mut MultiVector, from: usize, to: usize, sigma: f64) {
+        for j in from + 1..=to {
+            {
+                let (src, dst) = pow.col_pair_mut(j - 1, j);
+                self.spmv(src, dst);
+            }
+            if sigma != 1.0 {
+                self.scale_v(sigma, pow.col_mut(j));
+            }
+        }
+    }
+    /// `u = M⁻¹ r` on the local rows.
+    fn pc_apply(&mut self, r: &[f64], u: &mut [f64]);
+
+    /// Blocking sum-allreduce of `vals`.
+    fn allreduce(&mut self, vals: &[f64]) -> Vec<f64>;
+    /// Posts a non-blocking sum-allreduce of `vals`.
+    fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle;
+    /// Completes a posted allreduce, returning the global sums.
+    fn wait(&mut self, h: ReduceHandle) -> Vec<f64>;
+
+    /// Charges rank-local vector work to the cost model (`per row` refers to
+    /// one locally owned vector element).
+    fn charge_local(&mut self, kind: LocalKind, flops_per_row: f64, bytes_per_row: f64);
+    /// Charges rank-replicated scalar work (s × s solves).
+    fn charge_scalar(&mut self, flops: f64);
+    /// Reports the relative residual at a convergence check (for the
+    /// time–residual trajectories of the paper's Figure 5).
+    fn note_residual(&mut self, relres: f64);
+
+    /// Read access to the counters.
+    fn counters(&self) -> &OpCounters;
+    /// Write access to the counters.
+    fn counters_mut(&mut self) -> &mut OpCounters;
+
+    // --- provided numerical helpers (kernel + cost declaration) ---
+
+    /// Allocates a zeroed local vector, counting it against the method's
+    /// memory footprint.
+    fn alloc_vec(&mut self) -> Vec<f64> {
+        self.counters_mut().vectors_allocated += 1;
+        vec![0.0; self.vec_len()]
+    }
+
+    /// Allocates a zeroed `vec_len × ncols` block.
+    fn alloc_multi(&mut self, ncols: usize) -> MultiVector {
+        self.counters_mut().vectors_allocated += ncols;
+        MultiVector::zeros(self.vec_len(), ncols)
+    }
+
+    /// `y += a·x`.
+    fn axpy(&mut self, a: f64, x: &[f64], y: &mut [f64]) {
+        kernels::axpy(a, x, y);
+        self.charge_local(LocalKind::Vma, 2.0, 24.0);
+    }
+
+    /// `y = x + a·y`.
+    fn aypx(&mut self, a: f64, x: &[f64], y: &mut [f64]) {
+        kernels::aypx(a, x, y);
+        self.charge_local(LocalKind::Vma, 2.0, 24.0);
+    }
+
+    /// `z = x + a·y`.
+    fn waxpy(&mut self, z: &mut [f64], a: f64, y: &[f64], x: &[f64]) {
+        kernels::waxpy(z, a, y, x);
+        self.charge_local(LocalKind::Vma, 2.0, 24.0);
+    }
+
+    /// `y = x`.
+    fn copy_v(&mut self, x: &[f64], y: &mut [f64]) {
+        kernels::copy(x, y);
+        self.charge_local(LocalKind::Vma, 0.0, 16.0);
+    }
+
+    /// `x *= a`.
+    fn scale_v(&mut self, a: f64, x: &mut [f64]) {
+        kernels::scale(a, x);
+        self.charge_local(LocalKind::Vma, 1.0, 16.0);
+    }
+
+    /// Local part of the dot product `xᵀy`; combine with an allreduce.
+    fn local_dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        self.charge_local(LocalKind::Dot, 2.0, 16.0);
+        kernels::dot(x, y)
+    }
+
+    /// Block update `X += Y·B` (the recurrence linear combinations).
+    fn block_add_mul(&mut self, x: &mut MultiVector, y: &MultiVector, b: &DenseMatrix) {
+        x.add_mul(y, b);
+        let (k, m) = (y.ncols() as f64, x.ncols() as f64);
+        self.charge_local(LocalKind::Vma, 2.0 * k * m, 8.0 * (k + 2.0 * m));
+    }
+
+    /// `y += X·a`.
+    fn block_gemv_acc(&mut self, x: &MultiVector, a: &[f64], y: &mut [f64]) {
+        x.gemv_acc(a, y);
+        let k = x.ncols() as f64;
+        self.charge_local(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0));
+    }
+
+    /// `y -= X·a`.
+    fn block_gemv_sub(&mut self, x: &MultiVector, a: &[f64], y: &mut [f64]) {
+        x.gemv_sub(a, y);
+        let k = x.ncols() as f64;
+        self.charge_local(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0));
+    }
+
+    /// Local Gram product `XᵀY`; combine entries with an allreduce.
+    fn local_gram(&mut self, x: &MultiVector, y: &MultiVector) -> DenseMatrix {
+        let (kx, ky) = (x.ncols() as f64, y.ncols() as f64);
+        self.charge_local(LocalKind::Dot, 2.0 * kx * ky, 8.0 * (kx + ky));
+        x.gram(y)
+    }
+
+    /// Local Gram product between column ranges of two blocks.
+    fn local_gram_range(
+        &mut self,
+        x: &MultiVector,
+        xr: std::ops::Range<usize>,
+        y: &MultiVector,
+        yr: std::ops::Range<usize>,
+    ) -> DenseMatrix {
+        let (kx, ky) = (xr.len() as f64, yr.len() as f64);
+        self.charge_local(LocalKind::Dot, 2.0 * kx * ky, 8.0 * (kx + ky));
+        x.gram_range(xr, y, yr)
+    }
+
+    /// Local block-vector products `Xᵀv`; combine with an allreduce.
+    fn local_dot_vec(&mut self, x: &MultiVector, v: &[f64]) -> Vec<f64> {
+        let k = x.ncols() as f64;
+        self.charge_local(LocalKind::Dot, 2.0 * k, 8.0 * (k + 1.0));
+        x.dot_vec(v)
+    }
+}
+
+/// The single-rank engine: real numerics over the global problem, optional
+/// operation tracing for replay.
+pub struct SimCtx<'a> {
+    a: &'a CsrMatrix,
+    pc: Box<dyn Operator + 'a>,
+    counters: OpCounters,
+    trace: Option<OpTrace>,
+    inflight: HashMap<u64, Vec<f64>>,
+    next_id: u64,
+}
+
+impl<'a> SimCtx<'a> {
+    /// A plain serial context: numerics only, no trace.
+    pub fn serial(a: &'a CsrMatrix, pc: Box<dyn Operator + 'a>) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "solver context needs a square matrix");
+        assert_eq!(pc.nrows(), a.nrows(), "preconditioner dimension mismatch");
+        SimCtx {
+            a,
+            pc,
+            counters: OpCounters::default(),
+            trace: None,
+            inflight: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// A tracing context: `profile` describes how `a`'s work distributes
+    /// over ranks for the replay engine.
+    pub fn traced(a: &'a CsrMatrix, pc: Box<dyn Operator + 'a>, profile: MatrixProfile) -> Self {
+        let mut ctx = SimCtx::serial(a, pc);
+        let mut trace = OpTrace::new(a.nrows());
+        trace.register_matrix(profile);
+        ctx.trace = Some(trace);
+        ctx
+    }
+
+    /// Takes the recorded trace (if tracing was enabled), leaving the
+    /// context untraced.
+    pub fn take_trace(&mut self) -> Option<OpTrace> {
+        self.trace.take()
+    }
+
+    /// The matrix this context solves with.
+    pub fn matrix(&self) -> &CsrMatrix {
+        self.a
+    }
+
+    /// Name of the configured preconditioner.
+    pub fn pc_name(&self) -> String {
+        self.pc.name().to_string()
+    }
+
+    fn record(&mut self, op: Op) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(op);
+        }
+    }
+}
+
+impl Context for SimCtx<'_> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn vec_len(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn nranks(&self) -> usize {
+        1
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        self.a.spmv(x, y);
+        self.counters.spmv += 1;
+        self.record(Op::Spmv { matrix: 0 });
+    }
+
+    fn mpk(&mut self, pow: &mut MultiVector, from: usize, to: usize, sigma: f64) {
+        if to <= from {
+            return;
+        }
+        for j in from + 1..=to {
+            {
+                let (src, dst) = pow.col_pair_mut(j - 1, j);
+                self.a.spmv(src, dst);
+            }
+            if sigma != 1.0 {
+                pscg_sparse::kernels::scale(sigma, pow.col_mut(j));
+                self.charge_local(LocalKind::Vma, 1.0, 16.0);
+            }
+        }
+        // Count the constituent products too, so OpCounters stay
+        // comparable across engines (the thread engine's default falls
+        // back to individual SpMVs).
+        self.counters.spmv += (to - from) as u64;
+        self.counters.mpk += 1;
+        self.record(Op::Mpk {
+            matrix: 0,
+            depth: to - from,
+        });
+    }
+
+    fn pc_apply(&mut self, r: &[f64], u: &mut [f64]) {
+        self.pc.apply(r, u);
+        self.counters.pc += 1;
+        let c = self.pc.cost();
+        self.record(Op::Pc {
+            matrix: 0,
+            flops_per_row: c.flops_per_row,
+            bytes_per_row: c.bytes_per_row,
+            comm_rounds: c.comm_rounds,
+        });
+    }
+
+    fn allreduce(&mut self, vals: &[f64]) -> Vec<f64> {
+        self.counters.blocking_allreduce += 1;
+        self.counters.reduced_doubles += vals.len() as u64;
+        self.record(Op::ArBlocking {
+            doubles: vals.len(),
+        });
+        vals.to_vec()
+    }
+
+    fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.counters.nonblocking_allreduce += 1;
+        self.counters.reduced_doubles += vals.len() as u64;
+        self.record(Op::ArPost {
+            id,
+            doubles: vals.len(),
+        });
+        self.inflight.insert(id, vals.to_vec());
+        ReduceHandle { id }
+    }
+
+    fn wait(&mut self, h: ReduceHandle) -> Vec<f64> {
+        let vals = self
+            .inflight
+            .remove(&h.id)
+            .expect("wait on unknown or already-completed ReduceHandle");
+        self.record(Op::ArWait { id: h.id });
+        vals
+    }
+
+    fn charge_local(&mut self, kind: LocalKind, flops_per_row: f64, bytes_per_row: f64) {
+        let n = self.a.nrows() as f64;
+        match kind {
+            LocalKind::Vma => self.counters.vma_flops += flops_per_row * n,
+            LocalKind::Dot => self.counters.dot_flops += flops_per_row * n,
+        }
+        self.record(Op::Local {
+            kind,
+            flops_per_row,
+            bytes_per_row,
+        });
+    }
+
+    fn charge_scalar(&mut self, flops: f64) {
+        self.counters.scalar_flops += flops;
+        self.record(Op::Scalar { flops });
+    }
+
+    fn note_residual(&mut self, relres: f64) {
+        self.record(Op::ResCheck { relres });
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut OpCounters {
+        &mut self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Layout;
+    use pscg_sparse::op::IdentityOp;
+    use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+    fn ctx_pair() -> (CsrMatrix, MatrixProfile) {
+        let g = Grid3::cube(5);
+        let a = poisson3d_7pt(g, None);
+        let nnz = a.nnz();
+        (a, MatrixProfile::stencil3d(5, 5, 5, 1, nnz, Layout::Box))
+    }
+
+    #[test]
+    fn serial_ctx_runs_kernels_and_counts() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        let x = ctx.alloc_vec();
+        let mut y = ctx.alloc_vec();
+        ctx.spmv(&x, &mut y);
+        ctx.pc_apply(&x, &mut y);
+        let d = ctx.local_dot(&x, &y);
+        let g = ctx.allreduce(&[d]);
+        assert_eq!(g, vec![0.0]);
+        assert_eq!(ctx.counters().spmv, 1);
+        assert_eq!(ctx.counters().pc, 1);
+        assert_eq!(ctx.counters().blocking_allreduce, 1);
+        assert_eq!(ctx.counters().vectors_allocated, 2);
+        assert!(ctx.counters().dot_flops > 0.0);
+        assert!(ctx.take_trace().is_none());
+    }
+
+    #[test]
+    fn traced_ctx_records_ops_in_order() {
+        let (a, prof) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::traced(&a, Box::new(IdentityOp::new(n)), prof);
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        ctx.spmv(&x, &mut y);
+        let h = ctx.iallreduce(&[1.0, 2.0]);
+        ctx.spmv(&x, &mut y);
+        let got = ctx.wait(h);
+        assert_eq!(got, vec![1.0, 2.0]);
+        ctx.note_residual(0.5);
+        let trace = ctx.take_trace().unwrap();
+        assert_eq!(trace.comm_counts(), (2, 0, 0, 1));
+        assert!(matches!(trace.ops.last(), Some(Op::ResCheck { .. })));
+    }
+
+    #[test]
+    fn iallreduce_returns_identity_sum_on_one_rank() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        let h = ctx.iallreduce(&[3.5, -1.0]);
+        assert_eq!(ctx.wait(h), vec![3.5, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-completed")]
+    fn double_wait_panics() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        let h = ctx.iallreduce(&[1.0]);
+        let id = h.id;
+        ctx.wait(h);
+        ctx.wait(ReduceHandle { id });
+    }
+
+    #[test]
+    fn helper_ops_charge_flops() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        let x = vec![1.0; n];
+        let mut y = vec![2.0; n];
+        ctx.axpy(0.5, &x, &mut y);
+        assert_eq!(ctx.counters().vma_flops, 2.0 * n as f64);
+        let mut q = ctx.alloc_multi(3);
+        let p = ctx.alloc_multi(3);
+        let b = DenseMatrix::identity(3);
+        ctx.block_add_mul(&mut q, &p, &b);
+        assert_eq!(ctx.counters().vma_flops, 2.0 * n as f64 + 18.0 * n as f64);
+        let gm = ctx.local_gram(&q, &p);
+        assert_eq!(gm.nrows(), 3);
+        assert!(ctx.counters().dot_flops > 0.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Workload profiles: how a matrix's work and halo traffic split across `P`
+//! ranks.
+//!
+//! The replay engine costs an SpMV from a [`MatrixProfile`], which answers:
+//! what is the critical-path rank's local row count, local nonzero count,
+//! halo volume and neighbour count at a given rank count `P`?
+//!
+//! Structured problems get closed forms, for two layouts:
+//!
+//! * [`Layout::Box`] — the near-cubic process grid a PETSc `DMDA` uses for
+//!   stencil problems (the paper's Poisson runs). Halo is the local block's
+//!   surface shell, neighbours are the ≤26 (3-D) / ≤8 (2-D) adjacent blocks.
+//! * [`Layout::Slab`] — contiguous row blocks, the PETSc `MatAIJ` default
+//!   used for matrices read from files (the SuiteSparse runs). For a 3-D
+//!   operator a thin slab needs whole ±radius planes of ghost data, which is
+//!   exactly why general matrices scale worse than DMDA stencils.
+//!
+//! Irregular matrices use [`MatrixProfile::general_from_matrix`], which
+//! pre-computes exact per-`P` statistics with
+//! [`pscg_sparse::partition::halo_stats`].
+
+use pscg_sparse::partition::{halo_stats, RowBlockPartition};
+use pscg_sparse::CsrMatrix;
+
+/// Process layout for structured profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Near-cubic process grid (DMDA-style).
+    Box,
+    /// Contiguous row blocks (MatAIJ-style).
+    Slab,
+}
+
+/// Critical-path workload of one SpMV at a given rank count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmvWork {
+    /// Rows owned by the most loaded rank.
+    pub local_rows: usize,
+    /// Nonzeros owned by the most loaded rank.
+    pub local_nnz: usize,
+    /// Ghost values (f64) the critical rank receives.
+    pub halo_doubles: usize,
+    /// Number of neighbour ranks it exchanges with.
+    pub neighbors: usize,
+}
+
+/// Per-`P` workload model for one matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixProfile {
+    /// Structured 3-D grid operator with a box stencil of given radius.
+    Stencil3D {
+        /// Grid extents.
+        nx: usize,
+        /// Grid extents.
+        ny: usize,
+        /// Grid extents.
+        nz: usize,
+        /// Stencil radius (125-pt ⇒ 2, 27-pt/7-pt ⇒ 1).
+        radius: usize,
+        /// Total stored nonzeros.
+        nnz: usize,
+        /// Process layout.
+        layout: Layout,
+    },
+    /// Structured 2-D grid operator.
+    Stencil2D {
+        /// Grid extents.
+        nx: usize,
+        /// Grid extents.
+        ny: usize,
+        /// Stencil radius.
+        radius: usize,
+        /// Total stored nonzeros.
+        nnz: usize,
+        /// Process layout.
+        layout: Layout,
+    },
+    /// Irregular matrix with exact statistics precomputed for a set of `P`s.
+    General {
+        /// Matrix dimension.
+        nrows: usize,
+        /// Total stored nonzeros.
+        nnz: usize,
+        /// Sorted `(P, work)` pairs; queries snap to the nearest entry.
+        table: Vec<(usize, SpmvWork)>,
+    },
+}
+
+impl MatrixProfile {
+    /// Profile of a 3-D stencil problem.
+    pub fn stencil3d(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        radius: usize,
+        nnz: usize,
+        layout: Layout,
+    ) -> Self {
+        MatrixProfile::Stencil3D {
+            nx,
+            ny,
+            nz,
+            radius,
+            nnz,
+            layout,
+        }
+    }
+
+    /// Profile of a 2-D stencil problem.
+    pub fn stencil2d(nx: usize, ny: usize, radius: usize, nnz: usize, layout: Layout) -> Self {
+        MatrixProfile::Stencil2D {
+            nx,
+            ny,
+            radius,
+            nnz,
+            layout,
+        }
+    }
+
+    /// Exact profile of an arbitrary matrix under row-block partitioning,
+    /// computed for each rank count in `ps` (one matrix pass per entry).
+    pub fn general_from_matrix(a: &CsrMatrix, ps: &[usize]) -> Self {
+        let mut table: Vec<(usize, SpmvWork)> = ps
+            .iter()
+            .map(|&p| {
+                let part = RowBlockPartition::balanced(a.nrows(), p);
+                let stats = halo_stats(a, &part);
+                let mut worst = SpmvWork {
+                    local_rows: part.max_local_len(),
+                    local_nnz: 0,
+                    halo_doubles: 0,
+                    neighbors: 0,
+                };
+                for r in 0..p {
+                    let (lo, hi) = part.range(r);
+                    let nnz_r = a.row_ptr()[hi] - a.row_ptr()[lo];
+                    worst.local_nnz = worst.local_nnz.max(nnz_r);
+                    worst.halo_doubles = worst.halo_doubles.max(stats.ranks[r].ghost_cols);
+                    worst.neighbors = worst.neighbors.max(stats.ranks[r].recv_neighbors);
+                }
+                (p, worst)
+            })
+            .collect();
+        table.sort_by_key(|&(p, _)| p);
+        MatrixProfile::General {
+            nrows: a.nrows(),
+            nnz: a.nnz(),
+            table,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn nrows(&self) -> usize {
+        match *self {
+            MatrixProfile::Stencil3D { nx, ny, nz, .. } => nx * ny * nz,
+            MatrixProfile::Stencil2D { nx, ny, .. } => nx * ny,
+            MatrixProfile::General { nrows, .. } => nrows,
+        }
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        match *self {
+            MatrixProfile::Stencil3D { nnz, .. }
+            | MatrixProfile::Stencil2D { nnz, .. }
+            | MatrixProfile::General { nnz, .. } => nnz,
+        }
+    }
+
+    /// Critical-path workload of a depth-`k` matrix-powers kernel at rank
+    /// count `p`: the ghost region widens to `k·radius` (computed exactly
+    /// for stencil layouts; scaled `k`-fold for general profiles), while
+    /// the FLOPs are those of `k` SpMVs (charged by the replay).
+    pub fn work_at_depth(&self, p: usize, k: usize) -> SpmvWork {
+        assert!(k >= 1);
+        match *self {
+            MatrixProfile::Stencil3D {
+                nx,
+                ny,
+                nz,
+                radius,
+                nnz,
+                layout,
+            } => {
+                let deep = MatrixProfile::Stencil3D {
+                    nx,
+                    ny,
+                    nz,
+                    radius: radius * k,
+                    nnz,
+                    layout,
+                };
+                deep.work_at(p)
+            }
+            MatrixProfile::Stencil2D {
+                nx,
+                ny,
+                radius,
+                nnz,
+                layout,
+            } => {
+                let deep = MatrixProfile::Stencil2D {
+                    nx,
+                    ny,
+                    radius: radius * k,
+                    nnz,
+                    layout,
+                };
+                deep.work_at(p)
+            }
+            MatrixProfile::General { .. } => {
+                let mut w = self.work_at(p);
+                w.halo_doubles *= k;
+                w
+            }
+        }
+    }
+
+    /// Critical-path SpMV workload at rank count `p`.
+    pub fn work_at(&self, p: usize) -> SpmvWork {
+        assert!(p > 0);
+        match *self {
+            MatrixProfile::Stencil3D {
+                nx,
+                ny,
+                nz,
+                radius,
+                nnz,
+                layout,
+            } => match layout {
+                Layout::Box => box3d_work(nx, ny, nz, radius, nnz, p),
+                Layout::Slab => slab_work(nx * ny, nz, nx * ny * nz, radius, nnz, p),
+            },
+            MatrixProfile::Stencil2D {
+                nx,
+                ny,
+                radius,
+                nnz,
+                layout,
+            } => match layout {
+                Layout::Box => box2d_work(nx, ny, radius, nnz, p),
+                Layout::Slab => slab_work(nx, ny, nx * ny, radius, nnz, p),
+            },
+            MatrixProfile::General { ref table, .. } => {
+                assert!(!table.is_empty(), "general profile has no entries");
+                // Snap to the nearest precomputed P.
+                let mut best = table[0];
+                for &(tp, w) in table {
+                    if tp.abs_diff(p) < best.0.abs_diff(p) {
+                        best = (tp, w);
+                    }
+                }
+                best.1
+            }
+        }
+    }
+}
+
+/// Splits `extent` grid points over `parts` ranks; returns the largest share.
+fn ceil_div(extent: usize, parts: usize) -> usize {
+    extent.div_ceil(parts)
+}
+
+/// Chooses the process-grid factorisation `px·py·pz = p` that minimises the
+/// local block's surface (communication volume), then returns the interior
+/// (critical-path) rank's workload.
+fn box3d_work(nx: usize, ny: usize, nz: usize, radius: usize, nnz: usize, p: usize) -> SpmvWork {
+    let n = nx * ny * nz;
+    let mut best: Option<(usize, (usize, usize, usize))> = None;
+    for px in divisors(p) {
+        if px > nx {
+            continue;
+        }
+        for py in divisors(p / px) {
+            if py > ny {
+                continue;
+            }
+            let pz = p / px / py;
+            if pz > nz {
+                continue;
+            }
+            let (lx, ly, lz) = (ceil_div(nx, px), ceil_div(ny, py), ceil_div(nz, pz));
+            let surface = 2 * (lx * ly + ly * lz + lx * lz);
+            if best.is_none_or(|(s, _)| surface < s) {
+                best = Some((surface, (px, py, pz)));
+            }
+        }
+    }
+    // Degenerate: p has no factorisation fitting the grid (e.g. a prime p
+    // larger than every extent). Fall back to the slab model, which handles
+    // any rank count, instead of silently modelling fewer ranks.
+    let Some((_, (px, py, pz))) = best else {
+        return slab_work(nx * ny, nz, n, radius, nnz, p);
+    };
+    let (lx, ly, lz) = (ceil_div(nx, px), ceil_div(ny, py), ceil_div(nz, pz));
+    let local_rows = lx * ly * lz;
+    let r = radius;
+    // Ghost shell of thickness r around the block, truncated per direction
+    // when there is no neighbour on that side. The interior rank has
+    // neighbours on every side that has more than one process.
+    let gx = if px > 1 { 2 * r } else { 0 };
+    let gy = if py > 1 { 2 * r } else { 0 };
+    let gz = if pz > 1 { 2 * r } else { 0 };
+    let halo = (lx + gx) * (ly + gy) * (lz + gz) - local_rows;
+    // Neighbour blocks of the interior rank: the 3x3x3 block neighbourhood
+    // minus self, restricted to directions that actually have neighbours.
+    let mx = if px > 1 { 3 } else { 1 };
+    let my = if py > 1 { 3 } else { 1 };
+    let mz = if pz > 1 { 3 } else { 1 };
+    let neighbors = mx * my * mz - 1;
+    SpmvWork {
+        local_rows,
+        local_nnz: scaled_nnz(nnz, local_rows, n),
+        halo_doubles: halo,
+        neighbors,
+    }
+}
+
+/// 2-D analogue of [`box3d_work`].
+fn box2d_work(nx: usize, ny: usize, radius: usize, nnz: usize, p: usize) -> SpmvWork {
+    let n = nx * ny;
+    let mut best: Option<(usize, (usize, usize))> = None;
+    for px in divisors(p) {
+        if px > nx {
+            continue;
+        }
+        let py = p / px;
+        if py > ny {
+            continue;
+        }
+        let (lx, ly) = (ceil_div(nx, px), ceil_div(ny, py));
+        let perimeter = 2 * (lx + ly);
+        if best.is_none_or(|(s, _)| perimeter < s) {
+            best = Some((perimeter, (px, py)));
+        }
+    }
+    let Some((_, (px, py))) = best else {
+        return slab_work(nx, ny, n, radius, nnz, p);
+    };
+    let (lx, ly) = (ceil_div(nx, px), ceil_div(ny, py));
+    let local_rows = lx * ly;
+    let r = radius;
+    let gx = if px > 1 { 2 * r } else { 0 };
+    let gy = if py > 1 { 2 * r } else { 0 };
+    let halo = (lx + gx) * (ly + gy) - local_rows;
+    let mx = if px > 1 { 3 } else { 1 };
+    let my = if py > 1 { 3 } else { 1 };
+    SpmvWork {
+        local_rows,
+        local_nnz: scaled_nnz(nnz, local_rows, n),
+        halo_doubles: halo,
+        neighbors: mx * my - 1,
+    }
+}
+
+/// Row-block (slab) layout over a grid whose lexicographic "plane" has
+/// `plane` points and `nplanes` planes. A rank owning fewer than
+/// `radius·plane` rows still needs the full ±radius planes of ghosts, which
+/// is the scaling penalty of 1-D partitions.
+fn slab_work(
+    plane: usize,
+    nplanes: usize,
+    n: usize,
+    radius: usize,
+    nnz: usize,
+    p: usize,
+) -> SpmvWork {
+    debug_assert_eq!(plane * nplanes, n);
+    let local_rows = ceil_div(n, p);
+    let ghost_per_side = (radius * plane).min(n - local_rows.min(n));
+    let interior_sides = if p > 1 { 2 } else { 0 };
+    let halo = interior_sides * ghost_per_side;
+    // Each side's ghosts live on ceil(ghost / local_rows) consecutive ranks.
+    let neighbors_per_side = if p > 1 {
+        ghost_per_side.div_ceil(local_rows).min(p - 1)
+    } else {
+        0
+    };
+    SpmvWork {
+        local_rows,
+        local_nnz: scaled_nnz(nnz, local_rows, n),
+        halo_doubles: halo,
+        neighbors: interior_sides * neighbors_per_side,
+    }
+}
+
+/// Nonzeros of the most loaded rank, assuming uniform rows.
+fn scaled_nnz(nnz: usize, local_rows: usize, n: usize) -> usize {
+    ((nnz as f64) * (local_rows as f64) / (n as f64)).ceil() as usize
+}
+
+/// All divisors of `p`, ascending.
+fn divisors(p: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 1;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            out.push(d);
+            if d != p / d {
+                out.push(p / d);
+            }
+        }
+        d += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+
+    #[test]
+    fn box3d_single_rank_has_no_halo() {
+        let w = box3d_work(10, 10, 10, 2, 125_000, 1);
+        assert_eq!(w.local_rows, 1000);
+        assert_eq!(w.halo_doubles, 0);
+        assert_eq!(w.neighbors, 0);
+    }
+
+    #[test]
+    fn box3d_cubic_decomposition_is_chosen() {
+        // 8 ranks on a cube: 2x2x2, local 5^3, halo shell of radius 1.
+        let w = box3d_work(10, 10, 10, 1, 0, 8);
+        assert_eq!(w.local_rows, 125);
+        assert_eq!(w.halo_doubles, 7 * 7 * 7 - 125);
+        assert_eq!(w.neighbors, 26);
+    }
+
+    #[test]
+    fn slab_thin_ranks_pay_full_planes() {
+        // 100 planes of 10k points, radius 2, 1000 ranks -> 1000 rows each,
+        // but ghosts are 2 full planes per side.
+        let w = slab_work(10_000, 100, 1_000_000, 2, 0, 1000);
+        assert_eq!(w.local_rows, 1000);
+        assert_eq!(w.halo_doubles, 2 * 20_000);
+        assert_eq!(w.neighbors, 2 * 20);
+    }
+
+    #[test]
+    fn box_beats_slab_at_scale() {
+        let p = MatrixProfile::stencil3d(100, 100, 100, 2, 125_000_000, Layout::Box);
+        let s = MatrixProfile::stencil3d(100, 100, 100, 2, 125_000_000, Layout::Slab);
+        let wp = p.work_at(1000);
+        let ws = s.work_at(1000);
+        assert!(wp.halo_doubles < ws.halo_doubles);
+    }
+
+    #[test]
+    fn work_scales_down_with_ranks() {
+        let prof = MatrixProfile::stencil3d(64, 64, 64, 2, 30_000_000, Layout::Box);
+        let w1 = prof.work_at(1);
+        let w64 = prof.work_at(64);
+        assert_eq!(w1.local_rows, 64 * 64 * 64);
+        assert!(w64.local_rows < w1.local_rows / 32);
+        assert!(w64.local_nnz < w1.local_nnz / 32);
+    }
+
+    #[test]
+    fn general_profile_matches_exact_stats() {
+        let g = Grid3::new(4, 4, 8);
+        let a = poisson3d_7pt(g, None);
+        let prof = MatrixProfile::general_from_matrix(&a, &[1, 2, 4]);
+        let w2 = prof.work_at(2);
+        assert_eq!(w2.local_rows, 64);
+        assert_eq!(w2.halo_doubles, 16);
+        assert_eq!(w2.neighbors, 1);
+        // Nearest-P snapping.
+        let w3 = prof.work_at(3);
+        assert_eq!(w3, prof.work_at(2));
+        assert_eq!(prof.work_at(100), prof.work_at(4));
+    }
+
+    #[test]
+    fn stencil2d_box_layout() {
+        let prof = MatrixProfile::stencil2d(100, 100, 1, 50_000, Layout::Box);
+        let w = prof.work_at(4); // 2x2
+        assert_eq!(w.local_rows, 2500);
+        assert_eq!(w.neighbors, 8);
+        assert_eq!(w.halo_doubles, 52 * 52 - 2500);
+    }
+}

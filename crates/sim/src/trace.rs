@@ -1,0 +1,179 @@
+//! Logical operation traces.
+//!
+//! A solver running under [`crate::context::SimCtx`] performs the *real*
+//! numerics once while appending one [`Op`] per kernel invocation. Because
+//! every method in the paper is bulk-synchronous SPMD with deterministic
+//! reductions, the recorded sequence is independent of the rank count — so a
+//! single numeric run can be *replayed* (see [`mod@crate::replay`]) against any
+//! machine and any `P`, which is how the strong-scaling figures are produced
+//! on a single-core host.
+
+use crate::profile::MatrixProfile;
+
+/// Classification of rank-local compute, for cost-breakdown reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalKind {
+    /// Vector-multiply-add work (AXPY family, recurrence linear combinations).
+    Vma,
+    /// Local portion of dot products / Gram matrices.
+    Dot,
+}
+
+/// One logical operation of an SPMD solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Sparse matrix–vector product with the registered matrix `matrix`.
+    Spmv {
+        /// Index into [`OpTrace::profiles`].
+        matrix: usize,
+    },
+    /// Matrix-powers kernel: `depth` consecutive SpMVs computed with a
+    /// single widened halo exchange (Hoemmen's CA-SpMV; paper §II). Same
+    /// FLOPs as `depth` SpMVs, one `depth·radius` ghost exchange.
+    Mpk {
+        /// Index into [`OpTrace::profiles`].
+        matrix: usize,
+        /// Number of consecutive powers.
+        depth: usize,
+    },
+    /// Preconditioner application; cost expressed per local row, plus
+    /// `comm_rounds` halo-exchange-equivalent communication rounds (0 for
+    /// pointwise/local preconditioners, >0 for multigrid-style ones).
+    Pc {
+        /// Index into [`OpTrace::profiles`] (for halo geometry).
+        matrix: usize,
+        /// Floating-point work per local row.
+        flops_per_row: f64,
+        /// Memory traffic per local row.
+        bytes_per_row: f64,
+        /// Halo-exchange rounds per application.
+        comm_rounds: u32,
+    },
+    /// Rank-local vector work over the partitioned vectors.
+    Local {
+        /// VMA or dot-product work (for the breakdown).
+        kind: LocalKind,
+        /// Floating-point work per local row.
+        flops_per_row: f64,
+        /// Memory traffic per local row.
+        bytes_per_row: f64,
+    },
+    /// Rank-replicated scalar work (the s × s LU solves), independent of `P`.
+    Scalar {
+        /// Total floating-point operations.
+        flops: f64,
+    },
+    /// Post of a non-blocking allreduce of `doubles` values.
+    ArPost {
+        /// Handle correlating with the matching [`Op::ArWait`].
+        id: u64,
+        /// Payload size in f64 values.
+        doubles: usize,
+    },
+    /// Completion wait of a previously posted non-blocking allreduce.
+    ArWait {
+        /// Handle from [`Op::ArPost`].
+        id: u64,
+    },
+    /// A blocking allreduce of `doubles` values.
+    ArBlocking {
+        /// Payload size in f64 values.
+        doubles: usize,
+    },
+    /// Convergence check: records the relative residual at this point so the
+    /// replay can emit a `(time, residual)` trajectory (paper Figure 5).
+    ResCheck {
+        /// Relative residual norm at this check.
+        relres: f64,
+    },
+}
+
+/// A recorded solver execution: the operation list plus the matrix profiles
+/// the operations refer to.
+#[derive(Debug, Clone, Default)]
+pub struct OpTrace {
+    /// Global problem dimension (vector length before partitioning).
+    pub nrows: usize,
+    /// Registered matrix workload profiles.
+    pub profiles: Vec<MatrixProfile>,
+    /// The operation sequence.
+    pub ops: Vec<Op>,
+}
+
+impl OpTrace {
+    /// An empty trace for a problem of dimension `nrows`.
+    pub fn new(nrows: usize) -> Self {
+        OpTrace {
+            nrows,
+            profiles: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Registers a matrix profile, returning its index for [`Op::Spmv`].
+    pub fn register_matrix(&mut self, profile: MatrixProfile) -> usize {
+        self.profiles.push(profile);
+        self.profiles.len() - 1
+    }
+
+    /// Appends an operation.
+    #[inline]
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts operations of each communication-relevant type:
+    /// `(spmv, pc, blocking allreduces, non-blocking allreduces)`.
+    pub fn comm_counts(&self) -> (usize, usize, usize, usize) {
+        let mut spmv = 0;
+        let mut pc = 0;
+        let mut blocking = 0;
+        let mut nonblocking = 0;
+        for op in &self.ops {
+            match op {
+                Op::Spmv { .. } => spmv += 1,
+                Op::Mpk { depth, .. } => spmv += depth,
+                Op::Pc { .. } => pc += 1,
+                Op::ArBlocking { .. } => blocking += 1,
+                Op::ArPost { .. } => nonblocking += 1,
+                _ => {}
+            }
+        }
+        (spmv, pc, blocking, nonblocking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Layout;
+
+    #[test]
+    fn trace_records_and_counts() {
+        let mut t = OpTrace::new(1000);
+        let m = t.register_matrix(MatrixProfile::stencil3d(10, 10, 10, 1, 7000, Layout::Box));
+        t.push(Op::Spmv { matrix: m });
+        t.push(Op::ArPost { id: 0, doubles: 6 });
+        t.push(Op::Spmv { matrix: m });
+        t.push(Op::ArWait { id: 0 });
+        t.push(Op::ArBlocking { doubles: 2 });
+        t.push(Op::Pc {
+            matrix: m,
+            flops_per_row: 1.0,
+            bytes_per_row: 24.0,
+            comm_rounds: 0,
+        });
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.comm_counts(), (2, 1, 1, 1));
+    }
+}

@@ -1,0 +1,500 @@
+//! Compressed sparse row matrices and the SpMV kernel.
+
+use crate::error::SparseError;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (checked by [`CsrMatrix::from_raw_parts`]):
+/// `row_ptr.len() == nrows + 1`, `row_ptr\[0\] == 0`, `row_ptr` is
+/// non-decreasing, `col_idx.len() == vals.len() == row_ptr[nrows]`, and
+/// column indices within each row are strictly increasing and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidCsr(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                row_ptr.len(),
+                nrows + 1
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidCsr("row_ptr[0] != 0".into()));
+        }
+        if col_idx.len() != vals.len() {
+            return Err(SparseError::InvalidCsr(format!(
+                "col_idx length {} != vals length {}",
+                col_idx.len(),
+                vals.len()
+            )));
+        }
+        if *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(SparseError::InvalidCsr(format!(
+                "row_ptr[nrows] = {} != nnz = {}",
+                row_ptr.last().unwrap(),
+                col_idx.len()
+            )));
+        }
+        for r in 0..nrows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::InvalidCsr(format!(
+                    "row_ptr decreases at row {r}"
+                )));
+            }
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "columns not strictly increasing in row {r}"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: last,
+                        nrows,
+                        ncols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Average number of stored entries per row.
+    pub fn avg_nnz_per_row(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Values array.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable values array (structure stays fixed).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_vals(&self, r: usize) -> &[f64] {
+        &self.vals[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Value at `(r, c)`, or `0.0` if the entry is not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        match self.row_cols(r).binary_search(&c) {
+            Ok(k) => self.row_vals(r)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The diagonal as a dense vector (square matrices).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Sparse matrix–vector product `y = A x`.
+    ///
+    /// The hot loop of every method in the paper; written to keep the row
+    /// accumulation in a register and stream `col_idx`/`vals` once.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        for r in 0..self.nrows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y = A x` restricted to rows `[row_lo, row_hi)` — the per-rank SpMV of
+    /// the SPMD engine (x is indexed globally).
+    pub fn spmv_rows(&self, row_lo: usize, row_hi: usize, x: &[f64], y: &mut [f64]) {
+        assert!(row_hi <= self.nrows);
+        assert_eq!(y.len(), row_hi - row_lo, "spmv_rows: y length mismatch");
+        for (out, r) in y.iter_mut().zip(row_lo..row_hi) {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Allocating convenience wrapper around [`CsrMatrix::spmv`].
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut cnt = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            cnt[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            cnt[i + 1] += cnt[i];
+        }
+        let row_ptr = cnt.clone();
+        let nnz = self.nnz();
+        let mut col_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = row_ptr.clone();
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let dst = cursor[c];
+                col_idx[dst] = r;
+                vals[dst] = self.vals[k];
+                cursor[c] += 1;
+            }
+        }
+        // Rows of the transpose are produced in increasing source-row order,
+        // so column indices are already sorted.
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Sparse matrix product `self · other`, via a row-merge with a dense
+    /// sparse-accumulator over `other.ncols()`. Used to form Galerkin coarse
+    /// operators `RAP` in the multigrid preconditioners.
+    pub fn matmul(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul: inner dimension mismatch");
+        let m = other.ncols;
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<usize> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        // Sparse accumulator: value per output column + touched list.
+        let mut acc = vec![0.0f64; m];
+        let mut mark = vec![false; m];
+        let mut touched: Vec<usize> = Vec::new();
+        for r in 0..self.nrows {
+            touched.clear();
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let a = self.vals[k];
+                let krow = self.col_idx[k];
+                for k2 in other.row_ptr[krow]..other.row_ptr[krow + 1] {
+                    let c = other.col_idx[k2];
+                    if !mark[c] {
+                        mark[c] = true;
+                        touched.push(c);
+                        acc[c] = 0.0;
+                    }
+                    acc[c] += a * other.vals[k2];
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                col_idx.push(c);
+                vals.push(acc[c]);
+                mark[c] = false;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: m,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Galerkin triple product `Pᵀ · self · P`.
+    pub fn rap(&self, p: &CsrMatrix) -> CsrMatrix {
+        p.transpose().matmul(&self.matmul(p))
+    }
+
+    /// Checks `A == Aᵀ` up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Structurally unsymmetric entries may still cancel numerically;
+            // fall back to a value comparison through `get`.
+            for r in 0..self.nrows {
+                for (k, &c) in self.row_cols(r).iter().enumerate() {
+                    if (self.row_vals(r)[k] - t.get(r, c)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.vals
+            .iter()
+            .zip(t.vals.iter())
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` if every diagonal entry is positive and every row is
+    /// weakly diagonally dominant — a cheap sufficient condition for positive
+    /// semidefiniteness of a symmetric matrix (all generated operators here
+    /// satisfy it strictly in at least one row, giving SPD).
+    pub fn is_diagonally_dominant(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (k, &c) in self.row_cols(r).iter().enumerate() {
+                let v = self.row_vals(r)[k];
+                if c == r {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            if diag <= 0.0 || diag + 1e-12 * diag.abs() < off {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Gershgorin upper bound on the spectrum: `max_r (a_rr + Σ|a_rc|)`.
+    pub fn gershgorin_upper(&self) -> f64 {
+        let mut hi = f64::NEG_INFINITY;
+        for r in 0..self.nrows {
+            let mut diag = 0.0;
+            let mut radius = 0.0;
+            for (k, &c) in self.row_cols(r).iter().enumerate() {
+                let v = self.row_vals(r)[k];
+                if c == r {
+                    diag = v;
+                } else {
+                    radius += v.abs();
+                }
+            }
+            hi = hi.max(diag + radius);
+        }
+        hi
+    }
+
+    /// Scales all values by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.vals {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn small() -> CsrMatrix {
+        // [ 4 -1  0]
+        // [-1  4 -1]
+        // [ 0 -1  4]
+        let mut c = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            c.push(i, i, 4.0).unwrap();
+        }
+        c.push_sym(0, 1, -1.0).unwrap();
+        c.push_sym(1, 2, -1.0).unwrap();
+        c.to_csr()
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // bad row_ptr length
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // row_ptr not starting at 0
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![1, 2], vec![0], vec![1.0]).is_err());
+        // decreasing row_ptr
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        // unsorted columns
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // duplicate columns
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
+        // column out of range
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let y = a.mul_vec(&x);
+        assert_eq!(y, vec![4.0 - 2.0, -1.0 + 8.0 - 3.0, -2.0 + 12.0]);
+    }
+
+    #[test]
+    fn spmv_rows_matches_full() {
+        let a = small();
+        let x = [0.5, -1.0, 2.0];
+        let full = a.mul_vec(&x);
+        let mut part = vec![0.0; 2];
+        a.spmv_rows(1, 3, &x, &mut part);
+        assert_eq!(part, full[1..3]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = small();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_and_dominance() {
+        let a = small();
+        assert!(a.is_symmetric(0.0));
+        assert!(a.is_diagonally_dominant());
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 1, 3.0).unwrap();
+        c.push(0, 0, 1.0).unwrap();
+        c.push(1, 1, 1.0).unwrap();
+        let b = c.to_csr();
+        assert!(!b.is_symmetric(1e-12));
+        assert!(!b.is_diagonally_dominant());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.mul_vec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn matmul_matches_dense_product() {
+        let a = small();
+        let i = CsrMatrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        let a2 = a.matmul(&a);
+        // Check a couple of entries of A^2 for the tridiagonal [4,-1].
+        assert_eq!(a2.get(0, 0), 17.0); // 4*4 + (-1)*(-1)
+        assert_eq!(a2.get(0, 1), -8.0); // 4*(-1) + (-1)*4
+        assert_eq!(a2.get(0, 2), 1.0); // (-1)*(-1)
+        assert!(a2.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn rap_produces_galerkin_coarse_operator() {
+        let a = small();
+        // P aggregates rows {0,1} and {2}.
+        let p =
+            CsrMatrix::from_raw_parts(3, 2, vec![0, 1, 2, 3], vec![0, 0, 1], vec![1.0; 3]).unwrap();
+        let c = a.rap(&p);
+        assert_eq!(c.nrows(), 2);
+        // c00 = sum of A over rows/cols {0,1} = 4-1-1+4 = 6.
+        assert_eq!(c.get(0, 0), 6.0);
+        assert_eq!(c.get(0, 1), -1.0);
+        assert_eq!(c.get(1, 1), 4.0);
+        assert!(c.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn gershgorin_bounds_small_matrix() {
+        let a = small();
+        assert_eq!(a.gershgorin_upper(), 6.0);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let a = small();
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(0, 1), -1.0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Small dense matrices and LU factorisation for the s-step "Scalar Work".
+//!
+//! Every iteration of the s-step methods solves two `s × s` linear systems
+//! (for the β-matrix and the α-vector; paper §III, Algorithm 2 line 7). The
+//! systems are tiny (`s ≤ ~8`), so a straightforward partially pivoted LU is
+//! both fast and robust here.
+
+use crate::error::SparseError;
+
+/// A dense row-major matrix, sized for the `s × s` scalar work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// A zero `nrows × ncols` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty());
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix {
+            nrows: rows.len(),
+            ncols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c]
+    }
+
+    /// Sets entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c] += v;
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul: inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out.add(i, j, a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.ncols, "matvec: dimension mismatch");
+        (0..self.nrows)
+            .map(|i| {
+                let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
+                crate::kernels::dot(row, v)
+            })
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// `self + other`.
+    pub fn add_mat(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// In-place scale by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Symmetrises in place: `self ← (self + selfᵀ)/2` (square only).
+    /// Used on Gram matrices that are symmetric in exact arithmetic.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                let avg = 0.5 * (self.get(i, j) + self.get(j, i));
+                self.set(i, j, avg);
+                self.set(j, i, avg);
+            }
+        }
+    }
+
+    /// LU factorisation with partial pivoting.
+    pub fn lu(&self) -> Result<LuFactors, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        let n = self.nrows;
+        let mut lu = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search down column k.
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return Err(SparseError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, p * n + c);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, piv })
+    }
+
+    /// Solves `self · x = b` via LU; convenience for one-shot solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Solves `self · X = B` column by column.
+    pub fn solve_mat(&self, b: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+        let f = self.lu()?;
+        let mut out = DenseMatrix::zeros(self.nrows, b.ncols);
+        let mut col = vec![0.0; self.nrows];
+        for j in 0..b.ncols {
+            for i in 0..self.nrows {
+                col[i] = b.get(i, j);
+            }
+            let x = f.solve(&col);
+            for i in 0..self.nrows {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        crate::kernels::norm2(&self.data)
+    }
+
+    /// Symmetric eigendecomposition by the cyclic Jacobi rotation method:
+    /// returns `(eigenvalues, V)` with `self = V · diag(λ) · Vᵀ` (V's
+    /// columns are the eigenvectors). Intended for the small (`s × s`)
+    /// matrices of the s-step scalar work, where it enables rank-revealing
+    /// pseudo-inverse solves when the Krylov basis is deficient.
+    pub fn sym_eig(&self) -> (Vec<f64>, DenseMatrix) {
+        assert_eq!(self.nrows, self.ncols, "sym_eig needs a square matrix");
+        let n = self.nrows;
+        let mut a = self.clone();
+        let mut v = DenseMatrix::identity(n);
+        for _sweep in 0..64 {
+            let mut off = 0.0;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += a.get(p, q).abs();
+                }
+            }
+            if off < 1e-300 || off < 1e-15 * a.frobenius() {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    // Classic Jacobi rotation annihilating a_pq.
+                    let theta = (a.get(q, q) - a.get(p, p)) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, c * apk - s * aqk);
+                        a.set(q, k, s * apk + c * aqk);
+                    }
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        let lam: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+        (lam, v)
+    }
+}
+
+/// LU factors `P·A = L·U` produced by [`DenseMatrix::lu`].
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "LuFactors::solve: dimension mismatch");
+        let n = self.n;
+        // Apply the row permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for k in 0..i {
+                acc -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for k in (i + 1)..n {
+                acc -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Order of the factorised matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_pivots_when_needed() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(SparseError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn lu_rejects_rectangular() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let ab = a.matmul(&b);
+        assert_eq!(ab.get(0, 0), 2.0);
+        assert_eq!(ab.get(0, 1), 1.0);
+        assert_eq!(ab.get(1, 0), 4.0);
+        assert_eq!(ab.get(1, 1), 3.0);
+        assert_eq!(a.transpose().get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn solve_mat_solves_all_columns() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let inv = a.solve_mat(&b).unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_averages() {
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        a.symmetrize();
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 1.0, -1.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn sym_eig_recovers_known_spectrum() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (mut lam, _v) = a.sym_eig();
+        lam.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((lam[0] - 1.0).abs() < 1e-12);
+        assert!((lam[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sym_eig_reconstructs_the_matrix() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 3.0, 0.5], &[-2.0, 0.5, 5.0]]);
+        let (lam, v) = a.sym_eig();
+        // A == V diag(lam) V^T
+        let mut recon = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for (k, &l) in lam.iter().enumerate() {
+                    acc += v.get(i, k) * l * v.get(j, k);
+                }
+                recon.set(i, j, acc);
+            }
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+        // Eigenvectors are orthonormal.
+        let vtv = v.transpose().matmul(&v);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn sym_eig_handles_rank_deficiency() {
+        // Rank-1 matrix: one eigenvalue n, the rest 0.
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (mut lam, _) = a.sym_eig();
+        lam.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!(lam[0].abs() < 1e-14);
+        assert!((lam[1] - 2.0).abs() < 1e-12);
+    }
+}

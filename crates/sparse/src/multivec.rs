@@ -1,0 +1,311 @@
+//! Column-major blocks of vectors and the block linear-combination kernels.
+//!
+//! The s-step methods operate on `N × s` blocks (`Q`, `P`, `AQ`, the
+//! matrix-of-matrices `AQm[j]`, …). [`MultiVector`] stores such a block
+//! contiguously, one column after another, so each column is itself a
+//! `&[f64]` usable by the scalar kernels, while the block updates
+//! (`X += Y·B`, `X = Y − Z·α`, Gram products `XᵀY`) stream whole columns.
+
+use crate::dense::DenseMatrix;
+
+/// A dense block of `ncols` vectors of length `len`, stored column-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiVector {
+    len: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVector {
+    /// A zero block of `ncols` vectors of length `len`.
+    pub fn zeros(len: usize, ncols: usize) -> Self {
+        MultiVector {
+            len,
+            ncols,
+            data: vec![0.0; len * ncols],
+        }
+    }
+
+    /// Builds a block from column slices (all of equal length).
+    pub fn from_columns(cols: &[&[f64]]) -> Self {
+        assert!(!cols.is_empty(), "from_columns: need at least one column");
+        let len = cols[0].len();
+        let mut data = Vec::with_capacity(len * cols.len());
+        for c in cols {
+            assert_eq!(c.len(), len, "from_columns: ragged columns");
+            data.extend_from_slice(c);
+        }
+        MultiVector {
+            len,
+            ncols: cols.len(),
+            data,
+        }
+    }
+
+    /// Vector length (number of rows).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the block has zero rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Column `j` as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Column `j` as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Two distinct columns, one mutable — needed when a column is computed
+    /// from another column of the same block (e.g. building monomial bases).
+    pub fn col_pair_mut(&mut self, src: usize, dst: usize) -> (&[f64], &mut [f64]) {
+        assert_ne!(src, dst, "col_pair_mut: columns must differ");
+        let n = self.len;
+        if src < dst {
+            let (a, b) = self.data.split_at_mut(dst * n);
+            (&a[src * n..(src + 1) * n], &mut b[..n])
+        } else {
+            let (a, b) = self.data.split_at_mut(src * n);
+            (&b[..n], &mut a[dst * n..(dst + 1) * n])
+        }
+    }
+
+    /// Underlying storage (column-major).
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying storage (column-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every entry to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Copies block `other` into `self` (same shape).
+    pub fn copy_from(&mut self, other: &MultiVector) {
+        assert_eq!(self.len, other.len);
+        assert_eq!(self.ncols, other.ncols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Block update `self += other · B` where `B` is `other.ncols × self.ncols`.
+    ///
+    /// This is the paper's recurrence linear combination
+    /// `Q = Q + P[β¹, β², …, βˢ]` (Algorithm 4 line 10, Algorithm 5 line 17…).
+    pub fn add_mul(&mut self, other: &MultiVector, b: &DenseMatrix) {
+        assert_eq!(self.len, other.len, "add_mul: row mismatch");
+        assert_eq!(b.nrows(), other.ncols, "add_mul: B rows != other cols");
+        assert_eq!(b.ncols(), self.ncols, "add_mul: B cols != self cols");
+        let n = self.len;
+        for j in 0..self.ncols {
+            let dst = &mut self.data[j * n..(j + 1) * n];
+            for k in 0..other.ncols {
+                let coef = b.get(k, j);
+                if coef == 0.0 {
+                    continue;
+                }
+                let src = other.col(k);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += coef * s;
+                }
+            }
+        }
+    }
+
+    /// `y += self · a` for a coefficient vector `a` of length `ncols`
+    /// (the solution update `x_{i+1} = x_i + Qα`).
+    pub fn gemv_acc(&self, a: &[f64], y: &mut [f64]) {
+        assert_eq!(a.len(), self.ncols, "gemv_acc: coefficient length");
+        assert_eq!(y.len(), self.len, "gemv_acc: output length");
+        for (k, &coef) in a.iter().enumerate() {
+            if coef == 0.0 {
+                continue;
+            }
+            for (yi, s) in y.iter_mut().zip(self.col(k)) {
+                *yi += coef * s;
+            }
+        }
+    }
+
+    /// `y -= self · a` (the residual update `r_{i+1} = r_i − AQα`).
+    pub fn gemv_sub(&self, a: &[f64], y: &mut [f64]) {
+        assert_eq!(a.len(), self.ncols, "gemv_sub: coefficient length");
+        assert_eq!(y.len(), self.len, "gemv_sub: output length");
+        for (k, &coef) in a.iter().enumerate() {
+            if coef == 0.0 {
+                continue;
+            }
+            for (yi, s) in y.iter_mut().zip(self.col(k)) {
+                *yi -= coef * s;
+            }
+        }
+    }
+
+    /// Gram product `selfᵀ · other` as a dense `ncols × other.ncols` matrix,
+    /// computed over rows `[lo, hi)` only (the local window of a rank; pass
+    /// `0..len` for the global product).
+    pub fn gram_window(&self, other: &MultiVector, lo: usize, hi: usize) -> DenseMatrix {
+        assert_eq!(self.len, other.len, "gram: row mismatch");
+        assert!(hi <= self.len && lo <= hi);
+        let mut g = DenseMatrix::zeros(self.ncols, other.ncols);
+        for i in 0..self.ncols {
+            let xi = &self.col(i)[lo..hi];
+            for j in 0..other.ncols {
+                let yj = &other.col(j)[lo..hi];
+                g.set(i, j, crate::kernels::dot(xi, yj));
+            }
+        }
+        g
+    }
+
+    /// Gram product over all rows.
+    pub fn gram(&self, other: &MultiVector) -> DenseMatrix {
+        self.gram_window(other, 0, self.len)
+    }
+
+    /// Gram product between column ranges: `self[:, xr]ᵀ · other[:, yr]`.
+    /// The s-step methods use this to form moment matrices between shifted
+    /// windows of one power list (e.g. `N_{jk} = (A^j r, A^{k+1} r)`).
+    pub fn gram_range(
+        &self,
+        xr: std::ops::Range<usize>,
+        other: &MultiVector,
+        yr: std::ops::Range<usize>,
+    ) -> DenseMatrix {
+        assert_eq!(self.len, other.len, "gram_range: row mismatch");
+        assert!(xr.end <= self.ncols && yr.end <= other.ncols);
+        let mut g = DenseMatrix::zeros(xr.len(), yr.len());
+        for (gi, i) in xr.clone().enumerate() {
+            let xi = self.col(i);
+            for (gj, j) in yr.clone().enumerate() {
+                g.set(gi, gj, crate::kernels::dot(xi, other.col(j)));
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ · v` over rows `[lo, hi)`, one dot per column.
+    pub fn dot_vec_window(&self, v: &[f64], lo: usize, hi: usize) -> Vec<f64> {
+        assert_eq!(v.len(), self.len, "dot_vec: length mismatch");
+        (0..self.ncols)
+            .map(|j| crate::kernels::dot(&self.col(j)[lo..hi], &v[lo..hi]))
+            .collect()
+    }
+
+    /// `selfᵀ · v` over all rows.
+    pub fn dot_vec(&self, v: &[f64]) -> Vec<f64> {
+        self.dot_vec_window(v, 0, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(cols: &[&[f64]]) -> MultiVector {
+        MultiVector::from_columns(cols)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = mv(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.col(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_mul_matches_dense_algebra() {
+        // X (2x2) += Y (2x2) * B (2x2)
+        let mut x = mv(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let y = mv(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]);
+        x.add_mul(&y, &b);
+        // col0 += 1*y0 + 0.5*y1 ; col1 += -1*y0 + 2*y1
+        assert_eq!(x.col(0), &[1.0 + 1.0 + 1.5, 0.0 + 2.0 + 2.0]);
+        assert_eq!(x.col(1), &[-1.0 + 6.0, 1.0 - 2.0 + 8.0]);
+    }
+
+    #[test]
+    fn gemv_acc_and_sub() {
+        let q = mv(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut xv = vec![10.0, 20.0];
+        q.gemv_acc(&[2.0, 3.0], &mut xv);
+        assert_eq!(xv, vec![12.0, 23.0]);
+        q.gemv_sub(&[2.0, 3.0], &mut xv);
+        assert_eq!(xv, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn gram_window_partitions_sum_to_total() {
+        let x = mv(&[&[1.0, 2.0, 3.0, 4.0], &[0.5, 0.5, 0.5, 0.5]]);
+        let y = mv(&[&[1.0, 1.0, 1.0, 1.0]]);
+        let g_total = x.gram(&y);
+        let g_lo = x.gram_window(&y, 0, 2);
+        let g_hi = x.gram_window(&y, 2, 4);
+        for i in 0..2 {
+            assert!((g_total.get(i, 0) - (g_lo.get(i, 0) + g_hi.get(i, 0))).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn col_pair_mut_both_orders() {
+        let mut m = mv(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        {
+            let (src, dst) = m.col_pair_mut(0, 2);
+            dst.copy_from_slice(src);
+        }
+        assert_eq!(m.col(2), &[1.0, 1.0]);
+        {
+            let (src, dst) = m.col_pair_mut(2, 1);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = 2.0 * s;
+            }
+        }
+        assert_eq!(m.col(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn gram_range_matches_full_gram() {
+        let x = mv(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let full = x.gram(&x);
+        let sub = x.gram_range(0..2, &x, 1..3);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(sub.get(i, j), full.get(i, j + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_vec_matches_per_column() {
+        let m = mv(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        let v = [2.0, 1.0];
+        assert_eq!(m.dot_vec(&v), vec![4.0, 5.0]);
+    }
+}

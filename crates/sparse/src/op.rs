@@ -1,0 +1,134 @@
+//! The linear-operator abstraction shared by matrices and preconditioners.
+//!
+//! The execution contexts in `pscg-sim` apply preconditioners through this
+//! trait, and the replay engine costs each application from
+//! [`Operator::cost`] — so a preconditioner is both *numerics* (its `apply`)
+//! and a *cost declaration* (flops and bytes per row, plus halo-equivalent
+//! communication rounds for multilevel methods).
+
+/// Modelled cost of one operator application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplyCost {
+    /// Floating-point operations per matrix row.
+    pub flops_per_row: f64,
+    /// Bytes of memory traffic per matrix row.
+    pub bytes_per_row: f64,
+    /// Halo-exchange-equivalent communication rounds per application
+    /// (0 for pointwise or processor-local preconditioners).
+    pub comm_rounds: u32,
+}
+
+impl ApplyCost {
+    /// A free application (identity).
+    pub fn free() -> Self {
+        ApplyCost {
+            flops_per_row: 0.0,
+            bytes_per_row: 0.0,
+            comm_rounds: 0,
+        }
+    }
+}
+
+/// A linear operator `y = Op(x)` with declared application cost.
+pub trait Operator {
+    /// Operator dimension (square).
+    fn nrows(&self) -> usize;
+
+    /// Applies the operator: `y = Op(x)`. Takes `&mut self` so
+    /// implementations may use internal scratch buffers.
+    fn apply(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// Declared per-application cost for the machine model.
+    fn cost(&self) -> ApplyCost;
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "operator"
+    }
+}
+
+/// The identity operator — used as the "no preconditioner" (`PCNONE`) slot.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentityOp {
+    n: usize,
+}
+
+impl IdentityOp {
+    /// Identity of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        IdentityOp { n }
+    }
+}
+
+impl Operator for IdentityOp {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+    }
+
+    fn cost(&self) -> ApplyCost {
+        // A copy still moves 16 bytes per row.
+        ApplyCost {
+            flops_per_row: 0.0,
+            bytes_per_row: 16.0,
+            comm_rounds: 0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+impl Operator for crate::csr::CsrMatrix {
+    fn nrows(&self) -> usize {
+        crate::csr::CsrMatrix::nrows(self)
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+
+    fn cost(&self) -> ApplyCost {
+        let per_row = self.avg_nnz_per_row();
+        ApplyCost {
+            flops_per_row: 2.0 * per_row,
+            bytes_per_row: 16.0 * per_row + 16.0,
+            comm_rounds: 1,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "csr-spmv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let mut id = IdentityOp::new(3);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        id.apply(&x, &mut y);
+        assert_eq!(y, x);
+        assert_eq!(id.cost().flops_per_row, 0.0);
+        assert_eq!(id.name(), "none");
+    }
+
+    #[test]
+    fn csr_as_operator_matches_spmv() {
+        let mut a = crate::stencil::poisson2d_5pt(3, 3, 1.0, 1.0);
+        let x = vec![1.0; 9];
+        let mut y1 = vec![0.0; 9];
+        let y2 = a.mul_vec(&x);
+        Operator::apply(&mut a, &x, &mut y1);
+        assert_eq!(y1, y2);
+        assert!(a.cost().flops_per_row > 0.0);
+    }
+}

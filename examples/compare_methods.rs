@@ -1,0 +1,80 @@
+//! Compare every CG variant of the paper on one problem: iteration counts,
+//! communication counters, and modelled time-to-solution at 1 node versus
+//! 120 nodes of the SahasraT machine model — a miniature of Figure 1 plus
+//! the measured side of Table I.
+//!
+//! ```sh
+//! cargo run --release --example compare_methods
+//! ```
+
+use pipe_pscg::pipescg::methods::MethodKind;
+use pipe_pscg::pipescg::solver::SolveOptions;
+use pipe_pscg::pscg_precond::{Jacobi, PcKind};
+use pipe_pscg::pscg_sim::{replay, Layout, Machine, MatrixProfile, SimCtx};
+use pipe_pscg::pscg_sparse::stencil::{poisson3d_125pt, Grid3};
+use pipe_pscg::pscg_sparse::IdentityOp;
+
+fn main() {
+    let n = 32;
+    let grid = Grid3::cube(n);
+    let a = poisson3d_125pt(grid);
+    let b = a.mul_vec(&vec![1.0; a.nrows()]);
+    let profile = MatrixProfile::stencil3d(n, n, n, 2, a.nnz(), Layout::Box);
+    let machine = Machine::sahasrat();
+    let opts = SolveOptions {
+        rtol: 1e-5,
+        s: 3,
+        ..Default::default()
+    };
+
+    println!(
+        "125-pt Poisson {n}^3 ({} unknowns), rtol 1e-5, s = 3\n",
+        a.nrows()
+    );
+    println!(
+        "{:<14} {:>6} {:>7} {:>7} {:>8} {:>11} {:>11} {:>8}",
+        "method", "steps", "SPMVs", "PCs", "allr", "t @ 1 node", "t @ 120 n", "speedup"
+    );
+
+    let mut t_ref = None;
+    for m in [
+        MethodKind::Pcg,
+        MethodKind::Pipecg,
+        MethodKind::Pipecg3,
+        MethodKind::PipecgOati,
+        MethodKind::Scg,
+        MethodKind::ScgSspmv,
+        MethodKind::Pscg,
+        MethodKind::PipeScg,
+        MethodKind::PipePscg,
+        MethodKind::Hybrid,
+    ] {
+        // PIPE-sCG and the plain sCG variants are unpreconditioned.
+        let pc: Box<dyn pipe_pscg::pscg_sparse::Operator> = match m {
+            MethodKind::Scg | MethodKind::ScgSspmv | MethodKind::PipeScg => {
+                let _ = PcKind::None;
+                Box::new(IdentityOp::new(a.nrows()))
+            }
+            _ => Box::new(Jacobi::new(&a)),
+        };
+        let mut ctx = SimCtx::traced(&a, pc, profile.clone());
+        let res = m.solve(&mut ctx, &b, None, &opts);
+        assert!(res.converged(), "{} did not converge", m.name());
+        let trace = ctx.take_trace().unwrap();
+        let t1 = replay(&trace, &machine, machine.cores_per_node).total_time;
+        let t120 = replay(&trace, &machine, 120 * machine.cores_per_node).total_time;
+        let t_ref = *t_ref.get_or_insert(t1); // PCG at one node
+        println!(
+            "{:<14} {:>6} {:>7} {:>7} {:>8} {:>10.1}ms {:>10.2}ms {:>7.2}x",
+            res.method,
+            res.iterations,
+            res.counters.spmv,
+            res.counters.pc,
+            res.counters.allreduces(),
+            t1 * 1e3,
+            t120 * 1e3,
+            t_ref / t120,
+        );
+    }
+    println!("\nspeedup = PCG time at 1 node / method time at 120 nodes (the paper's metric)");
+}

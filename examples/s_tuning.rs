@@ -1,0 +1,72 @@
+//! s-parameter tuning (paper §VI-C / Figure 3 and the future-work model of
+//! §VII): sweep s and print the modelled time-to-solution of PIPE-PsCG at
+//! several machine sizes, showing that the best s grows with the core count
+//! — small s wastes fewer FLOPs at low scale, large s hides more allreduce
+//! latency at high scale.
+//!
+//! ```sh
+//! cargo run --release --example s_tuning
+//! ```
+
+use pipe_pscg::pipescg::methods::MethodKind;
+use pipe_pscg::pipescg::solver::SolveOptions;
+use pipe_pscg::pscg_precond::Jacobi;
+use pipe_pscg::pscg_sim::{replay, Layout, Machine, MatrixProfile, SimCtx};
+use pipe_pscg::pscg_sparse::stencil::{poisson3d_125pt, Grid3};
+
+fn main() {
+    let n = 32;
+    let grid = Grid3::cube(n);
+    let a = poisson3d_125pt(grid);
+    let b = a.mul_vec(&vec![1.0; a.nrows()]);
+    let profile = MatrixProfile::stencil3d(n, n, n, 2, a.nnz(), Layout::Box);
+    let machine = Machine::sahasrat();
+    let svals = [1usize, 2, 3, 4, 5, 6];
+    let node_counts = [1usize, 20, 60, 120, 240];
+
+    println!("PIPE-PsCG on 125-pt Poisson {n}^3; modelled time to rtol 1e-5 (ms)\n");
+    print!("{:>6}", "nodes");
+    for s in svals {
+        print!("{:>9}", format!("s={s}"));
+    }
+    println!("{:>9}", "best");
+
+    let runs: Vec<_> = svals
+        .iter()
+        .map(|&s| {
+            let mut ctx = SimCtx::traced(&a, Box::new(Jacobi::new(&a)), profile.clone());
+            let opts = SolveOptions {
+                rtol: 1e-5,
+                s,
+                ..Default::default()
+            };
+            let res = MethodKind::PipePscg.solve(&mut ctx, &b, None, &opts);
+            assert!(res.converged(), "s = {s} did not converge");
+            ctx.take_trace().unwrap()
+        })
+        .collect();
+
+    for nodes in node_counts {
+        let p = nodes * machine.cores_per_node;
+        print!("{nodes:>6}");
+        let times: Vec<f64> = runs
+            .iter()
+            .map(|t| replay(t, &machine, p).total_time)
+            .collect();
+        for t in &times {
+            print!("{:>9.2}", t * 1e3);
+        }
+        let best = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| svals[i])
+            .unwrap();
+        println!("{:>9}", format!("s={best}"));
+    }
+    println!(
+        "\nThe winning s shifts right as the machine grows — the automatic \
+         s-selection model the paper proposes as future work would read off \
+         exactly this table."
+    );
+}

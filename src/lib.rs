@@ -1,0 +1,15 @@
+//! Umbrella crate for the PIPE-PsCG reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`pipescg`] — the solver library (PCG, PIPECG, s-step and pipelined
+//!   s-step methods, hybrid method, cost model);
+//! * [`pscg_sparse`] — matrices, generators, block vectors;
+//! * [`pscg_sim`] — the distributed-memory execution substrate;
+//! * [`pscg_precond`] — preconditioners.
+
+pub use pipescg;
+pub use pscg_precond;
+pub use pscg_sim;
+pub use pscg_sparse;

@@ -1,0 +1,201 @@
+//! Shape assertions for the paper's figures, run at CI scale: the
+//! reproduction is only credible if the *qualitative* claims of §VI hold —
+//! who wins, where curves bend — independent of absolute numbers. These
+//! tests pin those shapes so a regression in the solvers, the cost model or
+//! the machine calibration cannot silently flip a conclusion.
+
+use pipescg::methods::MethodKind;
+use pipescg::solver::{RefNorm, SolveOptions};
+use pscg_bench::experiments::{self, default_pc, time_at, traced_solve};
+use pscg_bench::{problems, Scale};
+use pscg_precond::PcKind;
+use pscg_sim::{replay, Machine};
+
+fn scale() -> Scale {
+    Scale::ci()
+}
+
+fn paper_opts(rtol: f64) -> SolveOptions {
+    SolveOptions {
+        rtol,
+        s: 3,
+        ref_norm: RefNorm::PlainB,
+        max_iters: 50_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fig1_shape_pipelined_s_step_wins_at_scale() {
+    let machine = Machine::sahasrat();
+    let problem = problems::poisson125(&scale());
+    let opts = paper_opts(problem.rtol);
+    let pcg = traced_solve(&problem, MethodKind::Pcg, PcKind::Jacobi, &opts);
+    let pipecg = traced_solve(&problem, MethodKind::Pipecg, PcKind::Jacobi, &opts);
+    let pipe_pscg = traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts);
+    assert!(pcg.converged && pipecg.converged && pipe_pscg.converged);
+
+    let p = 120 * machine.cores_per_node;
+    let t_pcg = time_at(&pcg, &machine, p);
+    let t_pipecg = time_at(&pipecg, &machine, p);
+    let t_pipe = time_at(&pipe_pscg, &machine, p);
+    // The paper's headline ordering at high node counts.
+    assert!(
+        t_pipe < t_pipecg,
+        "PIPE-PsCG {t_pipe} must beat PIPECG {t_pipecg} at 120 nodes"
+    );
+    assert!(
+        t_pipecg < t_pcg,
+        "PIPECG {t_pipecg} must beat PCG {t_pcg} at 120 nodes"
+    );
+    assert!(
+        t_pcg / t_pipe > 1.5,
+        "PIPE-PsCG should win clearly, got {}",
+        t_pcg / t_pipe
+    );
+
+    // (The one-node ordering reversal of the paper's Figure 1 needs a
+    // problem large enough that kernels dominate allreduces at 24 ranks; at
+    // CI scale even one node is latency-bound. The `small`/`paper` scale
+    // harness runs show it — see EXPERIMENTS.md.)
+}
+
+#[test]
+fn fig1_shape_pcg_speedup_saturates() {
+    let machine = Machine::sahasrat();
+    let problem = problems::poisson125(&scale());
+    let opts = paper_opts(problem.rtol);
+    let pcg = traced_solve(&problem, MethodKind::Pcg, PcKind::Jacobi, &opts);
+    // Doubling nodes from 60 to 120 must NOT halve PCG's time (allreduce
+    // saturation — the paper's premise).
+    let t60 = time_at(&pcg, &machine, 60 * machine.cores_per_node);
+    let t120 = time_at(&pcg, &machine, 120 * machine.cores_per_node);
+    assert!(t120 > 0.7 * t60, "PCG kept scaling: {t60} -> {t120}");
+}
+
+#[test]
+fn fig1_shape_pscg_pays_its_extra_kernels_vs_pipe_pscg() {
+    let machine = Machine::sahasrat();
+    let problem = problems::poisson125(&scale());
+    let opts = paper_opts(problem.rtol);
+    let pscg = traced_solve(&problem, MethodKind::Pscg, PcKind::Jacobi, &opts);
+    let pipe = traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts);
+    // "The 2x speedup of our PIPE-PsCG over PsCG ... shows that true
+    // performance benefits can be obtained ... only by reducing the number
+    // of SPMVs per iteration and by efficiently overlapping" (§VI-B).
+    for nodes in [40usize, 80, 120] {
+        let p = nodes * machine.cores_per_node;
+        let t_pscg = time_at(&pscg, &machine, p);
+        let t_pipe = time_at(&pipe, &machine, p);
+        assert!(
+            t_pipe < t_pscg,
+            "PIPE-PsCG must beat PsCG at {nodes} nodes: {t_pipe} vs {t_pscg}"
+        );
+    }
+}
+
+#[test]
+fn fig3_shape_larger_s_gains_relative_ground_with_scale() {
+    let machine = Machine::sahasrat();
+    let problem = problems::poisson125(&scale());
+    let runs: Vec<_> = [3usize, 5]
+        .iter()
+        .map(|&s| {
+            let opts = SolveOptions {
+                s,
+                ..paper_opts(problem.rtol)
+            };
+            traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts)
+        })
+        .collect();
+    // s=5 relative to s=3 must improve as the machine grows (Figure 3's
+    // crossover direction), even if the absolute winner depends on scale.
+    let ratio_at = |p: usize| time_at(&runs[1], &machine, p) / time_at(&runs[0], &machine, p);
+    let small = ratio_at(machine.cores_per_node);
+    let large = ratio_at(140 * machine.cores_per_node);
+    assert!(
+        large < small,
+        "s=5/s=3 time ratio must shrink with scale: {small} -> {large}"
+    );
+}
+
+#[test]
+fn fig5_shape_pipe_pscg_reaches_the_threshold_first() {
+    let machine = Machine::sahasrat();
+    let problem = problems::poisson125(&scale());
+    let opts = paper_opts(problem.rtol);
+    let p = 80 * machine.cores_per_node;
+    // Time at which each method's residual trajectory crosses rtol.
+    let crossing = |m: MethodKind| -> f64 {
+        let run = traced_solve(&problem, m, default_pc(m), &opts);
+        assert!(run.converged, "{}", m.name());
+        let r = replay(&run.trace, &machine, p);
+        r.residual_timeline
+            .iter()
+            .find(|(_, res)| *res < problem.rtol)
+            .map(|(t, _)| *t)
+            .expect("converged run must cross the threshold")
+    };
+    let t_pcg = crossing(MethodKind::Pcg);
+    let t_pipe = crossing(MethodKind::PipePscg);
+    assert!(
+        t_pipe < t_pcg,
+        "PIPE-PsCG must reach rtol*||b|| first at 80 nodes: {t_pipe} vs {t_pcg}"
+    );
+}
+
+#[test]
+fn ablation_async_progress_is_required_for_the_overlap() {
+    let problem = problems::poisson125(&scale());
+    let opts = paper_opts(problem.rtol);
+    let run = traced_solve(&problem, MethodKind::PipePscg, PcKind::Jacobi, &opts);
+    let on = Machine::sahasrat();
+    let off = Machine::sahasrat_no_async_progress();
+    let p = 120 * on.cores_per_node;
+    let r_on = replay(&run.trace, &on, p);
+    let r_off = replay(&run.trace, &off, p);
+    assert!(
+        r_off.total_time > r_on.total_time * 1.1,
+        "async progress must matter at scale"
+    );
+    assert_eq!(r_off.overlap_fraction(), 0.0);
+    // Meaningful hiding needs an overlap window that is not starved of
+    // work: check at 2 nodes, where this CI-scale problem still has
+    // kernel time comparable to G.
+    let r_on_2 = replay(&run.trace, &on, 2 * on.cores_per_node);
+    assert!(
+        r_on_2.overlap_fraction() > 0.5,
+        "overlap at 2 nodes = {}",
+        r_on_2.overlap_fraction()
+    );
+}
+
+#[test]
+fn fig2_shape_holds_on_the_ecology2_surrogate() {
+    let machine = Machine::sahasrat();
+    let (rep, runs) = experiments::fig2(&scale(), &machine);
+    assert!(!rep.rows.is_empty());
+    // Every figure method converged at rtol 1e-2.
+    for run in &runs {
+        assert!(run.converged, "{} on ecology2", run.method.name());
+    }
+    // PIPE-PsCG beats PCG at 120 nodes on the speedup scale (last row).
+    let last = rep.rows.last().unwrap();
+    let pcg: f64 = last[2].parse().unwrap();
+    let pipe_pscg: f64 = last[8].parse().unwrap();
+    assert!(
+        pipe_pscg > 2.0 * pcg,
+        "PIPE-PsCG {pipe_pscg} vs PCG {pcg} at 120 nodes"
+    );
+}
+
+#[test]
+fn autotune_agrees_with_replayed_s_ordering_at_scale() {
+    // The §VII future-work model must point the same way as the replay:
+    // at 240 nodes the model's best s is at least as large as at 1 node.
+    let machine = Machine::sahasrat();
+    let problem = problems::poisson125(&scale());
+    let s1 = pipescg::autotune::best_s_jacobi(&machine, &problem.profile, 24).s;
+    let s240 = pipescg::autotune::best_s_jacobi(&machine, &problem.profile, 240 * 24).s;
+    assert!(s240 >= s1);
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) on the sparse substrate: CSR structure,
+//! SpMV algebra, transposition, sparse products, dense LU and the block
+//! kernels the s-step recurrences are built from.
+
+use proptest::prelude::*;
+use pscg_sparse::dense::DenseMatrix;
+use pscg_sparse::{kernels, CooMatrix, CsrMatrix, MultiVector};
+
+/// Strategy: a random sparse SPD-ish matrix built as `B + BT + n·I` from a
+/// random sparse B — symmetric and strictly diagonally dominant.
+fn spd_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2usize..max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..4 * n),
+            )
+        })
+        .prop_map(|(n, trips)| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in trips {
+                coo.push_sym(r, c, v).unwrap();
+            }
+            for i in 0..n {
+                // Dominant diagonal: each row has at most ~8 entries of |v|<=1
+                // from the random triples (duplicates sum, so bound by count).
+                coo.push(i, i, 4.0 * n as f64).unwrap();
+            }
+            coo.to_csr()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrips_through_matrix_market(a in spd_matrix(12)) {
+        let mut buf = Vec::new();
+        pscg_sparse::io::write_matrix_market(&a, &mut buf).unwrap();
+        let b = pscg_sparse::io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spmv_is_linear(a in spd_matrix(12), s1 in -3.0f64..3.0, s2 in -3.0f64..3.0) {
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        // A(s1 x + s2 y) == s1 Ax + s2 Ay
+        let mut combo = vec![0.0; n];
+        for i in 0..n {
+            combo[i] = s1 * x[i] + s2 * y[i];
+        }
+        let lhs = a.mul_vec(&combo);
+        let ax = a.mul_vec(&x);
+        let ay = a.mul_vec(&y);
+        for i in 0..n {
+            let rhs = s1 * ax[i] + s2 * ay[i];
+            prop_assert!((lhs[i] - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_spmv_adjoint(a in spd_matrix(12)) {
+        // (Ax, y) == (x, AT y)
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| 2.0 - (i % 3) as f64).collect();
+        let at = a.transpose();
+        let lhs = kernels::dot(&a.mul_vec(&x), &y);
+        let rhs = kernels::dot(&x, &at.mul_vec(&y));
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn matmul_agrees_with_composition(a in spd_matrix(10)) {
+        // (A*A)x == A(Ax)
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let a2 = a.matmul(&a);
+        let lhs = a2.mul_vec(&x);
+        let rhs = a.mul_vec(&a.mul_vec(&x));
+        for i in 0..n {
+            prop_assert!((lhs[i] - rhs[i]).abs() <= 1e-6 * (1.0 + rhs[i].abs()));
+        }
+    }
+
+    #[test]
+    fn generated_matrices_are_spd_certified(a in spd_matrix(14)) {
+        prop_assert!(a.is_symmetric(1e-12));
+        prop_assert!(a.is_diagonally_dominant());
+        // Gershgorin upper bound dominates the Rayleigh quotient of any x.
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.5).collect();
+        let rayleigh = kernels::dot(&x, &a.mul_vec(&x)) / kernels::dot(&x, &x);
+        prop_assert!(rayleigh <= a.gershgorin_upper() * (1.0 + 1e-12));
+        prop_assert!(rayleigh > 0.0, "SPD matrices have positive Rayleigh quotients");
+    }
+
+    #[test]
+    fn lu_solves_what_it_factors(a in spd_matrix(10), seed in 0u64..1000) {
+        let n = a.nrows();
+        // Dense copy of the sparse SPD matrix.
+        let mut d = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            for (k, &c) in a.row_cols(r).iter().enumerate() {
+                d.set(r, c, a.row_vals(r)[k]);
+            }
+        }
+        let xstar: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0).collect();
+        let b = d.matvec(&xstar);
+        let x = d.solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - xstar[i]).abs() <= 1e-7 * (1.0 + xstar[i].abs()));
+        }
+    }
+
+    #[test]
+    fn block_addmul_matches_columnwise_axpys(ncols in 1usize..4, n in 4usize..40) {
+        let cols: Vec<Vec<f64>> = (0..ncols)
+            .map(|j| (0..n).map(|i| ((i + 3 * j) as f64 * 0.31).sin()).collect())
+            .collect();
+        let y = MultiVector::from_columns(&cols.iter().map(|c| c.as_slice()).collect::<Vec<_>>());
+        let mut x1 = MultiVector::zeros(n, ncols);
+        let mut b = DenseMatrix::zeros(ncols, ncols);
+        for i in 0..ncols {
+            for j in 0..ncols {
+                b.set(i, j, ((i * ncols + j) as f64) * 0.25 - 0.3);
+            }
+        }
+        x1.add_mul(&y, &b);
+        // Reference: column-by-column axpys.
+        let mut x2 = MultiVector::zeros(n, ncols);
+        for j in 0..ncols {
+            for k in 0..ncols {
+                kernels::axpy(b.get(k, j), y.col(k), x2.col_mut(j));
+            }
+        }
+        for j in 0..ncols {
+            for i in 0..n {
+                prop_assert!((x1.col(j)[i] - x2.col(j)[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_transpose_symmetric(n in 4usize..30, k in 1usize..4) {
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|j| (0..n).map(|i| ((i * (j + 2)) as f64 * 0.17).cos()).collect())
+            .collect();
+        let x = MultiVector::from_columns(&cols.iter().map(|c| c.as_slice()).collect::<Vec<_>>());
+        let g = x.gram(&x);
+        for i in 0..k {
+            for j in 0..k {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+            }
+            prop_assert!(g.get(i, i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn partition_covers_and_balances(n in 1usize..5000, p in 1usize..64) {
+        let part = pscg_sparse::RowBlockPartition::balanced(n, p);
+        prop_assert_eq!(part.nrows(), n);
+        let mut total = 0;
+        for r in 0..p {
+            let len = part.local_len(r);
+            total += len;
+            // Balanced: lengths differ by at most 1.
+            prop_assert!(len + 1 >= n / p && len <= n / p + 1);
+        }
+        prop_assert_eq!(total, n);
+    }
+}
