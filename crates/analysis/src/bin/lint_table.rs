@@ -1,0 +1,16 @@
+//! CI lint: fail the build when the method table in
+//! `crates/core/src/methods/mod.rs` disagrees with
+//! `costmodel::table1()`.
+
+fn main() {
+    match pscg_analysis::doc_lint::check() {
+        Ok(summary) => println!("lint-table: {summary}"),
+        Err(errors) => {
+            eprintln!("lint-table: doc table disagrees with costmodel::table1():");
+            for e in errors {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

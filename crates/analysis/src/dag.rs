@@ -1,0 +1,154 @@
+//! The operation-dependency view of a trace: overlap windows and the work
+//! scheduled inside them.
+//!
+//! A single-rank trace is totally ordered by program order; the only
+//! *concurrency* in the schedule is between an in-flight `MPI_Iallreduce`
+//! and the local operations issued between its post and its wait. The DAG
+//! is therefore fully described by the program order plus one completion
+//! edge per collective ([`pscg_sim::OpTrace::completion_edges`]); a
+//! [`Window`] names the span of operations that run concurrently with one
+//! collective.
+
+use pscg_sim::{Op, OpTrace};
+
+/// One `MPI_Iallreduce` overlap window: the operations at indices
+/// `post+1 .. wait` run concurrently with the collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Handle of the collective (the `id` of the `ArPost`/`ArWait` pair).
+    pub id: u64,
+    /// Trace index of the `ArPost`.
+    pub post: usize,
+    /// Trace index of the matching `ArWait`.
+    pub wait: usize,
+}
+
+impl Window {
+    /// Indices of the operations overlapped with the collective.
+    pub fn ops(&self) -> std::ops::Range<usize> {
+        self.post + 1..self.wait
+    }
+}
+
+/// Kernel counts inside one window — the work actually hidden behind the
+/// pending reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowKernels {
+    /// SPMV applications (an `Mpk` of depth `k` counts `k`).
+    pub spmvs: usize,
+    /// Preconditioner applications.
+    pub pcs: usize,
+    /// Everything else (local vector work, scalar work, reads).
+    pub other: usize,
+}
+
+/// The schedule lifted out of a trace.
+#[derive(Debug, Clone)]
+pub struct ScheduleDag {
+    /// Number of operations in the trace.
+    pub len: usize,
+    /// Overlap windows in post order. Posts without a matching wait (a
+    /// hazard in their own right — see [`crate::hazards`]) produce no
+    /// window.
+    pub windows: Vec<Window>,
+}
+
+impl ScheduleDag {
+    /// Lifts a trace into its schedule view.
+    pub fn build(trace: &OpTrace) -> Self {
+        let windows = trace
+            .completion_edges()
+            .into_iter()
+            .map(|(post, wait)| {
+                let id = match trace.ops[post] {
+                    Op::ArPost { id, .. } => id,
+                    _ => unreachable!("completion edge must start at an ArPost"),
+                };
+                Window { id, post, wait }
+            })
+            .collect();
+        ScheduleDag {
+            len: trace.ops.len(),
+            windows,
+        }
+    }
+
+    /// Counts the kernels overlapped with the given window's collective.
+    pub fn kernels(&self, trace: &OpTrace, w: &Window) -> WindowKernels {
+        let mut k = WindowKernels::default();
+        for op in &trace.ops[w.ops()] {
+            match op {
+                Op::Spmv { .. } => k.spmvs += 1,
+                Op::Mpk { depth, .. } => k.spmvs += depth,
+                Op::Pc { .. } => k.pcs += 1,
+                _ => k.other += 1,
+            }
+        }
+        k
+    }
+
+    /// The window (if any) whose collective is still in flight at trace
+    /// index `i`.
+    pub fn window_over(&self, i: usize) -> Option<&Window> {
+        self.windows.iter().find(|w| w.ops().contains(&i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscg_sim::{LocalKind, Op};
+
+    fn trace(ops: Vec<Op>) -> OpTrace {
+        let mut t = OpTrace::new(64);
+        for op in ops {
+            t.push(op);
+        }
+        t
+    }
+
+    #[test]
+    fn windows_and_kernel_counts() {
+        let t = trace(vec![
+            Op::local(LocalKind::Dot, 2.0, 16.0),
+            Op::post(0, 4),
+            Op::pc(0, 1.0, 8.0, 0),
+            Op::spmv(0),
+            Op::wait(0),
+            Op::post(1, 4),
+            Op::mpk(0, 3),
+            Op::wait(1),
+        ]);
+        let dag = ScheduleDag::build(&t);
+        assert_eq!(dag.len, 8);
+        assert_eq!(
+            dag.windows,
+            vec![
+                Window {
+                    id: 0,
+                    post: 1,
+                    wait: 4
+                },
+                Window {
+                    id: 1,
+                    post: 5,
+                    wait: 7
+                }
+            ]
+        );
+        let k0 = dag.kernels(&t, &dag.windows[0]);
+        assert_eq!((k0.spmvs, k0.pcs, k0.other), (1, 1, 0));
+        // Mpk depth counts toward spmvs.
+        let k1 = dag.kernels(&t, &dag.windows[1]);
+        assert_eq!((k1.spmvs, k1.pcs), (3, 0));
+        assert_eq!(dag.window_over(2).unwrap().id, 0);
+        assert_eq!(dag.window_over(0), None);
+        assert_eq!(dag.window_over(4), None);
+    }
+
+    #[test]
+    fn unmatched_post_produces_no_window() {
+        let t = trace(vec![Op::post(0, 2), Op::spmv(0)]);
+        assert!(ScheduleDag::build(&t).windows.is_empty());
+    }
+}

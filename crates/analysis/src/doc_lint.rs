@@ -1,0 +1,194 @@
+//! Lint: the human-written method table in `pipescg::methods`' module docs
+//! must agree with `costmodel::table1()`.
+//!
+//! The doc table (`crates/core/src/methods/mod.rs`) is what a reader sees
+//! first; Table I's closed forms are what the cost model computes with. A
+//! drift between them — someone edits one and forgets the other — is a
+//! documentation bug no test would otherwise catch. This lint parses the
+//! markdown table out of the source file, converts each "allreduces per s
+//! steps" cell back into a closed form, and evaluates both sides at
+//! several `s`.
+//!
+//! Exposed as a unit test here and as the `lint-table` binary so CI can
+//! fail the build on disagreement.
+
+use pipescg::costmodel::table1;
+use std::path::Path;
+
+/// The doc table lives in the sibling `pipescg` crate; resolved relative
+/// to this crate's manifest so the lint works from any working directory.
+const DOC_TABLE_SOURCE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../core/src/methods/mod.rs");
+
+/// One parsed row of the doc table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocRow {
+    /// Method name (column 2 of the table, paper spelling).
+    pub method: String,
+    /// The raw "allreduces per s steps" cell.
+    pub cadence: String,
+}
+
+/// Parses the markdown table out of the `methods` module docs.
+pub fn parse_doc_table(source: &str) -> Vec<DocRow> {
+    let mut rows = Vec::new();
+    for line in source.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix("//! |") else {
+            continue;
+        };
+        let cols: Vec<&str> = rest.split('|').map(str::trim).collect();
+        // module | method | paper | allreduces per s steps | overlap
+        if cols.len() < 5 || cols[1] == "method" || cols[0].starts_with("---") {
+            continue;
+        }
+        rows.push(DocRow {
+            method: cols[1].to_string(),
+            cadence: cols[3].to_string(),
+        });
+    }
+    rows
+}
+
+/// A cadence closed form in `s`.
+pub type Cadence = fn(usize) -> usize;
+
+/// Converts a cadence cell ("3s, blocking", "⌈s/2⌉", "1, non-blocking",
+/// "—") into a closed form. `None` means "no claim" (the hybrid's dash);
+/// `Err` means the cell is unparseable and the lint must fail.
+pub fn cadence_closed_form(cell: &str) -> Result<Option<Cadence>, String> {
+    let token = cell.split(',').next().unwrap_or("").trim();
+    match token {
+        "—" | "-" => Ok(None),
+        "3s" => Ok(Some(|s| 3 * s)),
+        "s" => Ok(Some(|s| s)),
+        "⌈s/2⌉" => Ok(Some(|s| s.div_ceil(2))),
+        "1" => Ok(Some(|_| 1)),
+        other => Err(format!("unrecognised cadence {other:?} in cell {cell:?}")),
+    }
+}
+
+/// Runs the lint. `Ok` carries a one-line summary; `Err` carries every
+/// disagreement found.
+pub fn check() -> Result<String, Vec<String>> {
+    let source = std::fs::read_to_string(Path::new(DOC_TABLE_SOURCE))
+        .map_err(|e| vec![format!("cannot read {DOC_TABLE_SOURCE}: {e}")])?;
+    check_source(&source)
+}
+
+/// The lint body, separated from file I/O for testability.
+pub fn check_source(source: &str) -> Result<String, Vec<String>> {
+    let doc = parse_doc_table(source);
+    let rows = table1();
+    let mut errors = Vec::new();
+    if doc.is_empty() {
+        errors.push("no doc table found in methods/mod.rs".to_string());
+    }
+    let mut compared = 0usize;
+    for d in &doc {
+        let form = match cadence_closed_form(&d.cadence) {
+            Ok(f) => f,
+            Err(e) => {
+                errors.push(format!("{}: {e}", d.method));
+                continue;
+            }
+        };
+        let Some(row) = rows.iter().find(|r| r.method == d.method) else {
+            // sCG, sCG-sSPMV, PIPE-sCG, CG3, Hybrid: the paper's Table I
+            // omits them; the doc cell only needs to parse.
+            continue;
+        };
+        let Some(form) = form else {
+            errors.push(format!(
+                "{}: doc table claims no cadence but table1() has a closed form",
+                d.method
+            ));
+            continue;
+        };
+        compared += 1;
+        for s in 1..=8 {
+            let doc_val = form(s);
+            let model_val = (row.allreduces)(s);
+            if doc_val != model_val {
+                errors.push(format!(
+                    "{}: doc table says {} allreduces per {s} steps, table1() says {}",
+                    d.method, doc_val, model_val
+                ));
+                break;
+            }
+        }
+    }
+    // Every Table I row the repo implements must appear in the doc table.
+    // PIPELCG is tabulated by the paper but not implemented here.
+    for row in &rows {
+        if row.method == "PIPELCG" {
+            continue;
+        }
+        if !doc.iter().any(|d| d.method == row.method) {
+            errors.push(format!(
+                "table1() row {} missing from doc table",
+                row.method
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(format!(
+            "doc table OK: {} rows parsed, {compared} checked against table1()",
+            doc.len()
+        ))
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shipped doc table must pass its own lint.
+    #[test]
+    fn shipped_doc_table_matches_cost_model() {
+        match check() {
+            Ok(summary) => assert!(summary.contains("6 checked"), "{summary}"),
+            Err(errors) => panic!("doc-table lint failed:\n{}", errors.join("\n")),
+        }
+    }
+
+    #[test]
+    fn drifted_cadence_is_caught() {
+        // PCG's true cadence is 3s; a doc claiming s must fail.
+        let source = "\
+//! | module | method | paper | allreduces per s steps | overlap |
+//! |---|---|---|---|---|
+//! | [`pcg`] | PCG | Alg. 1 | s, blocking | none |
+//! | [`pipecg`] | PIPECG | [9] | s, non-blocking | 1 PC + 1 SPMV |
+//! | [`pipecg3`] | PIPECG3 | [10] | ⌈s/2⌉ | 2 PCs + 2 SPMVs |
+//! | [`pipecg_oati`] | PIPECG-OATI | [11] | ⌈s/2⌉ | 2 PCs + 2 SPMVs |
+//! | [`pscg`] | PsCG | Alg. 3 | 1, blocking | none |
+//! | [`pipe_pscg`] | PIPE-PsCG | Alg. 6-7 | 1, non-blocking | s PCs + s SPMVs |
+";
+        let errors = check_source(source).unwrap_err();
+        assert!(errors.iter().any(|e| e.starts_with("PCG:")), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_row_is_caught() {
+        let source = "\
+//! | module | method | paper | allreduces per s steps | overlap |
+//! |---|---|---|---|---|
+//! | [`pcg`] | PCG | Alg. 1 | 3s, blocking | none |
+";
+        let errors = check_source(source).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("PIPECG") && e.contains("missing")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unparseable_cadence_is_an_error() {
+        assert!(cadence_closed_form("2s, blocking").is_err());
+        assert!(cadence_closed_form("—").unwrap().is_none());
+    }
+}

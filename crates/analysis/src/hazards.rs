@@ -1,0 +1,246 @@
+//! Overlap-hazard detection: the bug classes that make a pipelined schedule
+//! silently wrong on a real MPI machine.
+//!
+//! Cools & Vanroose observed that pipelined CG variants are easy to break in
+//! ways a single-rank run cannot see: reading the result buffer of an
+//! `MPI_Iallreduce` before its `MPI_Wait` returns the *rank-local partial
+//! sum* — identical to the true sum on one rank, garbage on `P > 1`; and
+//! overwriting a send buffer while the reduction is in flight corrupts the
+//! sum on some MPI implementations and not others. Both are pure schedule
+//! properties, so they are detected here statically from the trace, with no
+//! timing model involved.
+//!
+//! Ownership model for write-after-post: the buffers a pending reduction
+//! still owns are exactly the inputs of the dot products computed since the
+//! previous reduction event (those partial sums are what was handed to
+//! `MPI_Iallreduce`). Writes to an owned buffer between the post and its
+//! wait are hazards. [`pscg_sim::Op::Mpk`] writes are exempt: the matrix-powers
+//! kernel records one whole-block buffer id, too coarse to distinguish the
+//! basis columns it extends (`s+1..2s`, legal in the window) from the columns
+//! the Gram dots read (`0..s`). The per-column `Spmv`/`Local` path used by
+//! every shipped pipelined method has exact column identities and is checked
+//! in full.
+
+use pscg_sim::{BufId, InflightTracker, LocalKind, Op, OpTrace, ScheduleViolation};
+
+/// One schedule hazard found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hazard {
+    /// The result of reduction `id` was read before its wait — on `P > 1`
+    /// ranks the reader sees a rank-local partial sum.
+    ReadBeforeWait {
+        /// Handle of the in-flight reduction.
+        id: u64,
+        /// Trace index of the premature read.
+        at: usize,
+    },
+    /// A buffer feeding the in-flight reduction `id` was overwritten
+    /// before the wait.
+    WriteAfterPost {
+        /// Handle of the in-flight reduction.
+        id: u64,
+        /// The buffer that was overwritten.
+        buf: BufId,
+        /// Trace index of the post that took ownership.
+        posted_at: usize,
+        /// Trace index of the offending write.
+        write_at: usize,
+    },
+    /// Collective-discipline violation (double post, leaked handle,
+    /// blocking over in-flight, concurrent collectives on one
+    /// communicator).
+    Collective(ScheduleViolation),
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Hazard::ReadBeforeWait { id, at } => write!(
+                f,
+                "op {at}: reduction {id} read before its wait (rank-local partial sum on P > 1)"
+            ),
+            Hazard::WriteAfterPost {
+                id,
+                buf,
+                posted_at,
+                write_at,
+            } => write!(
+                f,
+                "op {write_at}: buffer {buf:?} overwritten while reduction {id} \
+                 (posted at op {posted_at}) is in flight"
+            ),
+            Hazard::Collective(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Scans a trace for every hazard class.
+pub fn detect(trace: &OpTrace) -> Vec<Hazard> {
+    let mut out = Vec::new();
+    let mut tracker = InflightTracker::new();
+    // Inputs of the dot products accumulated since the last reduction
+    // event; the next post takes ownership of them.
+    let mut dot_inputs: Vec<BufId> = Vec::new();
+    // (handle, posted_at, owned buffers) per in-flight reduction.
+    let mut owned: Vec<(u64, usize, Vec<BufId>)> = Vec::new();
+
+    for (i, op) in trace.ops.iter().enumerate() {
+        // Check writes against in-flight ownership before this op can
+        // change the in-flight set (an op never races its own post).
+        if !matches!(op, Op::Mpk { .. }) {
+            for w in op.writes() {
+                for (id, posted_at, bufs) in &owned {
+                    if bufs.contains(&w) {
+                        out.push(Hazard::WriteAfterPost {
+                            id: *id,
+                            buf: w,
+                            posted_at: *posted_at,
+                            write_at: i,
+                        });
+                    }
+                }
+            }
+        }
+        match *op {
+            Op::Local {
+                kind: LocalKind::Dot,
+                reads,
+                ..
+            } => {
+                dot_inputs.extend(reads.iter().copied().filter(|b| b.is_tracked()));
+            }
+            Op::ArPost { id, comm, .. } => {
+                out.extend(
+                    tracker
+                        .post(id, comm, i)
+                        .into_iter()
+                        .map(Hazard::Collective),
+                );
+                owned.push((id, i, std::mem::take(&mut dot_inputs)));
+            }
+            Op::ArWait { id } => {
+                out.extend(tracker.wait(id, i).into_iter().map(Hazard::Collective));
+                owned.retain(|(oid, _, _)| *oid != id);
+            }
+            Op::RedRead { id } => {
+                out.push(Hazard::ReadBeforeWait { id, at: i });
+            }
+            Op::ArBlocking { comm, .. } => {
+                out.extend(
+                    tracker
+                        .blocking(comm, i)
+                        .into_iter()
+                        .map(Hazard::Collective),
+                );
+                // A blocking reduction consumes the pending dot inputs.
+                dot_inputs.clear();
+            }
+            _ => {}
+        }
+    }
+    out.extend(tracker.finish().into_iter().map(Hazard::Collective));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(ops: Vec<Op>) -> OpTrace {
+        let mut t = OpTrace::new(16);
+        for op in ops {
+            t.push(op);
+        }
+        t
+    }
+
+    fn dot(a: u64, b: u64) -> Op {
+        Op::Local {
+            kind: LocalKind::Dot,
+            flops_per_row: 2.0,
+            bytes_per_row: 16.0,
+            reads: [BufId(a), BufId(b)],
+            write: BufId::ANON,
+        }
+    }
+
+    fn write_to(b: u64) -> Op {
+        Op::Local {
+            kind: LocalKind::Vma,
+            flops_per_row: 2.0,
+            bytes_per_row: 24.0,
+            reads: [BufId::ANON, BufId::ANON],
+            write: BufId(b),
+        }
+    }
+
+    #[test]
+    fn clean_pipelined_window_passes() {
+        // Dots on 1,2 → post → window writes buffer 3 → wait.
+        let t = trace(vec![
+            dot(1, 2),
+            Op::post(0, 2),
+            write_to(3),
+            Op::wait(0),
+            write_to(1), // after the wait: fine
+        ]);
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn write_after_post_is_flagged() {
+        let t = trace(vec![dot(1, 2), Op::post(0, 2), write_to(2), Op::wait(0)]);
+        let h = detect(&t);
+        assert_eq!(
+            h,
+            vec![Hazard::WriteAfterPost {
+                id: 0,
+                buf: BufId(2),
+                posted_at: 1,
+                write_at: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn red_read_is_flagged() {
+        let t = trace(vec![Op::post(0, 2), Op::RedRead { id: 0 }, Op::wait(0)]);
+        assert_eq!(detect(&t), vec![Hazard::ReadBeforeWait { id: 0, at: 1 }]);
+    }
+
+    #[test]
+    fn mpk_block_writes_are_exempt() {
+        // The MPK records the whole basis block as both read and write;
+        // flagging it would false-positive every s-step deep-power window.
+        let t = trace(vec![dot(1, 2), Op::post(0, 2), Op::mpk(0, 3), Op::wait(0)]);
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn leaked_post_and_blocking_over_inflight_are_flagged() {
+        let t = trace(vec![Op::post(0, 2), Op::blocking(1)]);
+        let h = detect(&t);
+        assert!(h.iter().any(|h| matches!(
+            h,
+            Hazard::Collective(ScheduleViolation::BlockingOverInflight { .. })
+        )));
+        assert!(h.iter().any(|h| matches!(
+            h,
+            Hazard::Collective(ScheduleViolation::NeverWaited { id: 0, .. })
+        )));
+    }
+
+    #[test]
+    fn blocking_reduction_consumes_dot_inputs() {
+        // Dots reduced by a *blocking* allreduce leave nothing for a later
+        // post to own: the write to buffer 1 is legal.
+        let t = trace(vec![
+            dot(1, 2),
+            Op::blocking(2),
+            Op::post(0, 1),
+            write_to(1),
+            Op::wait(0),
+        ]);
+        assert!(detect(&t).is_empty());
+    }
+}

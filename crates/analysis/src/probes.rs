@@ -1,0 +1,142 @@
+//! Debug-mode numerical probes over the recorded residual history.
+//!
+//! These complement the live probes in `SimCtx::enable_probes` (which panic
+//! at the moment of corruption): here the same conditions are checked
+//! after the fact, over a finished trace, so the analyzer can report them
+//! alongside schedule hazards instead of aborting the run.
+
+use pscg_sim::{Op, OpTrace};
+
+/// A numerical red flag in the residual history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeFinding {
+    /// A convergence check saw a NaN or infinite relative residual.
+    NonFiniteResidual {
+        /// Trace index of the offending `ResCheck`.
+        at: usize,
+        /// The recorded value.
+        relres: f64,
+    },
+    /// The best residual seen did not improve for `window` consecutive
+    /// convergence checks — the monotone-stagnation signature of a
+    /// corrupted recurrence (or of a genuinely stalled Krylov process;
+    /// the probe cannot tell these apart, which is why findings are
+    /// reported, not treated as hazards).
+    Stagnation {
+        /// Trace index of the check that completed the stagnant window.
+        at: usize,
+        /// Number of consecutive non-improving checks.
+        window: usize,
+        /// Best relative residual at that point.
+        best: f64,
+    },
+}
+
+impl std::fmt::Display for ProbeFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeFinding::NonFiniteResidual { at, relres } => {
+                write!(f, "op {at}: non-finite relative residual {relres}")
+            }
+            ProbeFinding::Stagnation { at, window, best } => write!(
+                f,
+                "op {at}: best residual {best:.3e} unimproved for {window} checks"
+            ),
+        }
+    }
+}
+
+/// Scans the `ResCheck` stream of a trace. `stagnation_window` is the
+/// number of consecutive non-improving checks that counts as stagnation;
+/// after a finding the counter resets, so a long stall yields one finding
+/// per full window rather than one per check.
+pub fn scan(trace: &OpTrace, stagnation_window: usize) -> Vec<ProbeFinding> {
+    assert!(stagnation_window > 0, "stagnation window must be positive");
+    let mut out = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut stale = 0usize;
+    for (i, op) in trace.ops.iter().enumerate() {
+        let relres = match *op {
+            Op::ResCheck { relres } => relres,
+            _ => continue,
+        };
+        if !relres.is_finite() {
+            out.push(ProbeFinding::NonFiniteResidual { at: i, relres });
+            continue;
+        }
+        if relres < best {
+            best = relres;
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= stagnation_window {
+                out.push(ProbeFinding::Stagnation {
+                    at: i,
+                    window: stale,
+                    best,
+                });
+                stale = 0;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(residuals: &[f64]) -> OpTrace {
+        let mut t = OpTrace::new(8);
+        for &r in residuals {
+            t.push(Op::ResCheck { relres: r });
+        }
+        t
+    }
+
+    #[test]
+    fn converging_history_is_clean() {
+        let t = trace_of(&[1.0, 0.5, 0.6, 0.4, 0.1]);
+        assert!(scan(&t, 3).is_empty());
+    }
+
+    #[test]
+    fn nan_and_inf_are_reported() {
+        let t = trace_of(&[1.0, f64::NAN, f64::INFINITY, 0.5]);
+        let f = scan(&t, 10);
+        assert_eq!(f.len(), 2);
+        assert!(matches!(
+            f[0],
+            ProbeFinding::NonFiniteResidual { at: 1, .. }
+        ));
+        assert!(matches!(
+            f[1],
+            ProbeFinding::NonFiniteResidual { at: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn stagnation_fires_once_per_window() {
+        // 1 improving check, then 6 flat ones: windows of 3 fire at the
+        // 3rd and 6th flat check.
+        let t = trace_of(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let f = scan(&t, 3);
+        assert_eq!(f.len(), 2);
+        assert!(matches!(
+            f[0],
+            ProbeFinding::Stagnation {
+                at: 3,
+                window: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            f[1],
+            ProbeFinding::Stagnation {
+                at: 6,
+                window: 3,
+                ..
+            }
+        ));
+    }
+}

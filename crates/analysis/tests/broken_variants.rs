@@ -1,0 +1,86 @@
+//! Tier-1 acceptance: the analyzer must flag each deliberately broken
+//! PIPE-sCG variant — every one of which converges bit-identically to the
+//! correct solver on a single rank, so no numerical test can catch it.
+
+use pipescg::methods::pipe_scg::broken::{self, BrokenMode};
+use pipescg::methods::MethodKind;
+use pipescg::solver::SolveOptions;
+use pscg_analysis::{analyze, verify, Hazard, StructureViolation};
+use pscg_precond::Jacobi;
+use pscg_sim::{Layout, MatrixProfile, OpTrace, SimCtx};
+use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+const S: usize = 4;
+
+fn traced_broken_run(mode: BrokenMode) -> OpTrace {
+    let g = Grid3::cube(8);
+    let a = poisson3d_7pt(g, None);
+    let b = a.mul_vec(&vec![1.0; a.nrows()]);
+    let prof = MatrixProfile::stencil3d(8, 8, 8, 1, a.nnz(), Layout::Box);
+    let mut ctx = SimCtx::traced(&a, Box::new(Jacobi::new(&a)), prof);
+    let opts = SolveOptions::with_rtol(1e-6).with_s(S);
+    let res = broken::solve(&mut ctx, &b, None, &opts, mode);
+    // The whole point: the broken schedule still converges on one rank.
+    assert!(res.converged(), "{mode:?} run failed to converge");
+    ctx.take_trace().unwrap()
+}
+
+#[test]
+fn read_before_wait_is_flagged_as_hazard() {
+    let trace = traced_broken_run(BrokenMode::ReadBeforeWait);
+    let report = analyze(&trace);
+    assert!(
+        report
+            .hazards
+            .iter()
+            .any(|h| matches!(h, Hazard::ReadBeforeWait { .. })),
+        "expected a read-before-wait hazard, got {:?}",
+        report.hazards
+    );
+}
+
+#[test]
+fn write_into_posted_dot_input_is_flagged_as_hazard() {
+    let trace = traced_broken_run(BrokenMode::WritesDotInput);
+    let report = analyze(&trace);
+    assert!(
+        report
+            .hazards
+            .iter()
+            .any(|h| matches!(h, Hazard::WriteAfterPost { .. })),
+        "expected a write-after-post hazard, got {:?}",
+        report.hazards
+    );
+}
+
+#[test]
+fn hoisted_wait_is_flagged_as_empty_window() {
+    // Hoisting the wait is not a correctness hazard — it is a structure
+    // violation: the Table I overlap window exists in name only.
+    let trace = traced_broken_run(BrokenMode::WaitHoisted);
+    assert!(analyze(&trace).is_clean(), "hoisted wait is not a hazard");
+    let violations = verify(&trace, MethodKind::PipeScg, S);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, StructureViolation::WindowShape { got: (0, 0), .. })),
+        "expected empty-window violations, got {violations:?}"
+    );
+}
+
+#[test]
+fn correct_variant_passes_the_same_checks() {
+    // Control: the real PIPE-sCG solver, same problem and options, is
+    // clean under both the hazard and the structure pass.
+    let g = Grid3::cube(8);
+    let a = poisson3d_7pt(g, None);
+    let b = a.mul_vec(&vec![1.0; a.nrows()]);
+    let prof = MatrixProfile::stencil3d(8, 8, 8, 1, a.nnz(), Layout::Box);
+    let mut ctx = SimCtx::traced(&a, Box::new(Jacobi::new(&a)), prof);
+    let opts = SolveOptions::with_rtol(1e-6).with_s(S);
+    let res = pipescg::methods::pipe_scg::solve(&mut ctx, &b, None, &opts);
+    assert!(res.converged());
+    let trace = ctx.take_trace().unwrap();
+    assert!(analyze(&trace).is_clean());
+    assert!(verify(&trace, MethodKind::PipeScg, S).is_empty());
+}

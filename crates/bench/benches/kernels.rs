@@ -1,66 +1,52 @@
-//! Criterion micro-benchmarks of the computational kernels the paper's cost
-//! analysis is built from: SpMV (by stencil), dot products, VMAs, the block
+//! Micro-benchmarks of the computational kernels the paper's cost analysis
+//! is built from: SpMV (by stencil), dot products, VMAs, the block
 //! recurrence linear combinations, Gram products, the s×s LU scalar work and
-//! the preconditioner applications.
+//! the preconditioner applications. Uses the internal harness in
+//! [`pscg_bench::microbench`] (the environment has no criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 
+use pscg_bench::microbench::Group;
 use pscg_precond::{Jacobi, Ssor};
 use pscg_sparse::dense::DenseMatrix;
 use pscg_sparse::op::Operator;
 use pscg_sparse::stencil::{poisson3d_125pt, poisson3d_27pt, poisson3d_7pt, Grid3};
 use pscg_sparse::{kernels, MultiVector};
 
-fn bench_spmv(c: &mut Criterion) {
+fn bench_spmv() {
     let g = Grid3::cube(32);
     let mats = [
         ("7pt", poisson3d_7pt(g, None)),
         ("27pt", poisson3d_27pt(g)),
         ("125pt", poisson3d_125pt(g)),
     ];
-    let mut group = c.benchmark_group("spmv_32cube");
+    let group = Group::new("spmv_32cube");
     for (name, a) in &mats {
         let x = vec![1.0; a.nrows()];
         let mut y = vec![0.0; a.nrows()];
-        group.throughput(Throughput::Elements(a.nnz() as u64));
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| a.spmv(std::hint::black_box(&x), std::hint::black_box(&mut y)));
+        group.bench(name, a.nnz() as u64, || {
+            a.spmv(black_box(&x), black_box(&mut y))
         });
     }
-    group.finish();
 }
 
-fn bench_vector_ops(c: &mut Criterion) {
+fn bench_vector_ops() {
     let n = 1 << 18;
     let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
     let mut y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
-    let mut group = c.benchmark_group("vector_ops");
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("dot", |b| {
-        b.iter(|| kernels::dot(std::hint::black_box(&x), std::hint::black_box(&y)))
+    let group = Group::new("vector_ops");
+    group.bench("dot", n as u64, || {
+        black_box(kernels::dot(black_box(&x), black_box(&y)));
     });
-    group.bench_function("axpy", |b| {
-        b.iter(|| {
-            kernels::axpy(
-                1.0001,
-                std::hint::black_box(&x),
-                std::hint::black_box(&mut y),
-            )
-        })
+    group.bench("axpy", n as u64, || {
+        kernels::axpy(1.0001, black_box(&x), black_box(&mut y))
     });
-    group.bench_function("aypx", |b| {
-        b.iter(|| {
-            kernels::aypx(
-                0.9999,
-                std::hint::black_box(&x),
-                std::hint::black_box(&mut y),
-            )
-        })
+    group.bench("aypx", n as u64, || {
+        kernels::aypx(0.9999, black_box(&x), black_box(&mut y))
     });
-    group.finish();
 }
 
-fn bench_block_ops(c: &mut Criterion) {
+fn bench_block_ops() {
     // The recurrence LCs of the s-step methods at s = 3.
     let n = 1 << 16;
     let s = 3;
@@ -72,30 +58,23 @@ fn bench_block_ops(c: &mut Criterion) {
         MultiVector::from_columns(&cols.iter().map(|c| c.as_slice()).collect::<Vec<_>>())
     };
     let bmat = DenseMatrix::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6], &[0.7, 0.8, 0.9]]);
-    let mut group = c.benchmark_group("block_ops_s3");
-    group.throughput(Throughput::Elements((n * s) as u64));
-    group.bench_function("add_mul", |b| {
-        b.iter(|| xb.add_mul(std::hint::black_box(&yb), std::hint::black_box(&bmat)))
+    let group = Group::new("block_ops_s3");
+    group.bench("add_mul", (n * s) as u64, || {
+        xb.add_mul(black_box(&yb), black_box(&bmat))
     });
-    group.bench_function("gram", |b| {
-        b.iter(|| std::hint::black_box(&yb).gram(std::hint::black_box(&yb)))
+    group.bench("gram", (n * s) as u64, || {
+        black_box(black_box(&yb).gram(black_box(&yb)));
     });
     let v = vec![1.0; n];
-    group.bench_function("gemv_acc", |b| {
-        let mut y = v.clone();
-        b.iter(|| {
-            yb.gemv_acc(
-                std::hint::black_box(&[0.1, 0.2, 0.3]),
-                std::hint::black_box(&mut y),
-            )
-        })
+    let mut y = v.clone();
+    group.bench("gemv_acc", (n * s) as u64, || {
+        yb.gemv_acc(black_box(&[0.1, 0.2, 0.3]), black_box(&mut y))
     });
-    group.finish();
 }
 
-fn bench_scalar_work(c: &mut Criterion) {
+fn bench_scalar_work() {
     // The two s×s LU solves per s-step iteration.
-    let mut group = c.benchmark_group("scalar_work_lu");
+    let group = Group::new("scalar_work_lu");
     for s in [2usize, 3, 4, 5, 8] {
         let mut w = DenseMatrix::identity(s);
         for i in 0..s {
@@ -104,49 +83,42 @@ fn bench_scalar_work(c: &mut Criterion) {
             }
         }
         let rhs = vec![1.0; s];
-        group.bench_function(BenchmarkId::from_parameter(s), |b| {
-            b.iter(|| {
-                let f = std::hint::black_box(&w).lu().unwrap();
-                std::hint::black_box(f.solve(&rhs));
-            })
+        group.bench(&format!("s={s}"), 0, || {
+            let f = black_box(&w).lu().unwrap();
+            black_box(f.solve(&rhs));
         });
     }
-    group.finish();
 }
 
-fn bench_preconditioners(c: &mut Criterion) {
+fn bench_preconditioners() {
     let g = Grid3::cube(24);
     let a = poisson3d_7pt(g, None);
     let n = a.nrows();
     let r = vec![1.0; n];
     let mut u = vec![0.0; n];
-    let mut group = c.benchmark_group("pc_apply_24cube");
-    group.throughput(Throughput::Elements(n as u64));
+    let group = Group::new("pc_apply_24cube");
     let mut jac = Jacobi::new(&a);
-    group.bench_function("jacobi", |b| {
-        b.iter(|| jac.apply(std::hint::black_box(&r), std::hint::black_box(&mut u)))
+    group.bench("jacobi", n as u64, || {
+        jac.apply(black_box(&r), black_box(&mut u))
     });
     let mut sor = Ssor::new(&a, 1.0);
-    group.bench_function("ssor", |b| {
-        b.iter(|| sor.apply(std::hint::black_box(&r), std::hint::black_box(&mut u)))
+    group.bench("ssor", n as u64, || {
+        sor.apply(black_box(&r), black_box(&mut u))
     });
     let mut mg = pscg_precond::multigrid::gmg(&a, g);
-    group.bench_function("gmg_vcycle", |b| {
-        b.iter(|| mg.apply(std::hint::black_box(&r), std::hint::black_box(&mut u)))
+    group.bench("gmg_vcycle", n as u64, || {
+        mg.apply(black_box(&r), black_box(&mut u))
     });
     let mut ga = pscg_precond::multigrid::gamg(&a);
-    group.bench_function("gamg_vcycle", |b| {
-        b.iter(|| ga.apply(std::hint::black_box(&r), std::hint::black_box(&mut u)))
+    group.bench("gamg_vcycle", n as u64, || {
+        ga.apply(black_box(&r), black_box(&mut u))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_spmv,
-    bench_vector_ops,
-    bench_block_ops,
-    bench_scalar_work,
-    bench_preconditioners
-);
-criterion_main!(benches);
+fn main() {
+    bench_spmv();
+    bench_vector_ops();
+    bench_block_ops();
+    bench_scalar_work();
+    bench_preconditioners();
+}

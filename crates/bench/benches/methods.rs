@@ -1,5 +1,6 @@
-//! Criterion benchmarks of whole solves: every method of the paper's
-//! comparison on a fixed small Poisson problem (single-core wall time).
+//! Benchmarks of whole solves: every method of the paper's comparison on a
+//! fixed small Poisson problem (single-core wall time), on the internal
+//! harness in [`pscg_bench::microbench`].
 //!
 //! These measure the *computational* cost per method — the FLOPs column of
 //! Table I made concrete — complementing the machine-model replay that
@@ -7,10 +8,11 @@
 //! FLOP-hungry here (4s³+12s²+… per s steps) while winning the replayed
 //! scaling runs; both facts together reproduce the paper's trade-off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use pipescg::methods::MethodKind;
 use pipescg::solver::SolveOptions;
+use pscg_bench::microbench::Group;
 use pscg_precond::Jacobi;
 use pscg_sim::SimCtx;
 use pscg_sparse::stencil::{poisson3d_27pt, Grid3};
@@ -23,15 +25,14 @@ fn problem() -> (CsrMatrix, Vec<f64>) {
     (a, b)
 }
 
-fn bench_methods(c: &mut Criterion) {
+fn bench_methods() {
     let (a, b) = problem();
     let opts = SolveOptions {
         rtol: 1e-5,
         s: 3,
         ..Default::default()
     };
-    let mut group = c.benchmark_group("solve_to_1e-5_27pt_16cube");
-    group.sample_size(10);
+    let group = Group::new("solve_to_1e-5_27pt_16cube").sample_seconds(0.2);
     for m in [
         MethodKind::Pcg,
         MethodKind::Pipecg,
@@ -44,72 +45,59 @@ fn bench_methods(c: &mut Criterion) {
         MethodKind::PipePscg,
         MethodKind::Hybrid,
     ] {
-        group.bench_function(BenchmarkId::from_parameter(m.name()), |bch| {
-            bch.iter(|| {
-                let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
-                let res = m.solve(&mut ctx, std::hint::black_box(&b), None, &opts);
-                assert!(res.converged(), "{} failed to converge", m.name());
-                res.iterations
-            })
+        group.bench(m.name(), 0, || {
+            let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+            let res = m.solve(&mut ctx, black_box(&b), None, &opts);
+            assert!(res.converged(), "{} failed to converge", m.name());
+            black_box(res.iterations);
         });
     }
-    group.finish();
 }
 
-fn bench_s_values(c: &mut Criterion) {
+fn bench_s_values() {
     // Computational overhead of growing s (the FLOPS column trend).
     let (a, b) = problem();
-    let mut group = c.benchmark_group("pipe_pscg_by_s");
-    group.sample_size(10);
+    let group = Group::new("pipe_pscg_by_s").sample_seconds(0.2);
     for s in [1usize, 2, 3, 4, 5] {
         let opts = SolveOptions {
             rtol: 1e-5,
             s,
             ..Default::default()
         };
-        group.bench_function(BenchmarkId::from_parameter(s), |bch| {
-            bch.iter(|| {
-                let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
-                let res = MethodKind::PipePscg.solve(&mut ctx, &b, None, &opts);
-                assert!(res.converged());
-                res.iterations
-            })
+        group.bench(&format!("s={s}"), 0, || {
+            let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+            let res = MethodKind::PipePscg.solve(&mut ctx, &b, None, &opts);
+            assert!(res.converged());
+            black_box(res.iterations);
         });
     }
-    group.finish();
 }
 
-fn bench_unpreconditioned(c: &mut Criterion) {
+fn bench_unpreconditioned() {
     let (a, b) = problem();
     let opts = SolveOptions {
         rtol: 1e-5,
         s: 3,
         ..Default::default()
     };
-    let mut group = c.benchmark_group("unpreconditioned_27pt_16cube");
-    group.sample_size(10);
+    let group = Group::new("unpreconditioned_27pt_16cube").sample_seconds(0.2);
     for m in [
         MethodKind::Pcg,
         MethodKind::Scg,
         MethodKind::ScgSspmv,
         MethodKind::PipeScg,
     ] {
-        group.bench_function(BenchmarkId::from_parameter(m.name()), |bch| {
-            bch.iter(|| {
-                let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(a.nrows())));
-                let res = m.solve(&mut ctx, &b, None, &opts);
-                assert!(res.converged());
-                res.iterations
-            })
+        group.bench(m.name(), 0, || {
+            let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(a.nrows())));
+            let res = m.solve(&mut ctx, &b, None, &opts);
+            assert!(res.converged());
+            black_box(res.iterations);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_methods,
-    bench_s_values,
-    bench_unpreconditioned
-);
-criterion_main!(benches);
+fn main() {
+    bench_methods();
+    bench_s_values();
+    bench_unpreconditioned();
+}

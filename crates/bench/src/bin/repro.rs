@@ -1,27 +1,91 @@
 //! Paper-reproduction driver.
 //!
 //! ```text
-//! repro [--scale ci|small|paper] <experiment>...
+//! repro [--scale ci|small|paper] [--verify-schedule] <experiment>...
 //! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 ablation-progress crossover mpk all
 //! ```
 //!
 //! Results are printed as markdown and written to `results/<id>.csv`.
 //! `fig5` implies running `fig1`'s solves first (it replays the same
 //! traces at 80 nodes).
+//!
+//! `--verify-schedule` runs the static communication-schedule analyzer
+//! (`pscg-analysis`) over every method's trace before the experiments:
+//! overlap hazards or Table I structure violations abort with exit 1.
+//! With no experiments named, the flag runs the verification alone.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use pscg_bench::experiments;
-use pscg_bench::Scale;
-use pscg_sim::Machine;
+use pipescg::methods::MethodKind;
+use pipescg::solver::SolveOptions;
+use pscg_bench::problems;
+use pscg_bench::{experiments, Scale};
+use pscg_precond::Jacobi;
+use pscg_sim::{Machine, SimCtx};
+
+/// Runs the static analyzer over every method's trace on the scale's
+/// Poisson problem. Returns false when any hazard or structure violation
+/// is found.
+fn verify_schedules(scale: &Scale) -> bool {
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let s = 4;
+    println!("\n## Schedule verification ({}, s = {s})\n", p.name);
+    println!("| method | ops | windows | hazards | structure |");
+    println!("|---|---|---|---|---|");
+    let mut clean = true;
+    for method in [
+        MethodKind::Pcg,
+        MethodKind::Pipecg,
+        MethodKind::Pipecg3,
+        MethodKind::PipecgOati,
+        MethodKind::Scg,
+        MethodKind::ScgSspmv,
+        MethodKind::Pscg,
+        MethodKind::PipeScg,
+        MethodKind::PipePscg,
+        MethodKind::Hybrid,
+        MethodKind::Cg3,
+    ] {
+        let mut ctx = SimCtx::traced(&p.a, Box::new(Jacobi::new(&p.a)), p.profile.clone());
+        let opts = SolveOptions {
+            rtol: p.rtol,
+            s,
+            max_iters: scale.max_iters,
+            ..Default::default()
+        };
+        method.solve(&mut ctx, &b, None, &opts);
+        let trace = ctx.take_trace().expect("tracing was enabled");
+        let report = pscg_analysis::analyze(&trace);
+        let violations = pscg_analysis::verify(&trace, method, s);
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            method.name(),
+            trace.ops.len(),
+            report.windows.len(),
+            report.hazards.len(),
+            violations.len()
+        );
+        for h in &report.hazards {
+            eprintln!("[verify-schedule] {}: {h}", method.name());
+        }
+        for v in &violations {
+            eprintln!("[verify-schedule] {}: {v}", method.name());
+        }
+        clean &= report.is_clean() && violations.is_empty();
+    }
+    clean
+}
 
 fn main() {
     let mut scale = Scale::from_env();
     let mut wanted: Vec<String> = Vec::new();
+    let mut verify_schedule = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--verify-schedule" => verify_schedule = true,
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = match v.as_str() {
@@ -36,7 +100,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale ci|small|paper] <experiment>...\n\
+                    "usage: repro [--scale ci|small|paper] [--verify-schedule] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
                 );
@@ -45,7 +109,7 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() {
+    if wanted.is_empty() && !verify_schedule {
         wanted.push("all".to_string());
     }
     const KNOWN: [&str; 11] = [
@@ -78,6 +142,10 @@ fn main() {
     );
 
     let t0 = Instant::now();
+    if verify_schedule && !verify_schedules(&scale) {
+        eprintln!("[repro] schedule verification FAILED");
+        std::process::exit(1);
+    }
     if want("table1") {
         experiments::table1(3).emit(&results);
         experiments::table1(5).emit(&results);

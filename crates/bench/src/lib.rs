@@ -16,6 +16,7 @@
 //! `paper` scale is tractable on one core.
 
 pub mod experiments;
+pub mod microbench;
 pub mod problems;
 pub mod report;
 pub mod scale;

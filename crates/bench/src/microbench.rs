@@ -1,0 +1,109 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The offline build environment has no access to crates.io, so the bench
+//! targets cannot use criterion. This module provides the small subset the
+//! repo needs: per-iteration timing with warmup, median-of-samples
+//! reporting, and optional element throughput — enough to compare kernels
+//! and whole solves run to run. Output is one markdown-ish line per case so
+//! `cargo bench` logs diff cleanly.
+
+use std::time::Instant;
+
+/// Number of timed samples per case.
+const SAMPLES: usize = 7;
+
+/// One benchmark group, printed as a markdown table section.
+pub struct Group {
+    name: String,
+    /// Minimum time to spend per sample, seconds.
+    sample_seconds: f64,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Self {
+        println!("\n## {name}\n");
+        println!("| case | median | per-elem | iters/sample |");
+        println!("|---|---|---|---|");
+        Group {
+            name: name.to_string(),
+            sample_seconds: 0.05,
+        }
+    }
+
+    /// Overrides the per-sample time budget (default 50 ms).
+    pub fn sample_seconds(mut self, secs: f64) -> Self {
+        self.sample_seconds = secs;
+        self
+    }
+
+    /// Times `f`, printing a row. `elements` scales the per-element column
+    /// (pass 0 to omit it).
+    pub fn bench<F: FnMut()>(&self, case: &str, elements: u64, mut f: F) {
+        // Warmup + calibration: find an iteration count filling the budget.
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((self.sample_seconds / once).ceil() as usize).clamp(1, 1_000_000);
+
+        let mut samples = [0.0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            *s = t.elapsed().as_secs_f64() / iters as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[SAMPLES / 2];
+        let per_elem = if elements > 0 {
+            format!("{:.3} ns", median * 1e9 / elements as f64)
+        } else {
+            "—".to_string()
+        };
+        println!(
+            "| {case} | {} | {per_elem} | {iters} |",
+            format_time(median)
+        );
+    }
+
+    /// The group's name (for cross-referencing in logs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Formats a duration in engineer-friendly units.
+pub fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u64;
+        let g = Group::new("selftest").sample_seconds(0.001);
+        g.bench("counter", 0, || count += 1);
+        assert!(count > 0);
+        assert_eq!(g.name(), "selftest");
+    }
+}

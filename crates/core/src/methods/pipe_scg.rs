@@ -179,6 +179,208 @@ fn solve_inner<C: Context>(
     }
 }
 
+/// Deliberately mis-scheduled PIPE-sCG variants.
+///
+/// Each reproduces a real bug class of pipelined-CG implementations while
+/// keeping the *serial* numerics bit-identical to the correct method — which
+/// is exactly why such bugs ship: every single-rank test passes. They exist
+/// so the `pscg-analysis` schedule analyzer can prove it detects them from
+/// the trace alone. Gated out of production builds; the `broken-variants`
+/// feature exists so other crates' test suites can reach them.
+#[cfg(any(test, feature = "broken-variants"))]
+pub mod broken {
+    use super::*;
+    use pscg_sim::ReduceHandle;
+
+    /// Which scheduling mistake to inject.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BrokenMode {
+        /// The wait is hoisted directly after the post: the deep powers no
+        /// longer overlap the allreduce, so the pipeline silently serializes
+        /// (the Table I overlap window is empty).
+        WaitHoisted,
+        /// The reduction result is consumed via `peek_pending` before the
+        /// wait: on one rank the values coincide with the reduced ones, on
+        /// `P > 1` every rank computes with different partial sums.
+        ReadBeforeWait,
+        /// A buffer that fed the pending reduction's dot products is
+        /// written inside the overlap window (a "redundant" normalization
+        /// of the basis head — numerically a no-op at factor 1.0).
+        WritesDotInput,
+    }
+
+    enum PendingRed {
+        InFlight(ReduceHandle),
+        Done(Vec<f64>),
+    }
+
+    /// PIPE-sCG with the scheduling bug selected by `mode`. Converges to the
+    /// same solution as [`super::solve`] on one rank.
+    pub fn solve<C: Context>(
+        ctx: &mut C,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+        mode: BrokenMode,
+    ) -> SolveResult {
+        let s = opts.s.min(ctx.nrows().max(1));
+        assert!(s >= 1, "PIPE-sCG requires s >= 1");
+        let bnorm = global_ref_norm(ctx, b, opts);
+        let threshold = opts.threshold(bnorm);
+        let (mut x, r) = init_residual(ctx, b, x0);
+
+        let mut pow = ctx.alloc_multi(2 * s + 1);
+        let mut pow_next = ctx.alloc_multi(2 * s + 1);
+        pow.col_mut(0).copy_from_slice(&r);
+        {
+            let (src, dst) = pow.col_pair_mut(0, 1);
+            ctx.spmv(src, dst);
+        }
+        let sigma = estimate_sigma(ctx, pow.col(0), pow.col(1));
+        ctx.scale_v(sigma, pow.col_mut(1));
+        extend_scaled_powers(ctx, &mut pow, 1, s, sigma);
+
+        let dirs0 = ctx.alloc_multi(s);
+        let pkt = GramPacket::assemble(ctx, s, &pow, &pow, &dirs0);
+        let mut pending = post(ctx, &pkt.pack(), mode);
+        if mode == BrokenMode::WritesDotInput {
+            ctx.scale_v(1.0, pow.col_mut(0));
+        }
+        extend_scaled_powers(ctx, &mut pow, s, 2 * s, sigma);
+
+        let mut dirs = dirs0;
+        let mut dirs_next = ctx.alloc_multi(s);
+        let mut apow: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+        let mut apow_next: Vec<MultiVector> = (0..=s).map(|_| ctx.alloc_multi(s)).collect();
+
+        let mut scalar = ScalarWork::new(s);
+        let mut history: Vec<f64> = Vec::new();
+        let mut iters = 0usize;
+        let stop;
+
+        loop {
+            let red = match pending {
+                PendingRed::Done(v) => v,
+                PendingRed::InFlight(h) => {
+                    if mode == BrokenMode::ReadBeforeWait {
+                        let v = ctx.peek_pending(&h);
+                        ctx.wait(h);
+                        v
+                    } else {
+                        ctx.wait(h)
+                    }
+                }
+            };
+            let pkt = GramPacket::unpack(s, &red);
+
+            let relres = opts
+                .norm
+                .pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2])
+                .max(0.0)
+                .sqrt()
+                / bnorm;
+            history.push(relres);
+            ctx.note_residual(relres);
+            if relres * bnorm < threshold {
+                stop = StopReason::Converged;
+                break;
+            }
+            if iters >= opts.max_iters {
+                stop = StopReason::MaxIterations;
+                break;
+            }
+            if !relres.is_finite() || relres > 1e8 {
+                stop = StopReason::Breakdown;
+                break;
+            }
+            if scalar.step(ctx, &pkt).is_err() {
+                stop = StopReason::Breakdown;
+                break;
+            }
+
+            conjugate_window(ctx, &mut dirs_next, &pow, 0, &dirs, &scalar.b);
+            for j in 0..=s {
+                conjugate_window(ctx, &mut apow_next[j], &pow, j + 1, &apow[j], &scalar.b);
+            }
+            std::mem::swap(&mut dirs, &mut dirs_next);
+            std::mem::swap(&mut apow, &mut apow_next);
+
+            let alpha_x: Vec<f64> = scalar.alpha.iter().map(|a| a * sigma).collect();
+            ctx.block_gemv_acc(&dirs, &alpha_x, &mut x);
+
+            for j in 0..=s {
+                ctx.copy_v(pow.col(j), pow_next.col_mut(j));
+                ctx.block_gemv_sub(&apow[j], &scalar.alpha, pow_next.col_mut(j));
+            }
+
+            let pkt = GramPacket::assemble(ctx, s, &pow_next, &pow_next, &dirs);
+            pending = post(ctx, &pkt.pack(), mode);
+            if mode == BrokenMode::WritesDotInput {
+                ctx.scale_v(1.0, pow_next.col_mut(0));
+            }
+            extend_scaled_powers(ctx, &mut pow_next, s, 2 * s, sigma);
+
+            std::mem::swap(&mut pow, &mut pow_next);
+            iters += s;
+        }
+
+        SolveResult {
+            x,
+            iterations: iters,
+            stop,
+            final_relres: history.last().copied().unwrap_or(f64::NAN),
+            history,
+            counters: *ctx.counters(),
+            method: "PIPE-sCG(broken)",
+        }
+    }
+
+    fn post<C: Context>(ctx: &mut C, vals: &[f64], mode: BrokenMode) -> PendingRed {
+        let h = ctx.iallreduce(vals);
+        if mode == BrokenMode::WaitHoisted {
+            // The bug: completing the reduction before doing the overlap
+            // work it was supposed to hide behind.
+            PendingRed::Done(ctx.wait(h))
+        } else {
+            PendingRed::InFlight(h)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use pscg_sim::SimCtx;
+        use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+        use pscg_sparse::IdentityOp;
+
+        #[test]
+        fn broken_variants_still_converge_on_one_rank() {
+            // The whole point: serial numerics cannot tell the bugs apart.
+            let g = Grid3::cube(6);
+            let a = poisson3d_7pt(g, None);
+            let b = a.mul_vec(&vec![1.0; a.nrows()]);
+            let opts = SolveOptions {
+                rtol: 1e-7,
+                s: 3,
+                ..Default::default()
+            };
+            let mut c0 = SimCtx::serial(&a, Box::new(IdentityOp::new(a.nrows())));
+            let good = super::super::solve(&mut c0, &b, None, &opts);
+            for mode in [
+                BrokenMode::WaitHoisted,
+                BrokenMode::ReadBeforeWait,
+                BrokenMode::WritesDotInput,
+            ] {
+                let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(a.nrows())));
+                let res = solve(&mut ctx, &b, None, &opts, mode);
+                assert!(res.converged(), "{mode:?}");
+                assert_eq!(res.iterations, good.iterations, "{mode:?}");
+                assert_eq!(res.x, good.x, "{mode:?}");
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

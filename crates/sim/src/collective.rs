@@ -17,6 +17,168 @@
 
 use crate::machine::Machine;
 
+/// Identity of a communicator a collective runs on.
+///
+/// The simulator currently issues every reduction on [`CommId::WORLD`], but
+/// the trace records the communicator explicitly so the schedule analyzer
+/// can express (and future multi-communicator methods can exercise) the MPI
+/// rule that two collectives on the *same* communicator must be posted in
+/// the same order on every rank and may not race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommId(pub u32);
+
+impl CommId {
+    /// The world communicator (all ranks), MPI_COMM_WORLD.
+    pub const WORLD: CommId = CommId(0);
+}
+
+/// A violation of non-blocking collective discipline detected while feeding
+/// a trace's collectives through an [`InflightTracker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// Two posts with the same handle without an intervening wait.
+    DoublePost {
+        /// Offending handle.
+        id: u64,
+        /// Trace index of the second post.
+        at: usize,
+    },
+    /// A wait for a handle that was never posted (or already completed).
+    WaitWithoutPost {
+        /// Offending handle.
+        id: u64,
+        /// Trace index of the wait.
+        at: usize,
+    },
+    /// A non-blocking collective posted but never waited on.
+    NeverWaited {
+        /// Leaked handle.
+        id: u64,
+        /// Trace index of the post.
+        posted_at: usize,
+    },
+    /// A blocking collective issued on a communicator with a non-blocking
+    /// collective still in flight: MPI orders collectives per communicator,
+    /// so the blocking call cannot overtake the pending one — the "overlap"
+    /// the schedule promises is silently serialized.
+    BlockingOverInflight {
+        /// Handle of the pending non-blocking collective.
+        pending: u64,
+        /// Trace index of the blocking call.
+        at: usize,
+    },
+    /// Two non-blocking collectives in flight simultaneously on the same
+    /// communicator. Legal MPI, but the second queues behind the first, so
+    /// a schedule relying on both progressing concurrently is wrong.
+    ConcurrentOnComm {
+        /// Handle posted first.
+        first: u64,
+        /// Handle posted while `first` was still pending.
+        second: u64,
+        /// Trace index of the second post.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::DoublePost { id, at } => {
+                write!(f, "handle {id} posted twice (second post at op {at})")
+            }
+            ScheduleViolation::WaitWithoutPost { id, at } => {
+                write!(f, "wait at op {at} for handle {id} that is not in flight")
+            }
+            ScheduleViolation::NeverWaited { id, posted_at } => {
+                write!(
+                    f,
+                    "allreduce {id} posted at op {posted_at} but never waited"
+                )
+            }
+            ScheduleViolation::BlockingOverInflight { pending, at } => write!(
+                f,
+                "blocking allreduce at op {at} while allreduce {pending} is in flight \
+                 on the same communicator"
+            ),
+            ScheduleViolation::ConcurrentOnComm { first, second, at } => write!(
+                f,
+                "allreduce {second} posted at op {at} while {first} is still in flight \
+                 on the same communicator"
+            ),
+        }
+    }
+}
+
+/// Tracks the set of posted-but-unwaited non-blocking collectives per
+/// communicator, reporting discipline violations as they appear.
+///
+/// This is the communication half of the happens-before bookkeeping: the
+/// schedule analyzer feeds every [`crate::Op::ArPost`]/[`crate::Op::ArWait`]/
+/// [`crate::Op::ArBlocking`] of a trace through one tracker and collects the
+/// violations; [`InflightTracker::finish`] flushes the leaked handles.
+#[derive(Debug, Default)]
+pub struct InflightTracker {
+    /// `(handle, communicator, post index)` for each pending collective.
+    open: Vec<(u64, CommId, usize)>,
+}
+
+impl InflightTracker {
+    /// A tracker with nothing in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles currently in flight, in post order.
+    pub fn pending(&self) -> impl Iterator<Item = u64> + '_ {
+        self.open.iter().map(|&(id, _, _)| id)
+    }
+
+    /// Records a non-blocking post at trace index `at`.
+    pub fn post(&mut self, id: u64, comm: CommId, at: usize) -> Vec<ScheduleViolation> {
+        let mut v = Vec::new();
+        if self.open.iter().any(|&(oid, _, _)| oid == id) {
+            v.push(ScheduleViolation::DoublePost { id, at });
+        }
+        if let Some(&(first, _, _)) = self.open.iter().find(|&&(_, c, _)| c == comm) {
+            v.push(ScheduleViolation::ConcurrentOnComm {
+                first,
+                second: id,
+                at,
+            });
+        }
+        self.open.push((id, comm, at));
+        v
+    }
+
+    /// Records the completion wait for `id` at trace index `at`.
+    pub fn wait(&mut self, id: u64, at: usize) -> Vec<ScheduleViolation> {
+        match self.open.iter().position(|&(oid, _, _)| oid == id) {
+            Some(k) => {
+                self.open.remove(k);
+                Vec::new()
+            }
+            None => vec![ScheduleViolation::WaitWithoutPost { id, at }],
+        }
+    }
+
+    /// Records a blocking collective on `comm` at trace index `at`.
+    pub fn blocking(&mut self, comm: CommId, at: usize) -> Vec<ScheduleViolation> {
+        self.open
+            .iter()
+            .filter(|&&(_, c, _)| c == comm)
+            .map(|&(pending, _, _)| ScheduleViolation::BlockingOverInflight { pending, at })
+            .collect()
+    }
+
+    /// Flushes the tracker at end of trace: every still-open handle leaks.
+    pub fn finish(&mut self) -> Vec<ScheduleViolation> {
+        self.open
+            .drain(..)
+            .map(|(id, _, posted_at)| ScheduleViolation::NeverWaited { id, posted_at })
+            .collect()
+    }
+}
+
 /// Which collective algorithm to model, with its constants.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AllreduceModel {
@@ -145,6 +307,53 @@ mod tests {
         // Within one node, adding ranks only grows the shm tree.
         let t12 = model.time(&m, 12, 8);
         assert!(t12 <= one_node);
+    }
+
+    #[test]
+    fn tracker_accepts_disciplined_sequences() {
+        let mut t = InflightTracker::new();
+        assert!(t.post(0, CommId::WORLD, 0).is_empty());
+        assert!(t.wait(0, 3).is_empty());
+        assert!(t.post(1, CommId::WORLD, 4).is_empty());
+        assert!(t.wait(1, 5).is_empty());
+        assert!(t.blocking(CommId::WORLD, 6).is_empty());
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn tracker_flags_each_violation_class() {
+        let mut t = InflightTracker::new();
+        t.post(0, CommId::WORLD, 0);
+        assert_eq!(
+            t.post(0, CommId::WORLD, 1),
+            vec![
+                ScheduleViolation::DoublePost { id: 0, at: 1 },
+                ScheduleViolation::ConcurrentOnComm {
+                    first: 0,
+                    second: 0,
+                    at: 1
+                }
+            ]
+        );
+        assert_eq!(
+            t.blocking(CommId::WORLD, 2),
+            vec![
+                ScheduleViolation::BlockingOverInflight { pending: 0, at: 2 },
+                ScheduleViolation::BlockingOverInflight { pending: 0, at: 2 }
+            ]
+        );
+        assert_eq!(
+            t.wait(7, 3),
+            vec![ScheduleViolation::WaitWithoutPost { id: 7, at: 3 }]
+        );
+        // Different communicators do not conflict.
+        assert!(t.post(9, CommId(1), 4).is_empty());
+        let leaks = t.finish();
+        assert_eq!(leaks.len(), 3);
+        assert!(leaks.contains(&ScheduleViolation::NeverWaited {
+            id: 9,
+            posted_at: 4
+        }));
     }
 
     #[test]

@@ -25,8 +25,9 @@ use pscg_sparse::kernels;
 use pscg_sparse::op::Operator;
 use pscg_sparse::{CsrMatrix, MultiVector};
 
+use crate::collective::CommId;
 use crate::profile::MatrixProfile;
-use crate::trace::{LocalKind, Op, OpTrace};
+use crate::trace::{BufId, LocalKind, Op, OpTrace};
 
 /// Handle to an in-flight non-blocking allreduce. Must be waited exactly
 /// once; dropping it without waiting loses the reduction (as in MPI).
@@ -106,10 +107,47 @@ pub trait Context {
     fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle;
     /// Completes a posted allreduce, returning the global sums.
     fn wait(&mut self, h: ReduceHandle) -> Vec<f64>;
+    /// Reads the values of a posted allreduce **without** completing it.
+    ///
+    /// This is deliberately wrong-by-construction: each engine hands back
+    /// its *rank-local* contribution, not the global sums — exactly what a
+    /// mis-pipelined method sees when it consumes a reduction result before
+    /// `MPI_Wait`. On one rank the numbers coincide with the reduced ones,
+    /// so the bug is silent in serial testing; the tracing engine records an
+    /// [`Op::RedRead`] so the static schedule analyzer can flag it. Correct
+    /// solvers never call this.
+    fn peek_pending(&mut self, h: &ReduceHandle) -> Vec<f64>;
+
+    /// Interns the identity of a rank-local vector for the trace.
+    ///
+    /// Engines that do not track buffers return [`BufId::ANON`] (the
+    /// default); the tracing engine maps the storage address to a stable id
+    /// so hazard analysis can reason about aliasing.
+    fn buf_of(&mut self, _v: &[f64]) -> BufId {
+        BufId::ANON
+    }
+
+    /// Interns the identity of a block of vectors (see [`Context::buf_of`]).
+    fn buf_of_multi(&mut self, _m: &MultiVector) -> BufId {
+        BufId::ANON
+    }
 
     /// Charges rank-local vector work to the cost model (`per row` refers to
     /// one locally owned vector element).
     fn charge_local(&mut self, kind: LocalKind, flops_per_row: f64, bytes_per_row: f64);
+    /// Like [`Context::charge_local`], additionally declaring which tracked
+    /// buffers the kernel read and wrote (for the schedule analyzer). The
+    /// default discards the dataflow and charges cost only.
+    fn charge_local_rw(
+        &mut self,
+        kind: LocalKind,
+        flops_per_row: f64,
+        bytes_per_row: f64,
+        _reads: [BufId; 2],
+        _write: BufId,
+    ) {
+        self.charge_local(kind, flops_per_row, bytes_per_row);
+    }
     /// Charges rank-replicated scalar work (s × s solves).
     fn charge_scalar(&mut self, flops: f64);
     /// Reports the relative residual at a convergence check (for the
@@ -139,36 +177,42 @@ pub trait Context {
     /// `y += a·x`.
     fn axpy(&mut self, a: f64, x: &[f64], y: &mut [f64]) {
         kernels::axpy(a, x, y);
-        self.charge_local(LocalKind::Vma, 2.0, 24.0);
+        let (bx, by) = (self.buf_of(x), self.buf_of(y));
+        self.charge_local_rw(LocalKind::Vma, 2.0, 24.0, [bx, by], by);
     }
 
     /// `y = x + a·y`.
     fn aypx(&mut self, a: f64, x: &[f64], y: &mut [f64]) {
         kernels::aypx(a, x, y);
-        self.charge_local(LocalKind::Vma, 2.0, 24.0);
+        let (bx, by) = (self.buf_of(x), self.buf_of(y));
+        self.charge_local_rw(LocalKind::Vma, 2.0, 24.0, [bx, by], by);
     }
 
     /// `z = x + a·y`.
     fn waxpy(&mut self, z: &mut [f64], a: f64, y: &[f64], x: &[f64]) {
         kernels::waxpy(z, a, y, x);
-        self.charge_local(LocalKind::Vma, 2.0, 24.0);
+        let (bx, by, bz) = (self.buf_of(x), self.buf_of(y), self.buf_of(z));
+        self.charge_local_rw(LocalKind::Vma, 2.0, 24.0, [bx, by], bz);
     }
 
     /// `y = x`.
     fn copy_v(&mut self, x: &[f64], y: &mut [f64]) {
         kernels::copy(x, y);
-        self.charge_local(LocalKind::Vma, 0.0, 16.0);
+        let (bx, by) = (self.buf_of(x), self.buf_of(y));
+        self.charge_local_rw(LocalKind::Vma, 0.0, 16.0, [bx, BufId::ANON], by);
     }
 
     /// `x *= a`.
     fn scale_v(&mut self, a: f64, x: &mut [f64]) {
         kernels::scale(a, x);
-        self.charge_local(LocalKind::Vma, 1.0, 16.0);
+        let bx = self.buf_of(x);
+        self.charge_local_rw(LocalKind::Vma, 1.0, 16.0, [bx, BufId::ANON], bx);
     }
 
     /// Local part of the dot product `xᵀy`; combine with an allreduce.
     fn local_dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
-        self.charge_local(LocalKind::Dot, 2.0, 16.0);
+        let (bx, by) = (self.buf_of(x), self.buf_of(y));
+        self.charge_local_rw(LocalKind::Dot, 2.0, 16.0, [bx, by], BufId::ANON);
         kernels::dot(x, y)
     }
 
@@ -176,27 +220,43 @@ pub trait Context {
     fn block_add_mul(&mut self, x: &mut MultiVector, y: &MultiVector, b: &DenseMatrix) {
         x.add_mul(y, b);
         let (k, m) = (y.ncols() as f64, x.ncols() as f64);
-        self.charge_local(LocalKind::Vma, 2.0 * k * m, 8.0 * (k + 2.0 * m));
+        let (bx, by) = (self.buf_of_multi(x), self.buf_of_multi(y));
+        self.charge_local_rw(
+            LocalKind::Vma,
+            2.0 * k * m,
+            8.0 * (k + 2.0 * m),
+            [by, bx],
+            bx,
+        );
     }
 
     /// `y += X·a`.
     fn block_gemv_acc(&mut self, x: &MultiVector, a: &[f64], y: &mut [f64]) {
         x.gemv_acc(a, y);
         let k = x.ncols() as f64;
-        self.charge_local(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0));
+        let (bx, by) = (self.buf_of_multi(x), self.buf_of(y));
+        self.charge_local_rw(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0), [bx, by], by);
     }
 
     /// `y -= X·a`.
     fn block_gemv_sub(&mut self, x: &MultiVector, a: &[f64], y: &mut [f64]) {
         x.gemv_sub(a, y);
         let k = x.ncols() as f64;
-        self.charge_local(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0));
+        let (bx, by) = (self.buf_of_multi(x), self.buf_of(y));
+        self.charge_local_rw(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0), [bx, by], by);
     }
 
     /// Local Gram product `XᵀY`; combine entries with an allreduce.
     fn local_gram(&mut self, x: &MultiVector, y: &MultiVector) -> DenseMatrix {
         let (kx, ky) = (x.ncols() as f64, y.ncols() as f64);
-        self.charge_local(LocalKind::Dot, 2.0 * kx * ky, 8.0 * (kx + ky));
+        let (bx, by) = (self.buf_of_multi(x), self.buf_of_multi(y));
+        self.charge_local_rw(
+            LocalKind::Dot,
+            2.0 * kx * ky,
+            8.0 * (kx + ky),
+            [bx, by],
+            BufId::ANON,
+        );
         x.gram(y)
     }
 
@@ -209,16 +269,41 @@ pub trait Context {
         yr: std::ops::Range<usize>,
     ) -> DenseMatrix {
         let (kx, ky) = (xr.len() as f64, yr.len() as f64);
-        self.charge_local(LocalKind::Dot, 2.0 * kx * ky, 8.0 * (kx + ky));
+        let (bx, by) = (self.buf_of_multi(x), self.buf_of_multi(y));
+        self.charge_local_rw(
+            LocalKind::Dot,
+            2.0 * kx * ky,
+            8.0 * (kx + ky),
+            [bx, by],
+            BufId::ANON,
+        );
         x.gram_range(xr, y, yr)
     }
 
     /// Local block-vector products `Xᵀv`; combine with an allreduce.
     fn local_dot_vec(&mut self, x: &MultiVector, v: &[f64]) -> Vec<f64> {
         let k = x.ncols() as f64;
-        self.charge_local(LocalKind::Dot, 2.0 * k, 8.0 * (k + 1.0));
+        let (bx, bv) = (self.buf_of_multi(x), self.buf_of(v));
+        self.charge_local_rw(
+            LocalKind::Dot,
+            2.0 * k,
+            8.0 * (k + 1.0),
+            [bx, bv],
+            BufId::ANON,
+        );
         x.dot_vec(v)
     }
+}
+
+/// Numerical-invariant probe state (see [`SimCtx::enable_probes`]).
+#[derive(Debug)]
+struct ProbeState {
+    /// Residual checks without improvement before the probe fires.
+    window: usize,
+    /// Best relative residual seen so far.
+    best: f64,
+    /// Consecutive checks without improvement.
+    stale: usize,
 }
 
 /// The single-rank engine: real numerics over the global problem, optional
@@ -230,6 +315,10 @@ pub struct SimCtx<'a> {
     trace: Option<OpTrace>,
     inflight: HashMap<u64, Vec<f64>>,
     next_id: u64,
+    /// Storage address → interned buffer id (tracing runs only).
+    bufs: HashMap<usize, u64>,
+    next_buf: u64,
+    probes: Option<ProbeState>,
 }
 
 impl<'a> SimCtx<'a> {
@@ -244,6 +333,9 @@ impl<'a> SimCtx<'a> {
             trace: None,
             inflight: HashMap::new(),
             next_id: 0,
+            bufs: HashMap::new(),
+            next_buf: 1,
+            probes: None,
         }
     }
 
@@ -273,10 +365,78 @@ impl<'a> SimCtx<'a> {
         self.pc.name().to_string()
     }
 
+    /// Turns on numerical-invariant probes at trace boundaries: values
+    /// entering a reduction must be finite, reported residuals must be
+    /// finite, and the residual must improve at least once every
+    /// `stagnation_window` convergence checks. Opt-in because legitimate
+    /// breakdown paths (the hybrid's restart trigger) push non-finite or
+    /// stagnating residuals *by design* before they recover.
+    ///
+    /// # Panics
+    /// Subsequent solver activity panics as soon as an invariant is violated.
+    pub fn enable_probes(&mut self, stagnation_window: usize) {
+        assert!(stagnation_window > 0, "stagnation window must be positive");
+        self.probes = Some(ProbeState {
+            window: stagnation_window,
+            best: f64::INFINITY,
+            stale: 0,
+        });
+    }
+
     fn record(&mut self, op: Op) {
         if let Some(t) = self.trace.as_mut() {
             t.push(op);
         }
+    }
+
+    /// Interns a storage address as a stable buffer identity. Only active
+    /// while tracing; serial runs skip the bookkeeping entirely.
+    ///
+    /// Identity is the address of the first element, so a vector freed and
+    /// another allocated at the same address would alias — the solvers
+    /// allocate their working vectors once up front, which is also what the
+    /// paper's MPI implementations do, so this cannot occur mid-solve.
+    fn intern_ptr(&mut self, ptr: *const f64) -> BufId {
+        if self.trace.is_none() {
+            return BufId::ANON;
+        }
+        let fresh = self.next_buf;
+        let id = *self.bufs.entry(ptr as usize).or_insert(fresh);
+        if id == fresh {
+            self.next_buf += 1;
+        }
+        BufId(id)
+    }
+
+    fn probe_reduction_input(&self, vals: &[f64]) {
+        if self.probes.is_some() {
+            assert!(
+                vals.iter().all(|v| v.is_finite()),
+                "probe: non-finite value entering an allreduce: {vals:?}"
+            );
+        }
+    }
+
+    fn charge_local_full(
+        &mut self,
+        kind: LocalKind,
+        flops_per_row: f64,
+        bytes_per_row: f64,
+        reads: [BufId; 2],
+        write: BufId,
+    ) {
+        let n = self.a.nrows() as f64;
+        match kind {
+            LocalKind::Vma => self.counters.vma_flops += flops_per_row * n,
+            LocalKind::Dot => self.counters.dot_flops += flops_per_row * n,
+        }
+        self.record(Op::Local {
+            kind,
+            flops_per_row,
+            bytes_per_row,
+            reads,
+            write,
+        });
     }
 }
 
@@ -300,7 +460,12 @@ impl Context for SimCtx<'_> {
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
         self.a.spmv(x, y);
         self.counters.spmv += 1;
-        self.record(Op::Spmv { matrix: 0 });
+        let (bx, by) = (self.intern_ptr(x.as_ptr()), self.intern_ptr(y.as_ptr()));
+        self.record(Op::Spmv {
+            matrix: 0,
+            x: bx,
+            y: by,
+        });
     }
 
     fn mpk(&mut self, pow: &mut MultiVector, from: usize, to: usize, sigma: f64) {
@@ -322,9 +487,15 @@ impl Context for SimCtx<'_> {
         // back to individual SpMVs).
         self.counters.spmv += (to - from) as u64;
         self.counters.mpk += 1;
+        let block = if pow.ncols() == 0 {
+            BufId::ANON
+        } else {
+            self.intern_ptr(pow.data().as_ptr())
+        };
         self.record(Op::Mpk {
             matrix: 0,
             depth: to - from,
+            block,
         });
     }
 
@@ -332,24 +503,30 @@ impl Context for SimCtx<'_> {
         self.pc.apply(r, u);
         self.counters.pc += 1;
         let c = self.pc.cost();
+        let (br, bu) = (self.intern_ptr(r.as_ptr()), self.intern_ptr(u.as_ptr()));
         self.record(Op::Pc {
             matrix: 0,
             flops_per_row: c.flops_per_row,
             bytes_per_row: c.bytes_per_row,
             comm_rounds: c.comm_rounds,
+            r: br,
+            u: bu,
         });
     }
 
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64> {
+        self.probe_reduction_input(vals);
         self.counters.blocking_allreduce += 1;
         self.counters.reduced_doubles += vals.len() as u64;
         self.record(Op::ArBlocking {
             doubles: vals.len(),
+            comm: CommId::WORLD,
         });
         vals.to_vec()
     }
 
     fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle {
+        self.probe_reduction_input(vals);
         let id = self.next_id;
         self.next_id += 1;
         self.counters.nonblocking_allreduce += 1;
@@ -357,6 +534,7 @@ impl Context for SimCtx<'_> {
         self.record(Op::ArPost {
             id,
             doubles: vals.len(),
+            comm: CommId::WORLD,
         });
         self.inflight.insert(id, vals.to_vec());
         ReduceHandle { id }
@@ -371,17 +549,47 @@ impl Context for SimCtx<'_> {
         vals
     }
 
-    fn charge_local(&mut self, kind: LocalKind, flops_per_row: f64, bytes_per_row: f64) {
-        let n = self.a.nrows() as f64;
-        match kind {
-            LocalKind::Vma => self.counters.vma_flops += flops_per_row * n,
-            LocalKind::Dot => self.counters.dot_flops += flops_per_row * n,
+    fn peek_pending(&mut self, h: &ReduceHandle) -> Vec<f64> {
+        let vals = self
+            .inflight
+            .get(&h.id)
+            .expect("peek of unknown or already-completed ReduceHandle")
+            .clone();
+        self.record(Op::RedRead { id: h.id });
+        vals
+    }
+
+    fn buf_of(&mut self, v: &[f64]) -> BufId {
+        self.intern_ptr(v.as_ptr())
+    }
+
+    fn buf_of_multi(&mut self, m: &MultiVector) -> BufId {
+        if m.ncols() == 0 {
+            BufId::ANON
+        } else {
+            self.intern_ptr(m.data().as_ptr())
         }
-        self.record(Op::Local {
+    }
+
+    fn charge_local(&mut self, kind: LocalKind, flops_per_row: f64, bytes_per_row: f64) {
+        self.charge_local_full(
             kind,
             flops_per_row,
             bytes_per_row,
-        });
+            [BufId::ANON; 2],
+            BufId::ANON,
+        );
+    }
+
+    fn charge_local_rw(
+        &mut self,
+        kind: LocalKind,
+        flops_per_row: f64,
+        bytes_per_row: f64,
+        reads: [BufId; 2],
+        write: BufId,
+    ) {
+        self.charge_local_full(kind, flops_per_row, bytes_per_row, reads, write);
     }
 
     fn charge_scalar(&mut self, flops: f64) {
@@ -390,6 +598,21 @@ impl Context for SimCtx<'_> {
     }
 
     fn note_residual(&mut self, relres: f64) {
+        if let Some(p) = self.probes.as_mut() {
+            assert!(relres.is_finite(), "probe: non-finite residual {relres}");
+            if relres < p.best {
+                p.best = relres;
+                p.stale = 0;
+            } else {
+                p.stale += 1;
+                assert!(
+                    p.stale < p.window,
+                    "probe: residual stagnated for {} consecutive checks (best {:.3e})",
+                    p.window,
+                    p.best
+                );
+            }
+        }
         self.record(Op::ResCheck { relres });
     }
 
@@ -473,6 +696,83 @@ mod tests {
         let id = h.id;
         ctx.wait(h);
         ctx.wait(ReduceHandle { id });
+    }
+
+    #[test]
+    fn tracing_ctx_interns_buffer_identities() {
+        let (a, prof) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::traced(&a, Box::new(IdentityOp::new(n)), prof);
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        ctx.spmv(&x, &mut y);
+        ctx.spmv(&y.clone(), &mut y);
+        let bx = ctx.buf_of(&x);
+        let by = ctx.buf_of(&y);
+        assert!(bx.is_tracked() && by.is_tracked() && bx != by);
+        let trace = ctx.take_trace().unwrap();
+        match trace.ops[0] {
+            Op::Spmv { x: ox, y: oy, .. } => {
+                assert_eq!(ox, bx);
+                assert_eq!(oy, by);
+            }
+            ref other => panic!("expected Spmv, got {other:?}"),
+        }
+        // Serial (untraced) contexts skip interning entirely.
+        let mut serial = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        assert_eq!(serial.buf_of(&x), BufId::ANON);
+    }
+
+    #[test]
+    fn peek_pending_returns_local_values_and_records() {
+        let (a, prof) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::traced(&a, Box::new(IdentityOp::new(n)), prof);
+        let h = ctx.iallreduce(&[2.0, 4.0]);
+        assert_eq!(ctx.peek_pending(&h), vec![2.0, 4.0]);
+        assert_eq!(ctx.wait(h), vec![2.0, 4.0]);
+        let trace = ctx.take_trace().unwrap();
+        assert_eq!(
+            trace.ops,
+            vec![Op::post(0, 2), Op::RedRead { id: 0 }, Op::wait(0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value entering an allreduce")]
+    fn probe_rejects_nan_reduction_input() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.enable_probes(100);
+        ctx.allreduce(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual stagnated")]
+    fn probe_rejects_stagnation() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.enable_probes(3);
+        ctx.note_residual(1.0);
+        for _ in 0..4 {
+            ctx.note_residual(1.0);
+        }
+    }
+
+    #[test]
+    fn probe_allows_slow_but_real_progress() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.enable_probes(3);
+        let mut r = 1.0;
+        for _ in 0..20 {
+            ctx.note_residual(r);
+            ctx.note_residual(r); // one stale check between improvements
+            r *= 0.9;
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! * [`thread`] — a real message-passing runtime on threads (deterministic
 //!   non-blocking allreduces, halo exchange) and the per-rank
 //!   [`thread::RankCtx`] engine, proving the solvers are genuinely SPMD.
+//!
+//! Traces carry buffer identities ([`trace::BufId`]) and communicator
+//! identities ([`collective::CommId`]) so the `pscg-analysis` crate can
+//! verify overlap schedules statically, without the machine model.
+
+#![warn(missing_docs)]
 
 pub mod collective;
 pub mod context;
@@ -29,10 +35,10 @@ pub mod replay;
 pub mod thread;
 pub mod trace;
 
-pub use collective::AllreduceModel;
+pub use collective::{AllreduceModel, CommId, InflightTracker, ScheduleViolation};
 pub use context::{Context, OpCounters, ReduceHandle, SimCtx};
 pub use machine::Machine;
 pub use noise::NoiseModel;
 pub use profile::{Layout, MatrixProfile, SpmvWork};
 pub use replay::{replay, ReplayResult};
-pub use trace::{LocalKind, Op, OpTrace};
+pub use trace::{BufId, LocalKind, Op, OpTrace};

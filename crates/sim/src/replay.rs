@@ -62,7 +62,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
 
     for op in &trace.ops {
         match *op {
-            Op::Spmv { matrix } => {
+            Op::Spmv { matrix, .. } => {
                 let w = works[matrix];
                 let flops = 2.0 * w.local_nnz as f64;
                 // 8 B value + 4 B column index streamed once (PETSc-style
@@ -74,7 +74,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 res.halo_time += ht;
                 t += ct + ht;
             }
-            Op::Mpk { matrix, depth } => {
+            Op::Mpk { matrix, depth, .. } => {
                 // FLOPs and streaming of `depth` SpMVs, one widened halo
                 // (the widened workload is cached per (matrix, depth)).
                 let w = works[matrix];
@@ -95,6 +95,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 flops_per_row,
                 bytes_per_row,
                 comm_rounds,
+                ..
             } => {
                 let w = works[matrix];
                 let rows = w.local_rows as f64;
@@ -106,9 +107,9 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 t += ct + ht;
             }
             Op::Local {
-                kind: _,
                 flops_per_row,
                 bytes_per_row,
+                ..
             } => {
                 let ct = machine.compute_time(flops_per_row * vec_rows, bytes_per_row * vec_rows);
                 res.compute_time += ct;
@@ -119,7 +120,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 res.compute_time += ct;
                 t += ct;
             }
-            Op::ArPost { id, doubles } => {
+            Op::ArPost { id, doubles, .. } => {
                 let g = machine.allreduce_time(p, doubles);
                 res.allreduce_total += g;
                 // Store the absolute completion time (async progress) or
@@ -140,12 +141,16 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 res.allreduce_exposed += exposed;
                 t += exposed;
             }
-            Op::ArBlocking { doubles } => {
+            Op::ArBlocking { doubles, .. } => {
                 let g = machine.allreduce_time(p, doubles);
                 res.allreduce_total += g;
                 res.allreduce_exposed += g;
                 t += g;
             }
+            // A read of an in-flight reduction costs nothing on the model:
+            // it is a *correctness* defect (see the schedule analyzer), not
+            // a timing event.
+            Op::RedRead { .. } => {}
             Op::ResCheck { relres } => {
                 res.residual_timeline.push((t, relres));
             }
@@ -178,7 +183,7 @@ mod tests {
     #[test]
     fn compute_shrinks_with_ranks() {
         let mut tr = base_trace();
-        tr.push(Op::Spmv { matrix: 0 });
+        tr.push(Op::spmv(0));
         let m = Machine::sahasrat();
         let t1 = replay(&tr, &m, 24).total_time;
         let t2 = replay(&tr, &m, 960).total_time;
@@ -188,9 +193,9 @@ mod tests {
     #[test]
     fn nonblocking_overlap_hides_allreduce() {
         let mut tr = base_trace();
-        tr.push(Op::ArPost { id: 1, doubles: 8 });
-        tr.push(Op::Spmv { matrix: 0 });
-        tr.push(Op::ArWait { id: 1 });
+        tr.push(Op::post(1, 8));
+        tr.push(Op::spmv(0));
+        tr.push(Op::wait(1));
         let m = Machine::sahasrat();
         let r = replay(&tr, &m, 24);
         // On one node the SpMV (ms-scale) dwarfs G (µs-scale): fully hidden.
@@ -206,8 +211,8 @@ mod tests {
     #[test]
     fn blocking_allreduce_is_always_exposed() {
         let mut tr = base_trace();
-        tr.push(Op::ArBlocking { doubles: 8 });
-        tr.push(Op::Spmv { matrix: 0 });
+        tr.push(Op::blocking(8));
+        tr.push(Op::spmv(0));
         let m = Machine::sahasrat();
         let r = replay(&tr, &m, 48);
         assert_eq!(r.allreduce_exposed, r.allreduce_total);
@@ -217,9 +222,9 @@ mod tests {
     #[test]
     fn without_async_progress_overlap_vanishes() {
         let mut tr = base_trace();
-        tr.push(Op::ArPost { id: 1, doubles: 8 });
-        tr.push(Op::Spmv { matrix: 0 });
-        tr.push(Op::ArWait { id: 1 });
+        tr.push(Op::post(1, 8));
+        tr.push(Op::spmv(0));
+        tr.push(Op::wait(1));
         let on = replay(&tr, &Machine::sahasrat(), 48);
         let off = replay(&tr, &Machine::sahasrat_no_async_progress(), 48);
         assert!(on.allreduce_exposed < off.allreduce_exposed);
@@ -230,15 +235,11 @@ mod tests {
     #[test]
     fn ideal_machine_time_is_pure_compute() {
         let mut tr = base_trace();
-        tr.push(Op::ArPost { id: 0, doubles: 4 });
-        tr.push(Op::Spmv { matrix: 0 });
-        tr.push(Op::ArWait { id: 0 });
-        tr.push(Op::ArBlocking { doubles: 4 });
-        tr.push(Op::Local {
-            kind: LocalKind::Vma,
-            flops_per_row: 2.0,
-            bytes_per_row: 0.0,
-        });
+        tr.push(Op::post(0, 4));
+        tr.push(Op::spmv(0));
+        tr.push(Op::wait(0));
+        tr.push(Op::blocking(4));
+        tr.push(Op::local(LocalKind::Vma, 2.0, 0.0));
         let r = replay(&tr, &Machine::ideal(8), 8);
         assert_eq!(r.total_time, r.compute_time);
         assert_eq!(r.allreduce_total, 0.0);
@@ -249,7 +250,7 @@ mod tests {
     fn residual_timeline_has_monotone_times() {
         let mut tr = base_trace();
         for i in 0..5 {
-            tr.push(Op::Spmv { matrix: 0 });
+            tr.push(Op::spmv(0));
             tr.push(Op::ResCheck {
                 relres: 1.0 / (i + 1) as f64,
             });
@@ -265,7 +266,7 @@ mod tests {
     #[should_panic(expected = "unawaited")]
     fn unawaited_post_panics() {
         let mut tr = base_trace();
-        tr.push(Op::ArPost { id: 9, doubles: 2 });
+        tr.push(Op::post(9, 2));
         replay(&tr, &Machine::sahasrat(), 4);
     }
 

@@ -22,8 +22,8 @@
 //! [`SimCtx`]: crate::context::SimCtx
 
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
 
-use parking_lot::{Condvar, Mutex};
 use pscg_sparse::partition::{halo_plan, HaloPlan, RowBlockPartition};
 use pscg_sparse::{kernels, CsrMatrix};
 
@@ -80,7 +80,7 @@ impl World {
 
     /// Deposits this rank's contribution to collective `seq`; does not block.
     fn ar_post(&self, seq: u64, rank: usize, vals: &[f64]) {
-        let mut st = self.ar.lock();
+        let mut st = self.ar.lock().unwrap();
         let entry = st.ops.entry(seq).or_insert_with(|| ArEntry {
             contribs: vec![None; self.p],
             ndeposited: 0,
@@ -110,12 +110,12 @@ impl World {
 
     /// Blocks until collective `seq` completes; returns the global sums.
     fn ar_wait(&self, seq: u64) -> Vec<f64> {
-        let mut st = self.ar.lock();
+        let mut st = self.ar.lock().unwrap();
         loop {
             if st.ops.get(&seq).and_then(|e| e.result.as_ref()).is_some() {
                 break;
             }
-            self.ar_cv.wait(&mut st);
+            st = self.ar_cv.wait(st).unwrap();
         }
         let entry = st.ops.get_mut(&seq).unwrap();
         let out = entry.result.clone().unwrap();
@@ -129,7 +129,7 @@ impl World {
     /// Sends `data` to `dst` under `(src, tag)`; non-blocking (buffered).
     pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<f64>) {
         let mb = &self.mail[dst];
-        let mut slots = mb.slots.lock();
+        let mut slots = mb.slots.lock().unwrap();
         let prev = slots.insert((src, tag), data);
         assert!(
             prev.is_none(),
@@ -141,12 +141,12 @@ impl World {
     /// Receives the message sent to `me` by `src` under `tag`; blocks.
     pub fn recv(&self, me: usize, src: usize, tag: u64) -> Vec<f64> {
         let mb = &self.mail[me];
-        let mut slots = mb.slots.lock();
+        let mut slots = mb.slots.lock().unwrap();
         loop {
             if let Some(data) = slots.remove(&(src, tag)) {
                 return data;
             }
-            mb.cv.wait(&mut slots);
+            slots = mb.cv.wait(slots).unwrap();
         }
     }
 }
@@ -157,6 +157,9 @@ pub struct Endpoint<'w> {
     rank: usize,
     ar_seq: u64,
     p2p_tag: u64,
+    /// Local contributions of posted-but-unwaited collectives, kept so
+    /// [`Endpoint::peek_pending`] can model the read-before-wait bug class.
+    posted: HashMap<u64, Vec<f64>>,
 }
 
 impl<'w> Endpoint<'w> {
@@ -168,6 +171,7 @@ impl<'w> Endpoint<'w> {
             rank,
             ar_seq: 0,
             p2p_tag: 0,
+            posted: HashMap::new(),
         }
     }
 
@@ -185,13 +189,25 @@ impl<'w> Endpoint<'w> {
     pub fn iallreduce(&mut self, vals: &[f64]) -> u64 {
         let seq = self.ar_seq;
         self.ar_seq += 1;
+        self.posted.insert(seq, vals.to_vec());
         self.world.ar_post(seq, self.rank, vals);
         seq
     }
 
     /// Waits for a posted allreduce.
     pub fn wait(&mut self, seq: u64) -> Vec<f64> {
+        self.posted.remove(&seq);
         self.world.ar_wait(seq)
+    }
+
+    /// This rank's **local** contribution to a pending collective — what a
+    /// buggy solver sees when it reads a reduction before waiting. Genuinely
+    /// rank-dependent on `P > 1`, which is the point.
+    pub fn peek_pending(&self, seq: u64) -> Vec<f64> {
+        self.posted
+            .get(&seq)
+            .expect("peek of unknown or already-completed collective")
+            .clone()
     }
 
     /// Blocking allreduce.
@@ -377,6 +393,10 @@ impl Context for RankCtx<'_, '_> {
         self.ep.wait(h.id)
     }
 
+    fn peek_pending(&mut self, h: &ReduceHandle) -> Vec<f64> {
+        self.ep.peek_pending(h.id)
+    }
+
     fn charge_local(&mut self, kind: LocalKind, flops_per_row: f64, _bytes_per_row: f64) {
         let n = self.vec_len() as f64;
         match kind {
@@ -428,6 +448,23 @@ mod tests {
         });
         for (g, _) in res {
             assert_eq!(g, 3.0);
+        }
+    }
+
+    #[test]
+    fn peek_pending_is_rank_local_not_reduced() {
+        let res = run_spmd(3, |rank, world| {
+            let mut ep = Endpoint::new(world, rank);
+            let h = ep.iallreduce(&[rank as f64 + 1.0]);
+            let peeked = ep.peek_pending(h)[0];
+            let reduced = ep.wait(h)[0];
+            (peeked, reduced)
+        });
+        for (rank, (peeked, reduced)) in res.into_iter().enumerate() {
+            // The peeked value is this rank's contribution — silently wrong
+            // to compute with — while the waited value is the global sum.
+            assert_eq!(peeked, rank as f64 + 1.0);
+            assert_eq!(reduced, 6.0);
         }
     }
 

@@ -7,8 +7,40 @@
 //! single numeric run can be *replayed* (see [`mod@crate::replay`]) against any
 //! machine and any `P`, which is how the strong-scaling figures are produced
 //! on a single-core host.
+//!
+//! Beyond timing, the trace now carries enough *identity* information for
+//! static schedule analysis (the `pscg-analysis` crate): each operation
+//! records which logical buffers it reads and writes ([`BufId`]) and which
+//! communicator a collective runs on ([`CommId`]). From those, a
+//! happens-before DAG over the trace is well-defined without ever consulting
+//! the machine model: program order within a rank, plus post→wait completion
+//! edges for non-blocking collectives (see [`OpTrace::completion_edges`]).
 
+use crate::collective::CommId;
 use crate::profile::MatrixProfile;
+
+/// Stable identity of a logical rank-local buffer (a vector or a block of
+/// vectors) as observed by the tracing engine.
+///
+/// Identities are interned from the buffer's storage address at record time
+/// (see `SimCtx::buf_of`), so two operations touching the same `Vec<f64>`
+/// carry the same `BufId` even across reallocations of *other* vectors.
+/// The sentinel [`BufId::ANON`] marks an operand the engine did not track
+/// (e.g. traces built by hand, or engines that do not intern); analysis
+/// passes must treat `ANON` as "unknown, never aliasing".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufId(pub u64);
+
+impl BufId {
+    /// Untracked operand: never participates in hazard detection.
+    pub const ANON: BufId = BufId(0);
+
+    /// True for tracked (non-anonymous) buffers.
+    #[inline]
+    pub fn is_tracked(self) -> bool {
+        self != BufId::ANON
+    }
+}
 
 /// Classification of rank-local compute, for cost-breakdown reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,12 +52,21 @@ pub enum LocalKind {
 }
 
 /// One logical operation of an SPMD solver.
+///
+/// Buffer fields default to [`BufId::ANON`] when built through the
+/// convenience constructors ([`Op::spmv`], [`Op::post`], …), which is what
+/// hand-written traces in tests use; the tracing engine fills real
+/// identities.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Sparse matrix–vector product with the registered matrix `matrix`.
     Spmv {
         /// Index into [`OpTrace::profiles`].
         matrix: usize,
+        /// Input vector.
+        x: BufId,
+        /// Output vector.
+        y: BufId,
     },
     /// Matrix-powers kernel: `depth` consecutive SpMVs computed with a
     /// single widened halo exchange (Hoemmen's CA-SpMV; paper §II). Same
@@ -35,6 +76,8 @@ pub enum Op {
         matrix: usize,
         /// Number of consecutive powers.
         depth: usize,
+        /// The block of basis vectors being extended (read and written).
+        block: BufId,
     },
     /// Preconditioner application; cost expressed per local row, plus
     /// `comm_rounds` halo-exchange-equivalent communication rounds (0 for
@@ -48,6 +91,10 @@ pub enum Op {
         bytes_per_row: f64,
         /// Halo-exchange rounds per application.
         comm_rounds: u32,
+        /// Residual-like input vector.
+        r: BufId,
+        /// Preconditioned output vector.
+        u: BufId,
     },
     /// Rank-local vector work over the partitioned vectors.
     Local {
@@ -57,6 +104,10 @@ pub enum Op {
         flops_per_row: f64,
         /// Memory traffic per local row.
         bytes_per_row: f64,
+        /// Vectors read (up to two tracked operands; `ANON` when fewer).
+        reads: [BufId; 2],
+        /// Vector written (`ANON` for pure reductions into scalars).
+        write: BufId,
     },
     /// Rank-replicated scalar work (the s × s LU solves), independent of `P`.
     Scalar {
@@ -69,9 +120,23 @@ pub enum Op {
         id: u64,
         /// Payload size in f64 values.
         doubles: usize,
+        /// Communicator the collective runs on.
+        comm: CommId,
     },
     /// Completion wait of a previously posted non-blocking allreduce.
     ArWait {
+        /// Handle from [`Op::ArPost`].
+        id: u64,
+    },
+    /// Read of the *result* of a posted-but-not-yet-waited non-blocking
+    /// allreduce (the engine hands back rank-local partial values).
+    ///
+    /// This is never correct in an SPMD method — it is the silent-corruption
+    /// bug class of mis-pipelined CG variants (Cools & Vanroose): on one
+    /// rank the numbers happen to be right, on `P > 1` every rank computes
+    /// with different, un-reduced scalars. The tracing engine records it so
+    /// the static analyzer can flag it; replay assigns it zero cost.
+    RedRead {
         /// Handle from [`Op::ArPost`].
         id: u64,
     },
@@ -79,6 +144,8 @@ pub enum Op {
     ArBlocking {
         /// Payload size in f64 values.
         doubles: usize,
+        /// Communicator the collective runs on.
+        comm: CommId,
     },
     /// Convergence check: records the relative residual at this point so the
     /// replay can emit a `(time, residual)` trajectory (paper Figure 5).
@@ -86,6 +153,95 @@ pub enum Op {
         /// Relative residual norm at this check.
         relres: f64,
     },
+}
+
+impl Op {
+    /// An SpMV on `matrix` with untracked operands.
+    pub fn spmv(matrix: usize) -> Op {
+        Op::Spmv {
+            matrix,
+            x: BufId::ANON,
+            y: BufId::ANON,
+        }
+    }
+
+    /// A matrix-powers kernel on `matrix` with an untracked basis block.
+    pub fn mpk(matrix: usize, depth: usize) -> Op {
+        Op::Mpk {
+            matrix,
+            depth,
+            block: BufId::ANON,
+        }
+    }
+
+    /// A preconditioner application with untracked operands.
+    pub fn pc(matrix: usize, flops_per_row: f64, bytes_per_row: f64, comm_rounds: u32) -> Op {
+        Op::Pc {
+            matrix,
+            flops_per_row,
+            bytes_per_row,
+            comm_rounds,
+            r: BufId::ANON,
+            u: BufId::ANON,
+        }
+    }
+
+    /// Rank-local vector work with untracked operands.
+    pub fn local(kind: LocalKind, flops_per_row: f64, bytes_per_row: f64) -> Op {
+        Op::Local {
+            kind,
+            flops_per_row,
+            bytes_per_row,
+            reads: [BufId::ANON; 2],
+            write: BufId::ANON,
+        }
+    }
+
+    /// A non-blocking allreduce post on the world communicator.
+    pub fn post(id: u64, doubles: usize) -> Op {
+        Op::ArPost {
+            id,
+            doubles,
+            comm: CommId::WORLD,
+        }
+    }
+
+    /// A wait for the non-blocking allreduce `id`.
+    pub fn wait(id: u64) -> Op {
+        Op::ArWait { id }
+    }
+
+    /// A blocking allreduce on the world communicator.
+    pub fn blocking(doubles: usize) -> Op {
+        Op::ArBlocking {
+            doubles,
+            comm: CommId::WORLD,
+        }
+    }
+
+    /// Tracked buffers this operation reads (excluding `ANON`).
+    pub fn reads(&self) -> Vec<BufId> {
+        let cands: &[BufId] = match self {
+            Op::Spmv { x, .. } => &[*x],
+            Op::Mpk { block, .. } => &[*block],
+            Op::Pc { r, .. } => &[*r],
+            Op::Local { reads, .. } => reads,
+            _ => &[],
+        };
+        cands.iter().copied().filter(|b| b.is_tracked()).collect()
+    }
+
+    /// Tracked buffers this operation writes (excluding `ANON`).
+    pub fn writes(&self) -> Vec<BufId> {
+        let cands: &[BufId] = match self {
+            Op::Spmv { y, .. } => &[*y],
+            Op::Mpk { block, .. } => &[*block],
+            Op::Pc { u, .. } => &[*u],
+            Op::Local { write, .. } => &[*write],
+            _ => &[],
+        };
+        cands.iter().copied().filter(|b| b.is_tracked()).collect()
+    }
 }
 
 /// A recorded solver execution: the operation list plus the matrix profiles
@@ -151,6 +307,33 @@ impl OpTrace {
         }
         (spmv, pc, blocking, nonblocking)
     }
+
+    /// The happens-before edges *beyond* program order: for every matched
+    /// non-blocking collective, `(post_index, wait_index)` — the completion
+    /// edge. Together with program order (i → i+1) these define the
+    /// schedule DAG the static analyzer works on; operations between a post
+    /// and its wait are exactly the ones overlappable with that collective.
+    ///
+    /// Unmatched posts (posted but never waited) produce no edge here; the
+    /// analyzer reports them as leaked collectives.
+    pub fn completion_edges(&self) -> Vec<(usize, usize)> {
+        let mut open: Vec<(u64, usize)> = Vec::new();
+        let mut edges = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::ArPost { id, .. } => open.push((*id, i)),
+                Op::ArWait { id } => {
+                    if let Some(k) = open.iter().position(|(oid, _)| oid == id) {
+                        let (_, post_idx) = open.swap_remove(k);
+                        edges.push((post_idx, i));
+                    }
+                }
+                _ => {}
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
 }
 
 #[cfg(test)]
@@ -162,18 +345,46 @@ mod tests {
     fn trace_records_and_counts() {
         let mut t = OpTrace::new(1000);
         let m = t.register_matrix(MatrixProfile::stencil3d(10, 10, 10, 1, 7000, Layout::Box));
-        t.push(Op::Spmv { matrix: m });
-        t.push(Op::ArPost { id: 0, doubles: 6 });
-        t.push(Op::Spmv { matrix: m });
-        t.push(Op::ArWait { id: 0 });
-        t.push(Op::ArBlocking { doubles: 2 });
-        t.push(Op::Pc {
-            matrix: m,
-            flops_per_row: 1.0,
-            bytes_per_row: 24.0,
-            comm_rounds: 0,
-        });
+        t.push(Op::spmv(m));
+        t.push(Op::post(0, 6));
+        t.push(Op::spmv(m));
+        t.push(Op::wait(0));
+        t.push(Op::blocking(2));
+        t.push(Op::pc(m, 1.0, 24.0, 0));
         assert_eq!(t.len(), 6);
         assert_eq!(t.comm_counts(), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn completion_edges_pair_posts_with_waits() {
+        let mut t = OpTrace::new(8);
+        t.push(Op::post(7, 3)); // 0
+        t.push(Op::spmv(0)); // 1
+        t.push(Op::post(9, 3)); // 2
+        t.push(Op::wait(7)); // 3
+        t.push(Op::wait(9)); // 4
+        t.push(Op::post(11, 3)); // 5: leaked — no edge
+        assert_eq!(t.completion_edges(), vec![(0, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn reads_writes_skip_anonymous() {
+        let op = Op::Local {
+            kind: LocalKind::Dot,
+            flops_per_row: 2.0,
+            bytes_per_row: 16.0,
+            reads: [BufId(3), BufId::ANON],
+            write: BufId::ANON,
+        };
+        assert_eq!(op.reads(), vec![BufId(3)]);
+        assert!(op.writes().is_empty());
+        assert!(Op::spmv(0).reads().is_empty());
+        let sp = Op::Spmv {
+            matrix: 0,
+            x: BufId(1),
+            y: BufId(2),
+        };
+        assert_eq!(sp.reads(), vec![BufId(1)]);
+        assert_eq!(sp.writes(), vec![BufId(2)]);
     }
 }

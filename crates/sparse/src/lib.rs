@@ -23,6 +23,7 @@
 // (triangular sweeps, stencil assembly); the iterator rewrites clippy
 // suggests obscure the row/column structure.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 pub mod coo;
 pub mod csr;
@@ -33,6 +34,7 @@ pub mod kernels;
 pub mod multivec;
 pub mod op;
 pub mod partition;
+pub mod rng;
 pub mod stencil;
 pub mod suitesparse;
 
@@ -43,4 +45,5 @@ pub use error::SparseError;
 pub use multivec::MultiVector;
 pub use op::{ApplyCost, IdentityOp, Operator};
 pub use partition::RowBlockPartition;
+pub use rng::SplitMix64;
 pub use stencil::Grid3;

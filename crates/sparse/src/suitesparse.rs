@@ -21,9 +21,8 @@
 //! layered, high-contrast field for Serena.
 
 use crate::csr::CsrMatrix;
+use crate::rng::SplitMix64;
 use crate::stencil::{self, Grid3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Which surrogate to generate; carries the paper's reference metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,10 +106,10 @@ pub fn ecology2_like(nx: usize, ny: usize) -> CsrMatrix {
 /// thermal2 surrogate: 3-D 7-point operator with log-uniform cellwise
 /// conductivities spanning three orders of magnitude.
 pub fn thermal2_like(grid: Grid3, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let coeff: Vec<f64> = (0..grid.len())
         .map(|_| {
-            let e: f64 = rng.gen_range(-1.5..1.5);
+            let e = rng.uniform(-1.5, 1.5);
             10f64.powf(e)
         })
         .collect();
@@ -121,14 +120,14 @@ pub fn thermal2_like(grid: Grid3, seed: u64) -> CsrMatrix {
 /// high-contrast coefficient field — stiff layers alternating with soft ones
 /// along z, plus pointwise jitter, mimicking a reservoir's rock strata.
 pub fn serena_like(grid: Grid3, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut coeff = vec![0.0f64; grid.len()];
     for z in 0..grid.nz {
         // Layers of ~7 cells; stiffness contrast 1e3 between layer types.
         let layer_stiff = if (z / 7) % 3 == 0 { 1e3 } else { 1.0 };
         for y in 0..grid.ny {
             for x in 0..grid.nx {
-                let jitter: f64 = rng.gen_range(0.5..2.0);
+                let jitter = rng.uniform(0.5, 2.0);
                 coeff[grid.idx(x, y, z)] = layer_stiff * jitter;
             }
         }

@@ -1,48 +1,52 @@
-//! Property-based tests (proptest) on the sparse substrate: CSR structure,
-//! SpMV algebra, transposition, sparse products, dense LU and the block
-//! kernels the s-step recurrences are built from.
+//! Property-style tests on the sparse substrate: CSR structure, SpMV
+//! algebra, transposition, sparse products, dense LU and the block kernels
+//! the s-step recurrences are built from.
+//!
+//! The environment is offline, so instead of proptest these run each
+//! property over a deterministic sweep of seeded random inputs drawn from
+//! [`pscg_sparse::SplitMix64`]; failures report the seed so a case can be
+//! replayed exactly.
 
-use proptest::prelude::*;
 use pscg_sparse::dense::DenseMatrix;
-use pscg_sparse::{kernels, CooMatrix, CsrMatrix, MultiVector};
+use pscg_sparse::{kernels, CooMatrix, CsrMatrix, MultiVector, SplitMix64};
 
-/// Strategy: a random sparse SPD-ish matrix built as `B + BT + n·I` from a
-/// random sparse B — symmetric and strictly diagonally dominant.
-fn spd_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
-    (2usize..max_n)
-        .prop_flat_map(|n| {
-            (
-                Just(n),
-                proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..4 * n),
-            )
-        })
-        .prop_map(|(n, trips)| {
-            let mut coo = CooMatrix::new(n, n);
-            for (r, c, v) in trips {
-                coo.push_sym(r, c, v).unwrap();
-            }
-            for i in 0..n {
-                // Dominant diagonal: each row has at most ~8 entries of |v|<=1
-                // from the random triples (duplicates sum, so bound by count).
-                coo.push(i, i, 4.0 * n as f64).unwrap();
-            }
-            coo.to_csr()
-        })
+/// A random sparse SPD-ish matrix built as `B + Bᵀ + c·I` from a random
+/// sparse B — symmetric and strictly diagonally dominant.
+fn spd_matrix(rng: &mut SplitMix64, max_n: usize) -> CsrMatrix {
+    let n = 2 + rng.below(max_n.saturating_sub(2).max(1));
+    let ntrips = rng.below(4 * n);
+    let mut coo = CooMatrix::new(n, n);
+    for _ in 0..ntrips {
+        let r = rng.below(n);
+        let c = rng.below(n);
+        let v = rng.uniform(-1.0, 1.0);
+        coo.push_sym(r, c, v).unwrap();
+    }
+    for i in 0..n {
+        // Dominant diagonal: each row has at most ~8 entries of |v|<=1 from
+        // the random triples (duplicates sum, so bound by count).
+        coo.push(i, i, 4.0 * n as f64).unwrap();
+    }
+    coo.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_roundtrips_through_matrix_market(a in spd_matrix(12)) {
+#[test]
+fn csr_roundtrips_through_matrix_market() {
+    for seed in 0..48u64 {
+        let a = spd_matrix(&mut SplitMix64::new(seed), 12);
         let mut buf = Vec::new();
         pscg_sparse::io::write_matrix_market(&a, &mut buf).unwrap();
         let b = pscg_sparse::io::read_matrix_market(buf.as_slice()).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn spmv_is_linear(a in spd_matrix(12), s1 in -3.0f64..3.0, s2 in -3.0f64..3.0) {
+#[test]
+fn spmv_is_linear() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let a = spd_matrix(&mut rng, 12);
+        let (s1, s2) = (rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0));
         let n = a.nrows();
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
@@ -56,12 +60,18 @@ proptest! {
         let ay = a.mul_vec(&y);
         for i in 0..n {
             let rhs = s1 * ax[i] + s2 * ay[i];
-            prop_assert!((lhs[i] - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
+            assert!(
+                (lhs[i] - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn transpose_preserves_spmv_adjoint(a in spd_matrix(12)) {
+#[test]
+fn transpose_preserves_spmv_adjoint() {
+    for seed in 0..48u64 {
+        let a = spd_matrix(&mut SplitMix64::new(seed), 12);
         // (Ax, y) == (x, AT y)
         let n = a.nrows();
         let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
@@ -69,11 +79,14 @@ proptest! {
         let at = a.transpose();
         let lhs = kernels::dot(&a.mul_vec(&x), &y);
         let rhs = kernels::dot(&x, &at.mul_vec(&y));
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn matmul_agrees_with_composition(a in spd_matrix(10)) {
+#[test]
+fn matmul_agrees_with_composition() {
+    for seed in 0..32u64 {
+        let a = spd_matrix(&mut SplitMix64::new(seed), 10);
         // (A*A)x == A(Ax)
         let n = a.nrows();
         let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
@@ -81,24 +94,40 @@ proptest! {
         let lhs = a2.mul_vec(&x);
         let rhs = a.mul_vec(&a.mul_vec(&x));
         for i in 0..n {
-            prop_assert!((lhs[i] - rhs[i]).abs() <= 1e-6 * (1.0 + rhs[i].abs()));
+            assert!(
+                (lhs[i] - rhs[i]).abs() <= 1e-6 * (1.0 + rhs[i].abs()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn generated_matrices_are_spd_certified(a in spd_matrix(14)) {
-        prop_assert!(a.is_symmetric(1e-12));
-        prop_assert!(a.is_diagonally_dominant());
+#[test]
+fn generated_matrices_are_spd_certified() {
+    for seed in 0..48u64 {
+        let a = spd_matrix(&mut SplitMix64::new(seed), 14);
+        assert!(a.is_symmetric(1e-12), "seed {seed}");
+        assert!(a.is_diagonally_dominant(), "seed {seed}");
         // Gershgorin upper bound dominates the Rayleigh quotient of any x.
         let n = a.nrows();
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.5).collect();
         let rayleigh = kernels::dot(&x, &a.mul_vec(&x)) / kernels::dot(&x, &x);
-        prop_assert!(rayleigh <= a.gershgorin_upper() * (1.0 + 1e-12));
-        prop_assert!(rayleigh > 0.0, "SPD matrices have positive Rayleigh quotients");
+        assert!(
+            rayleigh <= a.gershgorin_upper() * (1.0 + 1e-12),
+            "seed {seed}"
+        );
+        assert!(
+            rayleigh > 0.0,
+            "SPD matrices have positive Rayleigh quotients (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn lu_solves_what_it_factors(a in spd_matrix(10), seed in 0u64..1000) {
+#[test]
+fn lu_solves_what_it_factors() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let a = spd_matrix(&mut rng, 10);
         let n = a.nrows();
         // Dense copy of the sparse SPD matrix.
         let mut d = DenseMatrix::zeros(n, n);
@@ -107,16 +136,26 @@ proptest! {
                 d.set(r, c, a.row_vals(r)[k]);
             }
         }
-        let xstar: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0).collect();
+        let xstar: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0)
+            .collect();
         let b = d.matvec(&xstar);
         let x = d.solve(&b).unwrap();
         for i in 0..n {
-            prop_assert!((x[i] - xstar[i]).abs() <= 1e-7 * (1.0 + xstar[i].abs()));
+            assert!(
+                (x[i] - xstar[i]).abs() <= 1e-7 * (1.0 + xstar[i].abs()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn block_addmul_matches_columnwise_axpys(ncols in 1usize..4, n in 4usize..40) {
+#[test]
+fn block_addmul_matches_columnwise_axpys() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let ncols = 1 + rng.below(3);
+        let n = 4 + rng.below(36);
         let cols: Vec<Vec<f64>> = (0..ncols)
             .map(|j| (0..n).map(|i| ((i + 3 * j) as f64 * 0.31).sin()).collect())
             .collect();
@@ -138,37 +177,51 @@ proptest! {
         }
         for j in 0..ncols {
             for i in 0..n {
-                prop_assert!((x1.col(j)[i] - x2.col(j)[i]).abs() < 1e-12);
+                assert!((x1.col(j)[i] - x2.col(j)[i]).abs() < 1e-12, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn gram_is_transpose_symmetric(n in 4usize..30, k in 1usize..4) {
+#[test]
+fn gram_is_transpose_symmetric() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 4 + rng.below(26);
+        let k = 1 + rng.below(3);
         let cols: Vec<Vec<f64>> = (0..k)
-            .map(|j| (0..n).map(|i| ((i * (j + 2)) as f64 * 0.17).cos()).collect())
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * (j + 2)) as f64 * 0.17).cos())
+                    .collect()
+            })
             .collect();
         let x = MultiVector::from_columns(&cols.iter().map(|c| c.as_slice()).collect::<Vec<_>>());
         let g = x.gram(&x);
         for i in 0..k {
             for j in 0..k {
-                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+                assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12, "seed {seed}");
             }
-            prop_assert!(g.get(i, i) >= 0.0);
+            assert!(g.get(i, i) >= 0.0, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn partition_covers_and_balances(n in 1usize..5000, p in 1usize..64) {
+#[test]
+fn partition_covers_and_balances() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..64 {
+        let n = 1 + rng.below(4999);
+        let p = 1 + rng.below(63);
         let part = pscg_sparse::RowBlockPartition::balanced(n, p);
-        prop_assert_eq!(part.nrows(), n);
+        assert_eq!(part.nrows(), n);
         let mut total = 0;
         for r in 0..p {
             let len = part.local_len(r);
             total += len;
             // Balanced: lengths differ by at most 1.
-            prop_assert!(len + 1 >= n / p && len <= n / p + 1);
+            assert!(len + 1 >= n / p && len <= n / p + 1, "n={n} p={p}");
         }
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
     }
 }
