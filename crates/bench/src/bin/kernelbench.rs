@@ -1,0 +1,378 @@
+//! Kernel-engine benchmark: per-kernel GFLOP/s at several thread counts.
+//!
+//! ```text
+//! kernelbench [--grid N] [--threads LIST] [--s S] [--out PATH] [--check] [tune]
+//! ```
+//!
+//! Measures the three hot paths of the s-step overlap window — SpMV, the
+//! blocked Gram product and the fused recurrence update sweep — on the 7-pt
+//! Poisson stencil at `N³` (default 256³, the CI perf-smoke problem), each
+//! at every thread count in `--threads` (default `1,4`). Writes a JSON
+//! baseline (`--out`, default `BENCH_kernels.json`) recording medians,
+//! GFLOP/s and speedups vs the serial run.
+//!
+//! `--check` enforces the perf-smoke gate: parallel SpMV at the highest
+//! thread count must not be slower than serial. The gate only binds when
+//! the host actually has that many cores — on a smaller machine the result
+//! is recorded as skipped (a 4-thread pool on one core measures oversubscription,
+//! not the engine).
+//!
+//! `tune` sweeps the chunk-size knobs around the model defaults
+//! ([`pipescg::autotune::KernelTuning`]) and prints the best setting.
+
+use std::fmt::Write as _;
+
+use pipescg::autotune::KernelTuning;
+use pscg_bench::microbench::{gflops_per_sec, Group};
+use pscg_par::{knobs, Pool};
+use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+use pscg_sparse::{CsrMatrix, MultiVector};
+
+/// One measured (kernel, thread-count) cell.
+struct Cell {
+    kernel: &'static str,
+    threads: usize,
+    median_secs: f64,
+    gflops: f64,
+}
+
+struct Config {
+    grid: usize,
+    threads: Vec<usize>,
+    s: usize,
+    out: String,
+    check: bool,
+    tune: bool,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        grid: 256,
+        threads: vec![1, 4],
+        s: 4,
+        out: "BENCH_kernels.json".to_string(),
+        check: false,
+        tune: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--grid" => cfg.grid = val("--grid").parse().expect("--grid: integer"),
+            "--threads" => {
+                cfg.threads = val("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads: integers"))
+                    .collect();
+            }
+            "--s" => cfg.s = val("--s").parse().expect("--s: integer"),
+            "--out" => cfg.out = val("--out"),
+            "--check" => cfg.check = true,
+            "tune" => cfg.tune = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: kernelbench [--grid N] [--threads LIST] [--s S] \
+                     [--out PATH] [--check] [tune]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        !cfg.threads.is_empty(),
+        "--threads: need at least one count"
+    );
+    cfg
+}
+
+/// Workload of one fused update sweep: `dst = src[:, 1..s+1] + prev·B`
+/// followed by one `dst_col = src_col − X·a` basis shift.
+fn fused_flops(n: usize, s: usize) -> u64 {
+    (2 * s * s * n + 2 * s * n) as u64
+}
+
+fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
+    let n = a.nrows();
+    let s = cfg.s;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut y = vec![0.0; n];
+    let cols: Vec<Vec<f64>> = (0..s + 1)
+        .map(|j| {
+            (0..n)
+                .map(|i| ((i * (j + 1)) as f64 * 0.01).cos())
+                .collect()
+        })
+        .collect();
+    let src = MultiVector::from_columns(&cols.iter().map(|c| c.as_slice()).collect::<Vec<_>>());
+    let prev = {
+        let pc: Vec<&[f64]> = cols[..s].iter().map(|c| c.as_slice()).collect();
+        MultiVector::from_columns(&pc)
+    };
+    let mut dst = MultiVector::zeros(n, s);
+    let bmat = {
+        let mut b = pscg_sparse::dense::DenseMatrix::zeros(s, s);
+        for i in 0..s {
+            for j in 0..s {
+                b.set(i, j, 0.01 * (1 + i + 2 * j) as f64);
+            }
+        }
+        b
+    };
+    let alpha: Vec<f64> = (0..s).map(|k| 0.1 + 0.05 * k as f64).collect();
+    let mut shift = vec![0.0; n];
+
+    let mut cells = Vec::new();
+    for &t in &cfg.threads {
+        let pool = Pool::new(t);
+        let group = Group::new(&format!("kernels_{}cube_t{t}", cfg.grid));
+        let spmv_fl = 2 * a.nnz() as u64;
+        let m = group.bench_flops("spmv", a.nnz() as u64, spmv_fl, || {
+            a.spmv_with(
+                &pool,
+                std::hint::black_box(&x),
+                std::hint::black_box(&mut y),
+            )
+        });
+        cells.push(Cell {
+            kernel: "spmv",
+            threads: t,
+            median_secs: m,
+            gflops: gflops_per_sec(spmv_fl, m),
+        });
+
+        let gram_fl = (2 * s * s * n) as u64;
+        let m = group.bench_flops("gram", (s * s * n) as u64, gram_fl, || {
+            std::hint::black_box(prev.gram_with(&pool, std::hint::black_box(&prev)));
+        });
+        cells.push(Cell {
+            kernel: "gram",
+            threads: t,
+            median_secs: m,
+            gflops: gflops_per_sec(gram_fl, m),
+        });
+
+        let fu_fl = fused_flops(n, s);
+        let m = group.bench_flops("fused_update", (s * n) as u64, fu_fl, || {
+            dst.combine_window_with(&pool, std::hint::black_box(&src), 1, &prev, &bmat);
+            prev.gemv_sub_into_with(&pool, &alpha, src.col(0), std::hint::black_box(&mut shift));
+        });
+        cells.push(Cell {
+            kernel: "fused_update",
+            threads: t,
+            median_secs: m,
+            gflops: gflops_per_sec(fu_fl, m),
+        });
+    }
+    cells
+}
+
+/// Serial-baseline speedup of `kernel` at `threads`, if both were measured.
+fn speedup(cells: &[Cell], kernel: &str, threads: usize) -> Option<f64> {
+    let serial = cells
+        .iter()
+        .find(|c| c.kernel == kernel && c.threads == 1)?;
+    let par = cells
+        .iter()
+        .find(|c| c.kernel == kernel && c.threads == threads)?;
+    Some(serial.median_secs / par.median_secs)
+}
+
+fn write_json(cfg: &Config, a: &CsrMatrix, cells: &[Cell], gate: &GateResult) -> String {
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"kernels\",");
+    let _ = writeln!(
+        out,
+        "  \"problem\": {{ \"stencil\": \"poisson3d_7pt\", \"grid\": {}, \"nrows\": {}, \"nnz\": {} }},",
+        cfg.grid,
+        a.nrows(),
+        a.nnz()
+    );
+    let _ = writeln!(out, "  \"s\": {},", cfg.s);
+    let _ = writeln!(out, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(
+        out,
+        "  \"knobs\": {{ \"spmv_chunk_nnz\": {}, \"gram_chunk_rows\": {} }},",
+        knobs::spmv_chunk_nnz(),
+        knobs::gram_chunk_rows()
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"kernel\": \"{}\", \"threads\": {}, \"median_secs\": {:.6e}, \"gflops\": {:.4} }}{comma}",
+            c.kernel, c.threads, c.median_secs, c.gflops
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"speedup_vs_serial\": {{");
+    let tmax = *cfg.threads.iter().max().unwrap();
+    let kernels = ["spmv", "gram", "fused_update"];
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        match speedup(cells, k, tmax) {
+            Some(sp) => {
+                let _ = writeln!(out, "    \"{k}@{tmax}\": {sp:.3}{comma}");
+            }
+            None => {
+                let _ = writeln!(out, "    \"{k}@{tmax}\": null{comma}");
+            }
+        }
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(
+        out,
+        "  \"check\": {{ \"enforced\": {}, \"passed\": {}, \"detail\": \"{}\" }}",
+        gate.enforced,
+        gate.passed.map_or("null".to_string(), |p| p.to_string()),
+        gate.detail
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+struct GateResult {
+    enforced: bool,
+    passed: Option<bool>,
+    detail: String,
+}
+
+/// The perf-smoke gate: SpMV at the top thread count must not lose to
+/// serial — enforced only when the host can actually run that many lanes.
+fn evaluate_gate(cfg: &Config, cells: &[Cell]) -> GateResult {
+    let tmax = *cfg.threads.iter().max().unwrap();
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if tmax <= 1 {
+        return GateResult {
+            enforced: false,
+            passed: None,
+            detail: "single-threaded run, nothing to compare".into(),
+        };
+    }
+    let Some(sp) = speedup(cells, "spmv", tmax) else {
+        return GateResult {
+            enforced: false,
+            passed: None,
+            detail: "no serial baseline measured".into(),
+        };
+    };
+    if host_cores < tmax {
+        return GateResult {
+            enforced: false,
+            passed: None,
+            detail: format!(
+                "host has {host_cores} core(s) < {tmax} threads; speedup {sp:.3} recorded, gate skipped"
+            ),
+        };
+    }
+    GateResult {
+        enforced: true,
+        passed: Some(sp >= 1.0),
+        detail: format!("spmv speedup at {tmax} threads: {sp:.3} (required >= 1.0)"),
+    }
+}
+
+/// Sweeps the chunk knobs around the model suggestion, serially re-timing
+/// SpMV and Gram, and prints the empirical best.
+fn tune(cfg: &Config, a: &mut CsrMatrix) {
+    let n = a.nrows();
+    let suggested = KernelTuning::for_problem(a.nnz(), cfg.s);
+    println!(
+        "\nmodel suggestion: threads = {}, spmv_chunk_nnz = {}, gram_chunk_rows = {}",
+        suggested.threads, suggested.spmv_chunk_nnz, suggested.gram_chunk_rows
+    );
+    let pool = Pool::new(*cfg.threads.iter().max().unwrap());
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut y = vec![0.0; n];
+
+    let group = Group::new("tune_spmv_chunk_nnz");
+    let mut best = (f64::INFINITY, 0usize);
+    for shift in [14u32, 15, 16, 17] {
+        let chunk = 1usize << shift;
+        knobs::set_spmv_chunk_nnz(chunk);
+        a.reset_par_rows();
+        let m = group.bench_flops(
+            &format!("nnz={chunk}"),
+            a.nnz() as u64,
+            2 * a.nnz() as u64,
+            || {
+                a.spmv_with(
+                    &pool,
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&mut y),
+                )
+            },
+        );
+        if m < best.0 {
+            best = (m, chunk);
+        }
+    }
+    println!("\nbest spmv_chunk_nnz: {}", best.1);
+    knobs::set_spmv_chunk_nnz(best.1);
+
+    let s = cfg.s;
+    let cols: Vec<Vec<f64>> = (0..s)
+        .map(|j| {
+            (0..n)
+                .map(|i| ((i * (j + 1)) as f64 * 0.01).cos())
+                .collect()
+        })
+        .collect();
+    let mv = MultiVector::from_columns(&cols.iter().map(|c| c.as_slice()).collect::<Vec<_>>());
+    let group = Group::new("tune_gram_chunk_rows");
+    let mut best = (f64::INFINITY, 0usize);
+    for rows in [1024usize, 4096, 16384] {
+        knobs::set_gram_chunk_rows(rows);
+        let m = group.bench_flops(
+            &format!("rows={rows}"),
+            (s * s * n) as u64,
+            (2 * s * s * n) as u64,
+            || {
+                std::hint::black_box(mv.gram_with(&pool, std::hint::black_box(&mv)));
+            },
+        );
+        if m < best.0 {
+            best = (m, rows);
+        }
+    }
+    println!("\nbest gram_chunk_rows: {}", best.1);
+    knobs::set_gram_chunk_rows(best.1);
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "# kernelbench — 7pt Poisson {0}³ ({1} threads), s = {2}",
+        cfg.grid,
+        cfg.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+        cfg.s
+    );
+    let mut a = poisson3d_7pt(Grid3::cube(cfg.grid), None);
+    println!("nrows = {}, nnz = {}", a.nrows(), a.nnz());
+
+    if cfg.tune {
+        tune(&cfg, &mut a);
+    }
+
+    let cells = bench_all(&cfg, &a);
+    let gate = evaluate_gate(&cfg, &cells);
+    let json = write_json(&cfg, &a, &cells, &gate);
+    std::fs::write(&cfg.out, &json).expect("write bench report");
+    println!("\nwrote {}", cfg.out);
+    println!("gate: {}", gate.detail);
+
+    if cfg.check && gate.enforced && gate.passed == Some(false) {
+        eprintln!("FAIL: {}", gate.detail);
+        std::process::exit(1);
+    }
+}

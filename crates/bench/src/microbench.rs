@@ -23,8 +23,8 @@ impl Group {
     /// Starts a group and prints its header.
     pub fn new(name: &str) -> Self {
         println!("\n## {name}\n");
-        println!("| case | median | per-elem | iters/sample |");
-        println!("|---|---|---|---|");
+        println!("| case | median | per-elem | GFLOP/s | iters/sample |");
+        println!("|---|---|---|---|---|");
         Group {
             name: name.to_string(),
             sample_seconds: 0.05,
@@ -39,7 +39,14 @@ impl Group {
 
     /// Times `f`, printing a row. `elements` scales the per-element column
     /// (pass 0 to omit it).
-    pub fn bench<F: FnMut()>(&self, case: &str, elements: u64, mut f: F) {
+    pub fn bench<F: FnMut()>(&self, case: &str, elements: u64, f: F) {
+        self.bench_flops(case, elements, 0, f);
+    }
+
+    /// Times `f`, printing a row including throughput for a known per-call
+    /// FLOP count (pass 0 to omit the GFLOP/s column). Returns the median
+    /// seconds per call so callers can derive speedups and reports.
+    pub fn bench_flops<F: FnMut()>(&self, case: &str, elements: u64, flops: u64, mut f: F) -> f64 {
         // Warmup + calibration: find an iteration count filling the budget.
         let t0 = Instant::now();
         f();
@@ -61,16 +68,27 @@ impl Group {
         } else {
             "—".to_string()
         };
+        let gflops = if flops > 0 {
+            format!("{:.2}", gflops_per_sec(flops, median))
+        } else {
+            "—".to_string()
+        };
         println!(
-            "| {case} | {} | {per_elem} | {iters} |",
+            "| {case} | {} | {per_elem} | {gflops} | {iters} |",
             format_time(median)
         );
+        median
     }
 
     /// The group's name (for cross-referencing in logs).
     pub fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// Throughput in GFLOP/s for `flops` floating-point operations in `secs`.
+pub fn gflops_per_sec(flops: u64, secs: f64) -> f64 {
+    flops as f64 / secs.max(1e-12) / 1e9
 }
 
 /// Formats a duration in engineer-friendly units.
@@ -105,5 +123,24 @@ mod tests {
         g.bench("counter", 0, || count += 1);
         assert!(count > 0);
         assert_eq!(g.name(), "selftest");
+    }
+
+    #[test]
+    fn bench_flops_returns_positive_median() {
+        let g = Group::new("selftest-flops").sample_seconds(0.001);
+        let mut acc = 0.0f64;
+        let median = g.bench_flops("fma", 64, 128, || {
+            for i in 0..64 {
+                acc += i as f64 * 0.5;
+            }
+        });
+        assert!(median > 0.0);
+        assert!(acc != 0.0);
+    }
+
+    #[test]
+    fn gflops_conversion_is_sane() {
+        assert!((gflops_per_sec(2_000_000_000, 1.0) - 2.0).abs() < 1e-12);
+        assert!(gflops_per_sec(1, 0.0) > 0.0);
     }
 }

@@ -101,6 +101,69 @@ pub fn best_s_jacobi(machine: &Machine, profile: &MatrixProfile, p: usize) -> SC
     best_s(machine, profile, p, 1.0, 24.0, &[1, 2, 3, 4, 5, 6, 7, 8])
 }
 
+/// Tuning of the shared-memory kernel engine (`pscg_par`): thread count and
+/// the fixed chunk sizes of the determinism contract.
+///
+/// The model is deliberately simple. Threads come from the host (or
+/// `PSCG_THREADS`). The SpMV chunk target splits the matrix into at least
+/// `4 × threads` chunks — enough slack for dynamic claiming to absorb nnz
+/// imbalance — but never below a floor that keeps per-chunk pool overhead
+/// (~1 µs) under ~1 % of chunk work. The Gram chunk keeps an `s`-column
+/// block of both operands resident in half of a typical 1 MiB-per-core L2.
+/// `crates/bench`'s `kernelbench tune` sweeps both knobs empirically around
+/// these defaults; [`KernelTuning::apply`] installs a choice process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTuning {
+    /// Execution lanes for the global pool.
+    pub threads: usize,
+    /// Non-zeros per SpMV row chunk.
+    pub spmv_chunk_nnz: usize,
+    /// Rows per Gram/update chunk.
+    pub gram_chunk_rows: usize,
+}
+
+impl KernelTuning {
+    /// Floor on the SpMV chunk so pool dispatch stays negligible.
+    const MIN_SPMV_CHUNK_NNZ: usize = 1 << 14;
+
+    /// Model-based tuning for a problem of `nnz` non-zeros at Gram width
+    /// `s`, using the environment's thread count.
+    pub fn for_problem(nnz: usize, s: usize) -> KernelTuning {
+        let threads = pscg_par::default_threads();
+        let target_chunks = 4 * threads;
+        let spmv_chunk_nnz = (nnz / target_chunks.max(1)).clamp(
+            Self::MIN_SPMV_CHUNK_NNZ,
+            pscg_par::knobs::DEFAULT_SPMV_CHUNK_NNZ,
+        );
+        // Two operands of s columns each in half an L2: 2·s·rows·8 B ≤ 512 KiB.
+        let gram_chunk_rows =
+            (512 * 1024 / (16 * s.max(1))).clamp(1024, pscg_par::knobs::DEFAULT_GRAM_CHUNK_ROWS);
+        KernelTuning {
+            threads,
+            spmv_chunk_nnz,
+            gram_chunk_rows,
+        }
+    }
+
+    /// The engine's current (or default) settings.
+    pub fn current() -> KernelTuning {
+        KernelTuning {
+            threads: pscg_par::global_threads(),
+            spmv_chunk_nnz: pscg_par::knobs::spmv_chunk_nnz(),
+            gram_chunk_rows: pscg_par::knobs::gram_chunk_rows(),
+        }
+    }
+
+    /// Installs this tuning process-wide. Chunk-size changes only affect
+    /// matrices whose row partition has not been cached yet, so apply
+    /// before building operators.
+    pub fn apply(&self) {
+        pscg_par::set_global_threads(self.threads);
+        pscg_par::knobs::set_spmv_chunk_nnz(self.spmv_chunk_nnz);
+        pscg_par::knobs::set_gram_chunk_rows(self.gram_chunk_rows);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +229,22 @@ mod tests {
         let m = Machine::ideal(24);
         let prof = paper_profile();
         assert_eq!(best_s_jacobi(&m, &prof, 2880).s, 1);
+    }
+
+    #[test]
+    fn kernel_tuning_respects_bounds() {
+        for (nnz, s) in [(1000, 1), (7 * 16_777_216, 4), (124_000_000, 8)] {
+            let t = KernelTuning::for_problem(nnz, s);
+            assert!(t.threads >= 1);
+            assert!(t.spmv_chunk_nnz >= KernelTuning::MIN_SPMV_CHUNK_NNZ);
+            assert!(t.spmv_chunk_nnz <= pscg_par::knobs::DEFAULT_SPMV_CHUNK_NNZ);
+            assert!((1024..=pscg_par::knobs::DEFAULT_GRAM_CHUNK_ROWS).contains(&t.gram_chunk_rows));
+        }
+        // A tiny problem maxes out the chunk floor (stays serial-ish); the
+        // paper-size problem saturates the default target.
+        assert_eq!(
+            KernelTuning::for_problem(1000, 1).spmv_chunk_nnz,
+            KernelTuning::MIN_SPMV_CHUNK_NNZ
+        );
     }
 }

@@ -221,12 +221,21 @@ pub fn solve_with<C: Context>(
             extend_powers(ctx, &mut rpow_next, &mut upow_next, 0, s, sigma);
         } else {
             // Lines 28–33: fresh bases by recurrence only —
-            // rpow[j] ← rpow[j] − AQ2m[j]·α, upow[j] ← upow[j] − AQm[j]·α.
+            // rpow[j] ← rpow[j] − AQ2m[j]·α, upow[j] ← upow[j] − AQm[j]·α,
+            // each column as one fused copy-and-subtract sweep.
             for j in 0..=s {
-                ctx.copy_v(rpow.col(j), rpow_next.col_mut(j));
-                ctx.block_gemv_sub(&rapow[j], &scalar.alpha, rpow_next.col_mut(j));
-                ctx.copy_v(upow.col(j), upow_next.col_mut(j));
-                ctx.block_gemv_sub(&uapow[j], &scalar.alpha, upow_next.col_mut(j));
+                ctx.block_gemv_sub_into(
+                    &rapow[j],
+                    &scalar.alpha,
+                    rpow.col(j),
+                    rpow_next.col_mut(j),
+                );
+                ctx.block_gemv_sub_into(
+                    &uapow[j],
+                    &scalar.alpha,
+                    upow.col(j),
+                    upow_next.col_mut(j),
+                );
             }
         }
 

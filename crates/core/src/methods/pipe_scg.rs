@@ -147,10 +147,10 @@ fn solve_inner<C: Context>(
         ctx.block_gemv_acc(&dirs, &alpha_x, &mut x);
 
         // Lines 22–25: the new basis by recurrence only —
-        // A^j r_{i+1} = A^j r_i − AQm[j]·α for j = 0..=s. No SPMV.
+        // A^j r_{i+1} = A^j r_i − AQm[j]·α for j = 0..=s, each column as
+        // one fused copy-and-subtract sweep. No SPMV.
         for j in 0..=s {
-            ctx.copy_v(pow.col(j), pow_next.col_mut(j));
-            ctx.block_gemv_sub(&apow[j], &scalar.alpha, pow_next.col_mut(j));
+            ctx.block_gemv_sub_into(&apow[j], &scalar.alpha, pow.col(j), pow_next.col_mut(j));
         }
 
         // Line 26–27: dot products of the new basis, posted non-blocking.
@@ -309,8 +309,7 @@ pub mod broken {
             ctx.block_gemv_acc(&dirs, &alpha_x, &mut x);
 
             for j in 0..=s {
-                ctx.copy_v(pow.col(j), pow_next.col_mut(j));
-                ctx.block_gemv_sub(&apow[j], &scalar.alpha, pow_next.col_mut(j));
+                ctx.block_gemv_sub_into(&apow[j], &scalar.alpha, pow.col(j), pow_next.col_mut(j));
             }
 
             let pkt = GramPacket::assemble(ctx, s, &pow_next, &pow_next, &dirs);

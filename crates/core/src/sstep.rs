@@ -180,7 +180,7 @@ pub fn copy_cols<C: Context>(
 
 /// The recurrence linear combination of the paper: builds
 /// `dst = src[:, off..off+s] + prev · B` (e.g. `Q = Q + P[β¹…βˢ]`,
-/// Algorithm 5 lines 17/19).
+/// Algorithm 5 lines 17/19) — as a single fused sweep over the rows.
 pub fn conjugate_window<C: Context>(
     ctx: &mut C,
     dst: &mut MultiVector,
@@ -189,9 +189,7 @@ pub fn conjugate_window<C: Context>(
     prev: &MultiVector,
     b: &DenseMatrix,
 ) {
-    let s = dst.ncols();
-    copy_cols(ctx, dst, src, off, s);
-    ctx.block_add_mul(dst, prev, b);
+    ctx.block_combine(dst, src, off, prev, b);
 }
 
 /// Cross-iteration scalar state of an s-step method.

@@ -246,6 +246,51 @@ pub trait Context {
         self.charge_local_rw(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0), [bx, by], by);
     }
 
+    /// Fused conjugation sweep `dst = src[:, off..off+s] + prev·B` — the
+    /// column copies and the recurrence LC in one pass over the rows.
+    ///
+    /// Numerically and trace-wise indistinguishable from the
+    /// `copy_v`-per-column + [`Context::block_add_mul`] sequence it
+    /// replaces: the fused kernel preserves each element's accumulation
+    /// chain (bitwise-equal results) and the cost declarations below emit
+    /// the exact legacy op sequence, so analyzers and Table-I accounting
+    /// see no difference.
+    fn block_combine(
+        &mut self,
+        dst: &mut MultiVector,
+        src: &MultiVector,
+        off: usize,
+        prev: &MultiVector,
+        b: &DenseMatrix,
+    ) {
+        dst.combine_window(src, off, prev, b);
+        for j in 0..dst.ncols() {
+            let (bs, bd) = (self.buf_of(src.col(off + j)), self.buf_of(dst.col(j)));
+            self.charge_local_rw(LocalKind::Vma, 0.0, 16.0, [bs, BufId::ANON], bd);
+        }
+        let (k, m) = (prev.ncols() as f64, dst.ncols() as f64);
+        let (bx, by) = (self.buf_of_multi(dst), self.buf_of_multi(prev));
+        self.charge_local_rw(
+            LocalKind::Vma,
+            2.0 * k * m,
+            8.0 * (k + 2.0 * m),
+            [by, bx],
+            bx,
+        );
+    }
+
+    /// Fused basis shift `dst = src − X·a` — the power-list copy and the
+    /// `gemv_sub` in one pass (see [`Context::block_combine`] for the
+    /// trace-equivalence contract).
+    fn block_gemv_sub_into(&mut self, x: &MultiVector, a: &[f64], src: &[f64], dst: &mut [f64]) {
+        x.gemv_sub_into(a, src, dst);
+        let (bs, bd) = (self.buf_of(src), self.buf_of(dst));
+        self.charge_local_rw(LocalKind::Vma, 0.0, 16.0, [bs, BufId::ANON], bd);
+        let k = x.ncols() as f64;
+        let (bx, by) = (self.buf_of_multi(x), self.buf_of(dst));
+        self.charge_local_rw(LocalKind::Vma, 2.0 * k, 8.0 * (k + 2.0), [bx, by], by);
+    }
+
     /// Local Gram product `XᵀY`; combine entries with an allreduce.
     fn local_gram(&mut self, x: &MultiVector, y: &MultiVector) -> DenseMatrix {
         let (kx, ky) = (x.ncols() as f64, y.ncols() as f64);

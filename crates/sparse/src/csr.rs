@@ -1,5 +1,9 @@
 //! Compressed sparse row matrices and the SpMV kernel.
 
+use std::sync::OnceLock;
+
+use pscg_par::{DisjointMut, Pool};
+
 use crate::error::SparseError;
 
 /// A sparse matrix in compressed sparse row format.
@@ -8,13 +12,47 @@ use crate::error::SparseError;
 /// `row_ptr.len() == nrows + 1`, `row_ptr\[0\] == 0`, `row_ptr` is
 /// non-decreasing, `col_idx.len() == vals.len() == row_ptr[nrows]`, and
 /// column indices within each row are strictly increasing and `< ncols`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     vals: Vec<f64>,
+    /// nnz-balanced row boundaries for the parallel SpMV, built lazily from
+    /// the structure (never the values, so `vals_mut` cannot stale it).
+    par_rows: OnceLock<Vec<usize>>,
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached partition is derived state, not identity.
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.vals == other.vals
+    }
+}
+
+/// Row boundaries cutting `row_ptr` into runs of ≈`chunk_nnz` non-zeros:
+/// the fixed, thread-count-independent work units of the parallel SpMV.
+fn nnz_balanced_rows(row_ptr: &[usize], chunk_nnz: usize) -> Vec<usize> {
+    let nrows = row_ptr.len() - 1;
+    let chunk_nnz = chunk_nnz.max(1);
+    let mut bounds = vec![0usize];
+    // `row_ptr` may be a window of a larger matrix, so count from its base.
+    let mut start_nnz = row_ptr[0];
+    for r in 0..nrows {
+        if row_ptr[r + 1] - start_nnz >= chunk_nnz {
+            bounds.push(r + 1);
+            start_nnz = row_ptr[r + 1];
+        }
+    }
+    if *bounds.last().unwrap() != nrows {
+        bounds.push(nrows);
+    }
+    bounds
 }
 
 impl CsrMatrix {
@@ -81,6 +119,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             vals,
+            par_rows: OnceLock::new(),
         })
     }
 
@@ -92,6 +131,7 @@ impl CsrMatrix {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n).collect(),
             vals: vec![1.0; n],
+            par_rows: OnceLock::new(),
         }
     }
 
@@ -172,29 +212,24 @@ impl CsrMatrix {
         (0..n).map(|i| self.get(i, i)).collect()
     }
 
-    /// Sparse matrix–vector product `y = A x`.
-    ///
-    /// The hot loop of every method in the paper; written to keep the row
-    /// accumulation in a register and stream `col_idx`/`vals` once.
-    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
-        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
-        for r in 0..self.nrows {
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.vals[k] * x[self.col_idx[k]];
-            }
-            y[r] = acc;
-        }
+    /// The cached nnz-balanced row partition driving the parallel SpMV.
+    /// Boundaries depend only on the matrix structure and the
+    /// [`pscg_par::knobs::spmv_chunk_nnz`] knob — never on the thread count.
+    pub fn par_row_bounds(&self) -> &[usize] {
+        self.par_rows
+            .get_or_init(|| nnz_balanced_rows(&self.row_ptr, pscg_par::knobs::spmv_chunk_nnz()))
     }
 
-    /// `y = A x` restricted to rows `[row_lo, row_hi)` — the per-rank SpMV of
-    /// the SPMD engine (x is indexed globally).
-    pub fn spmv_rows(&self, row_lo: usize, row_hi: usize, x: &[f64], y: &mut [f64]) {
-        assert!(row_hi <= self.nrows);
-        assert_eq!(y.len(), row_hi - row_lo, "spmv_rows: y length mismatch");
+    /// Drops the cached row partition so the next SpMV rebuilds it — needed
+    /// after changing [`pscg_par::knobs::spmv_chunk_nnz`] (the tuner does).
+    pub fn reset_par_rows(&mut self) {
+        self.par_rows = OnceLock::new();
+    }
+
+    /// Rows `[row_lo, row_hi)` of `y = A x`, serial (the per-chunk kernel;
+    /// also the reference the parallel paths must match bitwise — each row
+    /// accumulates independently, so row partitioning cannot change it).
+    fn spmv_rows_serial(&self, row_lo: usize, row_hi: usize, x: &[f64], y: &mut [f64]) {
         for (out, r) in y.iter_mut().zip(row_lo..row_hi) {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
@@ -204,6 +239,77 @@ impl CsrMatrix {
             }
             *out = acc;
         }
+    }
+
+    /// Sparse matrix–vector product `y = A x`.
+    ///
+    /// The hot loop of every method in the paper: row chunks of the cached
+    /// nnz-balanced partition run on the global thread pool, each keeping
+    /// the row accumulation in a register and streaming `col_idx`/`vals`
+    /// once. Bitwise identical to the serial product at any thread count.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_with(&pscg_par::global(), x, y)
+    }
+
+    /// [`CsrMatrix::spmv`] on an explicit pool (tests and benches).
+    pub fn spmv_with(&self, pool: &Pool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        // The serial/parallel decision depends only on the shape, never on
+        // the pool width: a 1-lane pool takes the exact same path (inline)
+        // with the exact same allocations, so traced runs — whose BufId
+        // interning is address-based — stay identical across pool sizes.
+        let bounds = self.par_row_bounds();
+        let nchunks = bounds.len().saturating_sub(1);
+        if nchunks <= 1 {
+            self.spmv_rows_serial(0, self.nrows, x, y);
+            return;
+        }
+        let out = DisjointMut::new(y);
+        pool.run(nchunks, &|c| {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            // SAFETY: partition boundaries are strictly increasing, so row
+            // ranges (and the y sub-slices) are pairwise disjoint.
+            let yy = unsafe { out.range(lo, hi) };
+            self.spmv_rows_serial(lo, hi, x, yy);
+        });
+    }
+
+    /// `y = A x` restricted to rows `[row_lo, row_hi)` — the per-rank SpMV of
+    /// the SPMD engine (x is indexed globally).
+    pub fn spmv_rows(&self, row_lo: usize, row_hi: usize, x: &[f64], y: &mut [f64]) {
+        self.spmv_rows_with(&pscg_par::global(), row_lo, row_hi, x, y)
+    }
+
+    /// [`CsrMatrix::spmv_rows`] on an explicit pool. The row window is
+    /// re-chunked at the same nnz target, so the result stays bitwise equal
+    /// to the serial kernel regardless of window or thread count.
+    pub fn spmv_rows_with(
+        &self,
+        pool: &Pool,
+        row_lo: usize,
+        row_hi: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        assert!(row_hi <= self.nrows);
+        assert_eq!(y.len(), row_hi - row_lo, "spmv_rows: y length mismatch");
+        let window_nnz = self.row_ptr[row_hi] - self.row_ptr[row_lo];
+        let chunk_nnz = pscg_par::knobs::spmv_chunk_nnz();
+        // Shape-only decision — see `spmv_with` on why the pool width must
+        // not influence the code path or its allocations.
+        if window_nnz < 2 * chunk_nnz {
+            self.spmv_rows_serial(row_lo, row_hi, x, y);
+            return;
+        }
+        let bounds = nnz_balanced_rows(&self.row_ptr[row_lo..=row_hi], chunk_nnz);
+        let out = DisjointMut::new(y);
+        pool.run(bounds.len() - 1, &|c| {
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            // SAFETY: chunk row ranges are pairwise disjoint.
+            let yy = unsafe { out.range(lo, hi) };
+            self.spmv_rows_serial(row_lo + lo, row_lo + hi, x, yy);
+        });
     }
 
     /// Allocating convenience wrapper around [`CsrMatrix::spmv`].
@@ -244,6 +350,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             vals,
+            par_rows: OnceLock::new(),
         }
     }
 
@@ -290,6 +397,7 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             vals,
+            par_rows: OnceLock::new(),
         }
     }
 
@@ -496,5 +604,47 @@ mod tests {
         let a = small();
         assert_eq!(a.get(0, 2), 0.0);
         assert_eq!(a.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn avg_nnz_per_row_is_zero_on_empty_matrix() {
+        let empty = CsrMatrix::from_raw_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(empty.avg_nnz_per_row(), 0.0);
+        assert_eq!(small().avg_nnz_per_row(), 7.0 / 3.0);
+    }
+
+    #[test]
+    fn nnz_balanced_rows_covers_and_balances() {
+        // Rows with 0/1/5/1/1 nnz at a 2-nnz target: cuts fall after each
+        // row that fills its chunk, and every row lands in exactly one chunk.
+        let row_ptr = vec![0, 0, 1, 6, 7, 8];
+        let b = nnz_balanced_rows(&row_ptr, 2);
+        assert_eq!(*b.first().unwrap(), 0);
+        assert_eq!(*b.last().unwrap(), 5);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b, vec![0, 3, 5]);
+        // Degenerate shapes.
+        assert_eq!(nnz_balanced_rows(&[0], 4), vec![0]);
+        assert_eq!(nnz_balanced_rows(&[0, 3], 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_spmv_is_bitwise_serial_at_any_thread_count() {
+        use crate::stencil::{poisson3d_7pt, Grid3};
+        // Force several chunks despite the small problem.
+        pscg_par::knobs::set_spmv_chunk_nnz(97);
+        let a = poisson3d_7pt(Grid3::cube(9), None);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut reference = vec![0.0; a.nrows()];
+        a.spmv_rows_serial(0, a.nrows(), &x, &mut reference);
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let mut y = vec![0.0; a.nrows()];
+            a.spmv_with(&pool, &x, &mut y);
+            assert_eq!(y, reference, "spmv differs at {threads} threads");
+            let mut part = vec![0.0; a.nrows() - 10];
+            a.spmv_rows_with(&pool, 5, a.nrows() - 5, &x, &mut part);
+            assert_eq!(part, reference[5..a.nrows() - 5]);
+        }
     }
 }

@@ -3,8 +3,20 @@
 //! The s-step methods operate on `N × s` blocks (`Q`, `P`, `AQ`, the
 //! matrix-of-matrices `AQm[j]`, …). [`MultiVector`] stores such a block
 //! contiguously, one column after another, so each column is itself a
-//! `&[f64]` usable by the scalar kernels, while the block updates
-//! (`X += Y·B`, `X = Y − Z·α`, Gram products `XᵀY`) stream whole columns.
+//! `&[f64]` usable by the scalar kernels.
+//!
+//! The block kernels (`X += Y·B`, `X = Y − Z·α`, Gram products `XᵀY`, the
+//! fused recurrence sweeps) are row-chunked over the kernel engine
+//! (`pscg_par`): every kernel walks fixed chunks of
+//! [`pscg_par::knobs::gram_chunk_rows`] rows, computing all `s²` (resp.
+//! `2s`) outputs per chunk while the chunk is cache-resident — one pass
+//! over memory instead of the `O(s²)` column-pair re-reads of a naive
+//! formulation. Updates write disjoint rows; reductions fold per-chunk
+//! partials in chunk order. Both are bitwise independent of the thread
+//! count, and a single-chunk problem reproduces the unchunked serial
+//! result exactly.
+
+use pscg_par::{chunk_count, chunk_range, knobs, DisjointMut, Pool};
 
 use crate::dense::DenseMatrix;
 
@@ -116,75 +128,201 @@ impl MultiVector {
     ///
     /// This is the paper's recurrence linear combination
     /// `Q = Q + P[β¹, β², …, βˢ]` (Algorithm 4 line 10, Algorithm 5 line 17…).
+    /// One pass per row chunk: each destination element is read and written
+    /// once while all `k` sources accumulate in a register.
     pub fn add_mul(&mut self, other: &MultiVector, b: &DenseMatrix) {
+        self.add_mul_with(&pscg_par::global(), other, b)
+    }
+
+    /// [`MultiVector::add_mul`] on an explicit pool.
+    pub fn add_mul_with(&mut self, pool: &Pool, other: &MultiVector, b: &DenseMatrix) {
         assert_eq!(self.len, other.len, "add_mul: row mismatch");
         assert_eq!(b.nrows(), other.ncols, "add_mul: B rows != other cols");
         assert_eq!(b.ncols(), self.ncols, "add_mul: B cols != self cols");
-        let n = self.len;
-        for j in 0..self.ncols {
-            let dst = &mut self.data[j * n..(j + 1) * n];
-            for k in 0..other.ncols {
-                let coef = b.get(k, j);
-                if coef == 0.0 {
-                    continue;
-                }
-                let src = other.col(k);
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += coef * s;
+        let (n, ncols) = (self.len, self.ncols);
+        let other_cols = other.ncols;
+        let dst = DisjointMut::new(&mut self.data);
+        run_row_chunks(pool, n, &|clo, chi| {
+            for j in 0..ncols {
+                // SAFETY: each chunk writes rows [clo, chi) of each column;
+                // chunks are disjoint.
+                let d = unsafe { dst.range(j * n + clo, j * n + chi) };
+                // k ascends and zero coefficients are skipped exactly as in
+                // the per-column formulation, so every element sees the same
+                // accumulation chain (bitwise-equal results).
+                for k in 0..other_cols {
+                    let coef = b.get(k, j);
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    let src = &other.col(k)[clo..chi];
+                    for (di, si) in d.iter_mut().zip(src) {
+                        *di += coef * si;
+                    }
                 }
             }
-        }
+        });
     }
 
     /// `y += self · a` for a coefficient vector `a` of length `ncols`
     /// (the solution update `x_{i+1} = x_i + Qα`).
     pub fn gemv_acc(&self, a: &[f64], y: &mut [f64]) {
+        self.gemv_acc_with(&pscg_par::global(), a, y)
+    }
+
+    /// [`MultiVector::gemv_acc`] on an explicit pool.
+    pub fn gemv_acc_with(&self, pool: &Pool, a: &[f64], y: &mut [f64]) {
         assert_eq!(a.len(), self.ncols, "gemv_acc: coefficient length");
         assert_eq!(y.len(), self.len, "gemv_acc: output length");
-        for (k, &coef) in a.iter().enumerate() {
-            if coef == 0.0 {
-                continue;
+        let n = self.len;
+        let dst = DisjointMut::new(y);
+        run_row_chunks(pool, n, &|clo, chi| {
+            // SAFETY: chunks are disjoint.
+            let d = unsafe { dst.range(clo, chi) };
+            for (k, &coef) in a.iter().enumerate() {
+                if coef == 0.0 {
+                    continue;
+                }
+                for (yi, si) in d.iter_mut().zip(&self.col(k)[clo..chi]) {
+                    *yi += coef * si;
+                }
             }
-            for (yi, s) in y.iter_mut().zip(self.col(k)) {
-                *yi += coef * s;
-            }
-        }
+        });
     }
 
     /// `y -= self · a` (the residual update `r_{i+1} = r_i − AQα`).
     pub fn gemv_sub(&self, a: &[f64], y: &mut [f64]) {
+        self.gemv_sub_with(&pscg_par::global(), a, y)
+    }
+
+    /// [`MultiVector::gemv_sub`] on an explicit pool.
+    pub fn gemv_sub_with(&self, pool: &Pool, a: &[f64], y: &mut [f64]) {
         assert_eq!(a.len(), self.ncols, "gemv_sub: coefficient length");
         assert_eq!(y.len(), self.len, "gemv_sub: output length");
-        for (k, &coef) in a.iter().enumerate() {
-            if coef == 0.0 {
-                continue;
+        let n = self.len;
+        let dst = DisjointMut::new(y);
+        run_row_chunks(pool, n, &|clo, chi| {
+            // SAFETY: chunks are disjoint.
+            let d = unsafe { dst.range(clo, chi) };
+            for (k, &coef) in a.iter().enumerate() {
+                if coef == 0.0 {
+                    continue;
+                }
+                for (yi, si) in d.iter_mut().zip(&self.col(k)[clo..chi]) {
+                    *yi -= coef * si;
+                }
             }
-            for (yi, s) in y.iter_mut().zip(self.col(k)) {
-                *yi -= coef * s;
+        });
+    }
+
+    /// Fused recurrence sweep `self = src[:, off..off+ncols] + prev · B` —
+    /// the s-step conjugation update (`Q = R + P[β¹…βˢ]`) as one pass over
+    /// the rows instead of a column-copy pass followed by an `add_mul` pass.
+    /// Bitwise identical to `copy` + [`MultiVector::add_mul`].
+    pub fn combine_window(
+        &mut self,
+        src: &MultiVector,
+        off: usize,
+        prev: &MultiVector,
+        b: &DenseMatrix,
+    ) {
+        self.combine_window_with(&pscg_par::global(), src, off, prev, b)
+    }
+
+    /// [`MultiVector::combine_window`] on an explicit pool.
+    pub fn combine_window_with(
+        &mut self,
+        pool: &Pool,
+        src: &MultiVector,
+        off: usize,
+        prev: &MultiVector,
+        b: &DenseMatrix,
+    ) {
+        assert_eq!(self.len, src.len, "combine: src row mismatch");
+        assert_eq!(self.len, prev.len, "combine: prev row mismatch");
+        assert!(off + self.ncols <= src.ncols, "combine: src window");
+        assert_eq!(b.nrows(), prev.ncols, "combine: B rows != prev cols");
+        assert_eq!(b.ncols(), self.ncols, "combine: B cols != self cols");
+        let (n, ncols) = (self.len, self.ncols);
+        let prev_cols = prev.ncols;
+        let dst = DisjointMut::new(&mut self.data);
+        run_row_chunks(pool, n, &|clo, chi| {
+            for j in 0..ncols {
+                // SAFETY: chunks are disjoint.
+                let d = unsafe { dst.range(j * n + clo, j * n + chi) };
+                d.copy_from_slice(&src.col(off + j)[clo..chi]);
+                for k in 0..prev_cols {
+                    let coef = b.get(k, j);
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    for (di, si) in d.iter_mut().zip(&prev.col(k)[clo..chi]) {
+                        *di += coef * si;
+                    }
+                }
             }
-        }
+        });
+    }
+
+    /// Fused basis shift `dst = src − self · a` — the PIPE-sCG/PIPE-PsCG
+    /// power-list update (`rpow_next[j] = rpow[j] − rapow[j]·α`) as one pass.
+    /// Bitwise identical to `copy` + [`MultiVector::gemv_sub`].
+    pub fn gemv_sub_into(&self, a: &[f64], src: &[f64], dst: &mut [f64]) {
+        self.gemv_sub_into_with(&pscg_par::global(), a, src, dst)
+    }
+
+    /// [`MultiVector::gemv_sub_into`] on an explicit pool.
+    pub fn gemv_sub_into_with(&self, pool: &Pool, a: &[f64], src: &[f64], dst: &mut [f64]) {
+        assert_eq!(a.len(), self.ncols, "gemv_sub_into: coefficient length");
+        assert_eq!(src.len(), self.len, "gemv_sub_into: src length");
+        assert_eq!(dst.len(), self.len, "gemv_sub_into: dst length");
+        let n = self.len;
+        let out = DisjointMut::new(dst);
+        run_row_chunks(pool, n, &|clo, chi| {
+            // SAFETY: chunks are disjoint.
+            let d = unsafe { out.range(clo, chi) };
+            d.copy_from_slice(&src[clo..chi]);
+            for (k, &coef) in a.iter().enumerate() {
+                if coef == 0.0 {
+                    continue;
+                }
+                for (yi, si) in d.iter_mut().zip(&self.col(k)[clo..chi]) {
+                    *yi -= coef * si;
+                }
+            }
+        });
     }
 
     /// Gram product `selfᵀ · other` as a dense `ncols × other.ncols` matrix,
     /// computed over rows `[lo, hi)` only (the local window of a rank; pass
-    /// `0..len` for the global product).
+    /// `0..len` for the global product). All entries of a row chunk are
+    /// formed while the chunk is cache-resident; per-chunk partial matrices
+    /// fold in chunk order (deterministic at any thread count).
     pub fn gram_window(&self, other: &MultiVector, lo: usize, hi: usize) -> DenseMatrix {
+        self.gram_window_with(&pscg_par::global(), other, lo, hi)
+    }
+
+    /// [`MultiVector::gram_window`] on an explicit pool.
+    pub fn gram_window_with(
+        &self,
+        pool: &Pool,
+        other: &MultiVector,
+        lo: usize,
+        hi: usize,
+    ) -> DenseMatrix {
         assert_eq!(self.len, other.len, "gram: row mismatch");
         assert!(hi <= self.len && lo <= hi);
-        let mut g = DenseMatrix::zeros(self.ncols, other.ncols);
-        for i in 0..self.ncols {
-            let xi = &self.col(i)[lo..hi];
-            for j in 0..other.ncols {
-                let yj = &other.col(j)[lo..hi];
-                g.set(i, j, crate::kernels::dot(xi, yj));
-            }
-        }
-        g
+        gram_chunked(pool, self, 0..self.ncols, other, 0..other.ncols, lo, hi)
     }
 
     /// Gram product over all rows.
     pub fn gram(&self, other: &MultiVector) -> DenseMatrix {
         self.gram_window(other, 0, self.len)
+    }
+
+    /// [`MultiVector::gram`] on an explicit pool.
+    pub fn gram_with(&self, pool: &Pool, other: &MultiVector) -> DenseMatrix {
+        self.gram_window_with(pool, other, 0, self.len)
     }
 
     /// Gram product between column ranges: `self[:, xr]ᵀ · other[:, yr]`.
@@ -196,30 +334,133 @@ impl MultiVector {
         other: &MultiVector,
         yr: std::ops::Range<usize>,
     ) -> DenseMatrix {
-        assert_eq!(self.len, other.len, "gram_range: row mismatch");
-        assert!(xr.end <= self.ncols && yr.end <= other.ncols);
-        let mut g = DenseMatrix::zeros(xr.len(), yr.len());
-        for (gi, i) in xr.clone().enumerate() {
-            let xi = self.col(i);
-            for (gj, j) in yr.clone().enumerate() {
-                g.set(gi, gj, crate::kernels::dot(xi, other.col(j)));
-            }
-        }
-        g
+        self.gram_range_with(&pscg_par::global(), xr, other, yr)
     }
 
-    /// `selfᵀ · v` over rows `[lo, hi)`, one dot per column.
+    /// [`MultiVector::gram_range`] on an explicit pool.
+    pub fn gram_range_with(
+        &self,
+        pool: &Pool,
+        xr: std::ops::Range<usize>,
+        other: &MultiVector,
+        yr: std::ops::Range<usize>,
+    ) -> DenseMatrix {
+        assert_eq!(self.len, other.len, "gram_range: row mismatch");
+        assert!(xr.end <= self.ncols && yr.end <= other.ncols);
+        gram_chunked(pool, self, xr, other, yr, 0, self.len)
+    }
+
+    /// `selfᵀ · v` over rows `[lo, hi)`, one dot per column — all columns
+    /// per row chunk, partials folded in chunk order.
     pub fn dot_vec_window(&self, v: &[f64], lo: usize, hi: usize) -> Vec<f64> {
+        self.dot_vec_window_with(&pscg_par::global(), v, lo, hi)
+    }
+
+    /// [`MultiVector::dot_vec_window`] on an explicit pool.
+    pub fn dot_vec_window_with(&self, pool: &Pool, v: &[f64], lo: usize, hi: usize) -> Vec<f64> {
         assert_eq!(v.len(), self.len, "dot_vec: length mismatch");
-        (0..self.ncols)
-            .map(|j| crate::kernels::dot(&self.col(j)[lo..hi], &v[lo..hi]))
-            .collect()
+        assert!(hi <= self.len && lo <= hi);
+        let ncols = self.ncols;
+        let chunk = knobs::gram_chunk_rows();
+        let nchunks = chunk_count(hi - lo, chunk);
+        if nchunks == 0 {
+            return vec![0.0; ncols];
+        }
+        // Preallocated flat partials, one stripe per chunk: workers never
+        // allocate (see `gram_chunked` on why that matters for tracing).
+        let mut partials = vec![0.0f64; nchunks * ncols];
+        {
+            let slots = DisjointMut::new(&mut partials);
+            pool.run(nchunks, &|c| {
+                let (clo, chi) = chunk_range(hi - lo, chunk, c);
+                let (clo, chi) = (lo + clo, lo + chi);
+                // SAFETY: stripes are disjoint per chunk index.
+                let out = unsafe { slots.range(c * ncols, (c + 1) * ncols) };
+                for (oj, j) in out.iter_mut().zip(0..ncols) {
+                    *oj = crate::kernels::dot(&self.col(j)[clo..chi], &v[clo..chi]);
+                }
+            });
+        }
+        fold_partial_stripes(&partials, nchunks, ncols)
     }
 
     /// `selfᵀ · v` over all rows.
     pub fn dot_vec(&self, v: &[f64]) -> Vec<f64> {
         self.dot_vec_window(v, 0, self.len)
     }
+}
+
+/// Runs `body(chunk_lo, chunk_hi)` over the fixed row chunks of `[0, n)`;
+/// inline when a single chunk suffices or the pool is serial.
+fn run_row_chunks(pool: &Pool, n: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    let chunk = knobs::gram_chunk_rows();
+    let nchunks = chunk_count(n, chunk);
+    pool.run(nchunks, &|c| {
+        let (clo, chi) = chunk_range(n, chunk, c);
+        body(clo, chi);
+    });
+}
+
+/// Chunk-blocked Gram product `x[:, xr]ᵀ · y[:, yr]` over rows `[lo, hi)`.
+fn gram_chunked(
+    pool: &Pool,
+    x: &MultiVector,
+    xr: std::ops::Range<usize>,
+    y: &MultiVector,
+    yr: std::ops::Range<usize>,
+    lo: usize,
+    hi: usize,
+) -> DenseMatrix {
+    let chunk = knobs::gram_chunk_rows();
+    let nchunks = chunk_count(hi - lo, chunk);
+    if nchunks == 0 {
+        return DenseMatrix::zeros(xr.len(), yr.len());
+    }
+    // Every per-chunk partial is preallocated on the calling thread: worker
+    // threads must never touch the allocator, or the heap layout (and with
+    // it SimCtx's address-based BufId interning) would depend on the pool
+    // width and traced runs would stop being reproducible across it.
+    let mut partials: Vec<DenseMatrix> = (0..nchunks)
+        .map(|_| DenseMatrix::zeros(xr.len(), yr.len()))
+        .collect();
+    {
+        let slots = DisjointMut::new(&mut partials);
+        pool.run(nchunks, &|c| {
+            let (clo, chi) = chunk_range(hi - lo, chunk, c);
+            let (clo, chi) = (lo + clo, lo + chi);
+            // SAFETY: one chunk index owns exactly one slot.
+            let g = &mut unsafe { slots.range(c, c + 1) }[0];
+            for (gi, i) in xr.clone().enumerate() {
+                let xi = &x.col(i)[clo..chi];
+                for (gj, j) in yr.clone().enumerate() {
+                    g.set(gi, gj, crate::kernels::dot(xi, &y.col(j)[clo..chi]));
+                }
+            }
+        });
+    }
+    // Ordered combine: start from chunk 0 (a lone chunk reproduces the
+    // unchunked dot bitwise) and add the rest in chunk order.
+    let mut it = partials.into_iter();
+    let mut g = it.next().unwrap();
+    for p in it {
+        for (gi, pi) in g.data_mut().iter_mut().zip(p.data()) {
+            *gi += pi;
+        }
+    }
+    g
+}
+
+/// Ordered combine of per-chunk partial stripes: the result starts as
+/// chunk 0's stripe (a lone chunk reproduces the unchunked dots bitwise)
+/// and the remaining stripes are added in chunk order.
+fn fold_partial_stripes(partials: &[f64], nchunks: usize, ncols: usize) -> Vec<f64> {
+    let mut out = partials[..ncols].to_vec();
+    for c in 1..nchunks {
+        for (oi, pi) in out.iter_mut().zip(&partials[c * ncols..(c + 1) * ncols]) {
+            *oi += pi;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
