@@ -1,7 +1,8 @@
 //! Kernel-engine benchmark: per-kernel GFLOP/s at several thread counts.
 //!
 //! ```text
-//! kernelbench [--grid N] [--threads LIST] [--s S] [--out PATH] [--check] [tune]
+//! kernelbench [--grid N] [--threads LIST] [--s S] [--out PATH] [--check]
+//!             [--telemetry PATH] [tune]
 //! ```
 //!
 //! Measures the three hot paths of the s-step overlap window — SpMV, the
@@ -19,12 +20,18 @@
 //!
 //! `tune` sweeps the chunk-size knobs around the model defaults
 //! ([`pipescg::autotune::KernelTuning`]) and prints the best setting.
+//!
+//! `--telemetry PATH` records one `bench` span per measured
+//! (kernel, thread-count) cell and writes a Chrome trace-event file
+//! loadable in <https://ui.perfetto.dev>. The thread-pool submission
+//! counters (`pscg_par::stats`) are printed after every run regardless.
 
 use std::fmt::Write as _;
 
 use pipescg::autotune::KernelTuning;
 use pscg_bench::microbench::{gflops_per_sec, Group};
-use pscg_par::{knobs, Pool};
+use pscg_obs::SpanKind;
+use pscg_par::{knobs, stats::PoolStats, Pool};
 use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
 use pscg_sparse::{CsrMatrix, MultiVector};
 
@@ -43,6 +50,7 @@ struct Config {
     out: String,
     check: bool,
     tune: bool,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -53,6 +61,7 @@ fn parse_args() -> Config {
         out: "BENCH_kernels.json".to_string(),
         check: false,
         tune: false,
+        telemetry: std::env::var("PSCG_TELEMETRY").ok(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,12 +80,13 @@ fn parse_args() -> Config {
             "--s" => cfg.s = val("--s").parse().expect("--s: integer"),
             "--out" => cfg.out = val("--out"),
             "--check" => cfg.check = true,
+            "--telemetry" => cfg.telemetry = Some(val("--telemetry")),
             "tune" => cfg.tune = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: kernelbench [--grid N] [--threads LIST] [--s S] \
-                     [--out PATH] [--check] [tune]"
+                     [--out PATH] [--check] [--telemetry PATH] [tune]"
                 );
                 std::process::exit(2);
             }
@@ -129,14 +139,19 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
     for &t in &cfg.threads {
         let pool = Pool::new(t);
         let group = Group::new(&format!("kernels_{}cube_t{t}", cfg.grid));
+        // One `bench` span per measured cell (arg = thread count); inert
+        // unless --telemetry enabled recording.
         let spmv_fl = 2 * a.nnz() as u64;
-        let m = group.bench_flops("spmv", a.nnz() as u64, spmv_fl, || {
-            a.spmv_with(
-                &pool,
-                std::hint::black_box(&x),
-                std::hint::black_box(&mut y),
-            )
-        });
+        let m = {
+            let _sp = pscg_obs::span_arg(SpanKind::Bench, t as u64);
+            group.bench_flops("spmv", a.nnz() as u64, spmv_fl, || {
+                a.spmv_with(
+                    &pool,
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&mut y),
+                )
+            })
+        };
         cells.push(Cell {
             kernel: "spmv",
             threads: t,
@@ -145,9 +160,12 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
         });
 
         let gram_fl = (2 * s * s * n) as u64;
-        let m = group.bench_flops("gram", (s * s * n) as u64, gram_fl, || {
-            std::hint::black_box(prev.gram_with(&pool, std::hint::black_box(&prev)));
-        });
+        let m = {
+            let _sp = pscg_obs::span_arg(SpanKind::Bench, t as u64);
+            group.bench_flops("gram", (s * s * n) as u64, gram_fl, || {
+                std::hint::black_box(prev.gram_with(&pool, std::hint::black_box(&prev)));
+            })
+        };
         cells.push(Cell {
             kernel: "gram",
             threads: t,
@@ -156,10 +174,18 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
         });
 
         let fu_fl = fused_flops(n, s);
-        let m = group.bench_flops("fused_update", (s * n) as u64, fu_fl, || {
-            dst.combine_window_with(&pool, std::hint::black_box(&src), 1, &prev, &bmat);
-            prev.gemv_sub_into_with(&pool, &alpha, src.col(0), std::hint::black_box(&mut shift));
-        });
+        let m = {
+            let _sp = pscg_obs::span_arg(SpanKind::Bench, t as u64);
+            group.bench_flops("fused_update", (s * n) as u64, fu_fl, || {
+                dst.combine_window_with(&pool, std::hint::black_box(&src), 1, &prev, &bmat);
+                prev.gemv_sub_into_with(
+                    &pool,
+                    &alpha,
+                    src.col(0),
+                    std::hint::black_box(&mut shift),
+                );
+            })
+        };
         cells.push(Cell {
             kernel: "fused_update",
             threads: t,
@@ -364,11 +390,32 @@ fn main() {
         tune(&cfg, &mut a);
     }
 
+    if cfg.telemetry.is_some() {
+        pscg_obs::set_enabled(true);
+        pscg_obs::span::drain();
+    }
+    let pool_base = PoolStats::snapshot();
     let cells = bench_all(&cfg, &a);
+    let pool_delta = PoolStats::snapshot().delta_since(&pool_base);
+    if let Some(path) = &cfg.telemetry {
+        pscg_obs::set_enabled(false);
+        let spans = pscg_obs::span::drain();
+        let trace = pscg_obs::export::chrome_trace(&spans);
+        if let Err(e) = pscg_obs::export::validate_chrome_trace(&trace) {
+            eprintln!("internal error: invalid Chrome trace: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, &trace).expect("write telemetry trace");
+        println!(
+            "\nwrote {path} ({} spans; load in https://ui.perfetto.dev)",
+            spans.records.len()
+        );
+    }
     let gate = evaluate_gate(&cfg, &cells);
     let json = write_json(&cfg, &a, &cells, &gate);
     std::fs::write(&cfg.out, &json).expect("write bench report");
     println!("\nwrote {}", cfg.out);
+    println!("pool: {pool_delta}");
     println!("gate: {}", gate.detail);
 
     if cfg.check && gate.enforced && gate.passed == Some(false) {

@@ -1,7 +1,7 @@
 //! Paper-reproduction driver.
 //!
 //! ```text
-//! repro [--scale ci|small|paper] [--verify-schedule] <experiment>...
+//! repro [--scale ci|small|paper] [--verify-schedule] [--telemetry DIR] <experiment>...
 //! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 ablation-progress crossover mpk all
 //! ```
 //!
@@ -13,8 +13,18 @@
 //! (`pscg-analysis`) over every method's trace before the experiments:
 //! overlap hazards or Table I structure violations abort with exit 1.
 //! With no experiments named, the flag runs the verification alone.
+//!
+//! `--telemetry DIR` (or `PSCG_TELEMETRY=DIR`) runs every method once on
+//! the scale's Poisson problem with runtime telemetry enabled and writes
+//! per-method Chrome trace-event files (`DIR/<method>.trace.json`, open in
+//! <https://ui.perfetto.dev>) plus per-iteration metrics streams
+//! (`DIR/<method>.metrics.jsonl`). Both outputs are schema-validated, the
+//! telemetry residual stream is checked bit-for-bit against the solver's
+//! convergence history, and the achieved-overlap ratios are recorded in
+//! `results/overlap.csv`; any mismatch aborts with exit 1. With no
+//! experiments named, the flag runs the telemetry pass alone.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use pipescg::methods::MethodKind;
@@ -23,6 +33,21 @@ use pscg_bench::problems;
 use pscg_bench::{experiments, Scale};
 use pscg_precond::Jacobi;
 use pscg_sim::{Machine, SimCtx};
+
+/// Every method the drivers sweep, in the paper's presentation order.
+const ALL_METHODS: [MethodKind; 11] = [
+    MethodKind::Pcg,
+    MethodKind::Pipecg,
+    MethodKind::Pipecg3,
+    MethodKind::PipecgOati,
+    MethodKind::Scg,
+    MethodKind::ScgSspmv,
+    MethodKind::Pscg,
+    MethodKind::PipeScg,
+    MethodKind::PipePscg,
+    MethodKind::Hybrid,
+    MethodKind::Cg3,
+];
 
 /// Runs the static analyzer over every method's trace on the scale's
 /// Poisson problem. Returns false when any hazard or structure violation
@@ -35,19 +60,7 @@ fn verify_schedules(scale: &Scale) -> bool {
     println!("| method | ops | windows | hazards | structure |");
     println!("|---|---|---|---|---|");
     let mut clean = true;
-    for method in [
-        MethodKind::Pcg,
-        MethodKind::Pipecg,
-        MethodKind::Pipecg3,
-        MethodKind::PipecgOati,
-        MethodKind::Scg,
-        MethodKind::ScgSspmv,
-        MethodKind::Pscg,
-        MethodKind::PipeScg,
-        MethodKind::PipePscg,
-        MethodKind::Hybrid,
-        MethodKind::Cg3,
-    ] {
+    for method in ALL_METHODS {
         let mut ctx = SimCtx::traced(&p.a, Box::new(Jacobi::new(&p.a)), p.profile.clone());
         let opts = SolveOptions {
             rtol: p.rtol,
@@ -78,14 +91,180 @@ fn verify_schedules(scale: &Scale) -> bool {
     clean
 }
 
+/// Lower-case file stem for a method's telemetry artifacts.
+fn method_slug(method: MethodKind) -> String {
+    method.name().to_ascii_lowercase().replace(' ', "-")
+}
+
+/// Runs every method once on the scale's Poisson problem with telemetry
+/// enabled, writes `DIR/<method>.trace.json` + `DIR/<method>.metrics.jsonl`,
+/// validates both outputs, cross-checks the telemetry residual stream
+/// bit-for-bit against the solver history, and records the achieved-overlap
+/// ratios in `results/overlap.csv`. Returns false on any failure.
+fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let s = 4;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[telemetry] cannot create {}: {e}", dir.display());
+        return false;
+    }
+    println!("\n## Telemetry capture ({}, s = {s})\n", p.name);
+    println!("| method | iters | final relres | achieved overlap | spans | stop |");
+    println!("|---|---|---|---|---|---|");
+    let mut csv = String::from(
+        "method,iterations,final_relres,achieved_overlap,window_ns,kernel_in_window_ns,stagnation_fired\n",
+    );
+    let mut ok = true;
+    pscg_obs::set_enabled(true);
+    for method in ALL_METHODS {
+        // Clear spans left over from a previous method (or a failed run).
+        pscg_obs::span::drain();
+        let mut ctx = SimCtx::serial(&p.a, Box::new(Jacobi::new(&p.a)));
+        let opts = SolveOptions {
+            rtol: p.rtol,
+            s,
+            max_iters: scale.max_iters,
+            ..Default::default()
+        };
+        let res = method.solve(&mut ctx, &b, None, &opts);
+        let spans = pscg_obs::span::drain();
+        let Some(tel) = pscg_obs::metrics::take_last() else {
+            eprintln!("[telemetry] {}: no stream collected", method.name());
+            ok = false;
+            continue;
+        };
+
+        // The acceptance bar: the per-iteration residual stream must match
+        // the solver's reported convergence history exactly (same floats,
+        // same order, same length).
+        let stream = tel.relres_stream();
+        let bits_equal = stream.len() == res.history.len()
+            && stream
+                .iter()
+                .zip(&res.history)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !bits_equal {
+            eprintln!(
+                "[telemetry] {}: residual stream diverges from solver history \
+                 ({} vs {} entries)",
+                method.name(),
+                stream.len(),
+                res.history.len()
+            );
+            ok = false;
+        }
+
+        let slug = method_slug(method);
+        let trace = pscg_obs::export::chrome_trace(&spans);
+        let jsonl = pscg_obs::export::metrics_jsonl(&tel);
+        let trace_path = dir.join(format!("{slug}.trace.json"));
+        let jsonl_path = dir.join(format!("{slug}.metrics.jsonl"));
+        if let Err(e) = std::fs::write(&trace_path, &trace) {
+            eprintln!("[telemetry] write {}: {e}", trace_path.display());
+            ok = false;
+        }
+        if let Err(e) = std::fs::write(&jsonl_path, &jsonl) {
+            eprintln!("[telemetry] write {}: {e}", jsonl_path.display());
+            ok = false;
+        }
+        match pscg_obs::export::validate_chrome_trace(&trace) {
+            Ok(check) => {
+                if check.events == 0 {
+                    eprintln!("[telemetry] {}: empty trace", method.name());
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("[telemetry] {}: invalid Chrome trace: {e}", method.name());
+                ok = false;
+            }
+        }
+        match pscg_obs::export::validate_metrics_jsonl(&jsonl) {
+            Ok(check) => {
+                let reparsed_equal = check.relres.len() == res.history.len()
+                    && check
+                        .relres
+                        .iter()
+                        .zip(&res.history)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !reparsed_equal {
+                    eprintln!(
+                        "[telemetry] {}: JSONL residuals do not round-trip the \
+                         solver history bit-for-bit",
+                        method.name()
+                    );
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("[telemetry] {}: invalid metrics JSONL: {e}", method.name());
+                ok = false;
+            }
+        }
+
+        let overlap = tel.finish.achieved_overlap();
+        let overlap_str = if overlap.is_nan() {
+            "—".to_string()
+        } else {
+            format!("{:.3}", overlap)
+        };
+        println!(
+            "| {} | {} | {:.3e} | {} | {} | {} |",
+            method.name(),
+            res.iterations,
+            res.final_relres,
+            overlap_str,
+            spans.records.len(),
+            tel.finish.stop
+        );
+        csv.push_str(&format!(
+            "{},{},{:e},{},{},{},{}\n",
+            method.name(),
+            res.iterations,
+            res.final_relres,
+            if overlap.is_nan() {
+                "".to_string()
+            } else {
+                format!("{overlap:.6}")
+            },
+            tel.finish.window_ns,
+            tel.finish.kernel_in_window_ns,
+            tel.finish.stagnation_fired
+        ));
+    }
+    pscg_obs::set_enabled(false);
+    let _ = std::fs::create_dir_all(results);
+    let csv_path = results.join("overlap.csv");
+    if let Err(e) = std::fs::write(&csv_path, &csv) {
+        eprintln!("[telemetry] write {}: {e}", csv_path.display());
+        ok = false;
+    } else {
+        println!(
+            "\nwrote {} and {}/*.trace.json",
+            csv_path.display(),
+            dir.display()
+        );
+    }
+    ok
+}
+
 fn main() {
     let mut scale = Scale::from_env();
     let mut wanted: Vec<String> = Vec::new();
     let mut verify_schedule = false;
+    let mut telemetry: Option<PathBuf> = std::env::var_os("PSCG_TELEMETRY").map(PathBuf::from);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--verify-schedule" => verify_schedule = true,
+            "--telemetry" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--telemetry needs a directory");
+                    std::process::exit(2);
+                };
+                telemetry = Some(PathBuf::from(dir));
+            }
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = match v.as_str() {
@@ -100,7 +279,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale ci|small|paper] [--verify-schedule] <experiment>...\n\
+                    "usage: repro [--scale ci|small|paper] [--verify-schedule] \
+                     [--telemetry DIR] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
                 );
@@ -109,7 +289,7 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() && !verify_schedule {
+    if wanted.is_empty() && !verify_schedule && telemetry.is_none() {
         wanted.push("all".to_string());
     }
     const KNOWN: [&str; 11] = [
@@ -145,6 +325,12 @@ fn main() {
     if verify_schedule && !verify_schedules(&scale) {
         eprintln!("[repro] schedule verification FAILED");
         std::process::exit(1);
+    }
+    if let Some(dir) = &telemetry {
+        if !run_telemetry(&scale, dir, &results) {
+            eprintln!("[repro] telemetry capture FAILED");
+            std::process::exit(1);
+        }
     }
     if want("table1") {
         experiments::table1(3).emit(&results);

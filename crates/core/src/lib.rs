@@ -40,6 +40,7 @@ pub mod costmodel;
 pub mod methods;
 pub mod solver;
 pub mod sstep;
+pub(crate) mod telemetry;
 
 pub use methods::MethodKind;
 pub use solver::{NormType, RefNorm, SolveOptions, SolveResult, StopReason};

@@ -61,6 +61,7 @@ pub fn solve<C: Context>(
         let relres = opts.norm.pick_sq(rr, uu, mu).max(0.0).sqrt() / bnorm;
         history.push(relres);
         ctx.note_residual(relres);
+        crate::telemetry::note_iter(ctx, iters, relres, [rr, uu, mu], &[], &[], mu);
         if relres * bnorm < threshold {
             stop = StopReason::Converged;
             break;

@@ -95,7 +95,26 @@ impl MethodKind {
     }
 
     /// Dispatches to the implementation.
+    ///
+    /// This is also the telemetry boundary: when telemetry is enabled
+    /// (`pscg_obs::set_enabled`), the whole solve — including the hybrid's
+    /// two phases, which run inside one dispatch — is collected as a single
+    /// metrics stream, retrievable afterwards with
+    /// `pscg_obs::metrics::take_last`.
     pub fn solve<C: Context>(
+        self,
+        ctx: &mut C,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let began = crate::telemetry::begin(self.name(), ctx, opts);
+        let res = self.dispatch(ctx, b, x0, opts);
+        crate::telemetry::finish(began, ctx, &res);
+        res
+    }
+
+    fn dispatch<C: Context>(
         self,
         ctx: &mut C,
         b: &[f64],

@@ -32,6 +32,15 @@ pub fn solve<C: Context>(
 
     let mut history = vec![norm0_sq.max(0.0).sqrt() / bnorm];
     ctx.note_residual(history[0]);
+    crate::telemetry::note_iter(
+        ctx,
+        0,
+        history[0],
+        crate::telemetry::norms_from_selected(opts.norm, norm0_sq, gamma),
+        &[],
+        &[],
+        gamma,
+    );
 
     let result = |ctx: &mut C, x: Vec<f64>, iters, stop, history: Vec<f64>| SolveResult {
         x,
@@ -78,6 +87,15 @@ pub fn solve<C: Context>(
         let relres = norm_sq.max(0.0).sqrt() / bnorm;
         history.push(relres);
         ctx.note_residual(relres);
+        crate::telemetry::note_iter(
+            ctx,
+            i + 1,
+            relres,
+            crate::telemetry::norms_from_selected(opts.norm, norm_sq, gamma_new),
+            &[alpha],
+            &[beta],
+            gamma_new,
+        );
 
         gamma_old = gamma;
         gamma = gamma_new;

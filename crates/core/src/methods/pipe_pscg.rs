@@ -20,6 +20,7 @@
 //! The depth-2 methods (PIPECG-OATI, PIPECG3) and the hybrid driver reuse
 //! this core through [`PipeConfig`].
 
+use pscg_obs::{StagnationConfig, StagnationDetector};
 use pscg_sim::Context;
 use pscg_sparse::MultiVector;
 
@@ -27,16 +28,12 @@ use crate::methods::{global_ref_norm, init_residual};
 use crate::solver::{SolveOptions, SolveResult, StopReason};
 use crate::sstep::{conjugate_window, estimate_sigma, GramPacket, ScalarWork};
 
-/// Stagnation detector: stop with [`StopReason::Stagnated`] when the
-/// relative residual improved by less than `min_ratio` over the last
-/// `window` convergence checks.
-#[derive(Debug, Clone, Copy)]
-pub struct StagnationCheck {
-    /// Number of checks to look back.
-    pub window: usize,
-    /// Required improvement factor (e.g. 0.9 = at least 10 % better).
-    pub min_ratio: f64,
-}
+/// Stagnation rule: stop with [`StopReason::Stagnated`] when the relative
+/// residual improved by less than `min_ratio` over the last `window`
+/// convergence checks. The rule is evaluated by
+/// [`pscg_obs::StagnationDetector`], so the armed threshold and whether it
+/// fired travel in the telemetry stream.
+pub type StagnationCheck = StagnationConfig;
 
 /// Tuning knobs for the pipelined s-step core.
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +133,10 @@ pub fn solve_with<C: Context>(
     let mut history: Vec<f64> = Vec::new();
     let mut iters = 0usize;
     let mut outer = 0usize;
+    let mut stagnation = cfg.stagnation.map(StagnationDetector::new);
+    if let Some(st) = cfg.stagnation {
+        crate::telemetry::set_stagnation(ctx, st);
+    }
     let stop;
 
     loop {
@@ -151,6 +152,15 @@ pub fn solve_with<C: Context>(
             / bnorm;
         history.push(relres);
         ctx.note_residual(relres);
+        crate::telemetry::note_iter(
+            ctx,
+            iters,
+            relres,
+            pkt.norms,
+            &scalar.alpha,
+            scalar.b.data(),
+            f64::NAN,
+        );
         if relres * bnorm < threshold {
             stop = StopReason::Converged;
             break;
@@ -165,13 +175,14 @@ pub fn solve_with<C: Context>(
             stop = StopReason::Breakdown;
             break;
         }
-        if let Some(st) = cfg.stagnation {
-            if history.len() > st.window {
-                let past = history[history.len() - 1 - st.window];
-                if relres > past * st.min_ratio {
-                    stop = StopReason::Stagnated;
-                    break;
-                }
+        // Feeding the detector only here (not on the breaking checks above)
+        // matches the historical inline rule: any relres that ended the loop
+        // earlier never reached the stagnation test either.
+        if let Some(det) = stagnation.as_mut() {
+            if det.observe(relres) {
+                crate::telemetry::note_stagnation_fired(ctx);
+                stop = StopReason::Stagnated;
+                break;
             }
         }
         // Line 15: Scalar Work.

@@ -110,6 +110,15 @@ fn solve_inner<C: Context>(
             / bnorm;
         history.push(relres);
         ctx.note_residual(relres);
+        crate::telemetry::note_iter(
+            ctx,
+            iters,
+            relres,
+            pkt.norms,
+            &scalar.alpha,
+            scalar.b.data(),
+            f64::NAN,
+        );
         if relres * bnorm < threshold {
             stop = StopReason::Converged;
             break;

@@ -1,0 +1,155 @@
+//! Rolling stagnation detection on the relative-residual stream.
+//!
+//! The hybrid PIPE-PsCG → PIPECG-OATI driver needs to know when the
+//! pipelined s-step phase has stopped making progress (the s-step basis
+//! conditioning limits attainable accuracy; see the paper's §V). The
+//! detector here is the windowed relative-slope rule: stagnation is
+//! declared when the current relative residual has improved by less than
+//! a factor `min_ratio` over the last `window` convergence checks.
+//!
+//! [`StagnationDetector::observe`] reproduces the historical inline check
+//! exactly — `relres > history[len − 1 − window] · min_ratio` once more
+//! than `window` values have been seen — so moving the hybrid's switchover
+//! onto this detector changes no iteration counts.
+
+use std::collections::VecDeque;
+
+/// Configuration of the windowed stagnation rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagnationConfig {
+    /// Number of convergence checks to look back.
+    pub window: usize,
+    /// Required improvement factor over the window (e.g. `0.9` = the
+    /// residual must have dropped at least 10 %; values near 1 tolerate
+    /// slow-but-steady convergence).
+    pub min_ratio: f64,
+}
+
+/// Rolling detector over a relative-residual stream.
+///
+/// Keeps the last `window + 1` observed values; O(1) memory and time per
+/// observation.
+#[derive(Debug, Clone)]
+pub struct StagnationDetector {
+    cfg: StagnationConfig,
+    recent: VecDeque<f64>,
+    fired: bool,
+}
+
+impl StagnationDetector {
+    /// Creates a detector with the given rule.
+    pub fn new(cfg: StagnationConfig) -> Self {
+        StagnationDetector {
+            cfg,
+            recent: VecDeque::with_capacity(cfg.window + 2),
+            fired: false,
+        }
+    }
+
+    /// The configured rule.
+    pub fn config(&self) -> StagnationConfig {
+        self.cfg
+    }
+
+    /// Feeds one relative residual; returns true when the stream has
+    /// stagnated: the value from `window` checks ago, scaled by
+    /// `min_ratio`, is still below the current value.
+    ///
+    /// Equivalent to the inline rule on a full history `h` after pushing
+    /// the current value: `h.len() > window && h[h.len() - 1 - window] *
+    /// min_ratio < h[h.len() - 1]`.
+    pub fn observe(&mut self, relres: f64) -> bool {
+        self.recent.push_back(relres);
+        while self.recent.len() > self.cfg.window + 1 {
+            self.recent.pop_front();
+        }
+        let stagnated = self.recent.len() == self.cfg.window + 1
+            && relres > self.recent[0] * self.cfg.min_ratio;
+        self.fired |= stagnated;
+        stagnated
+    }
+
+    /// True when any observation so far reported stagnation.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Windowed improvement slope: current value ÷ value `window` checks
+    /// ago. `None` until `window + 1` values have been seen; below 1 means
+    /// the residual is still shrinking over the window.
+    pub fn window_ratio(&self) -> Option<f64> {
+        if self.recent.len() == self.cfg.window + 1 {
+            Some(self.recent[self.cfg.window] / self.recent[0])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(window: usize, min_ratio: f64) -> StagnationDetector {
+        StagnationDetector::new(StagnationConfig { window, min_ratio })
+    }
+
+    /// Mirror of the inline rule the detector replaces.
+    fn inline_rule(history: &[f64], window: usize, min_ratio: f64) -> bool {
+        history.len() > window
+            && history[history.len() - 1] > history[history.len() - 1 - window] * min_ratio
+    }
+
+    #[test]
+    fn silent_until_window_filled() {
+        let mut d = det(4, 0.5);
+        for v in [1.0, 1.0, 1.0, 1.0] {
+            assert!(!d.observe(v), "needs window+1 samples to judge");
+            assert_eq!(d.window_ratio(), None);
+        }
+        assert!(d.observe(1.0), "flat stream stagnates at the 5th sample");
+        assert_eq!(d.window_ratio(), Some(1.0));
+        assert!(d.fired());
+    }
+
+    #[test]
+    fn steady_convergence_never_fires() {
+        let mut d = det(4, 0.5);
+        let mut relres = 1.0;
+        for _ in 0..50 {
+            relres *= 0.8; // 0.8^4 ≈ 0.41 < min_ratio over the window
+            assert!(!d.observe(relres));
+        }
+        assert!(!d.fired());
+        assert!(d.window_ratio().unwrap() < 0.5);
+    }
+
+    #[test]
+    fn matches_inline_rule_on_noisy_stream() {
+        // Deterministic pseudo-noisy stream: decays, then flattens.
+        let stream: Vec<f64> = (0..40)
+            .map(|i| {
+                let i = i as f64;
+                let decay = (-i / 6.0).exp();
+                let floor = 1e-3;
+                let wiggle = 1.0 + 0.05 * (i * 0.7).sin();
+                (decay + floor) * wiggle
+            })
+            .collect();
+        for window in [1, 3, 6] {
+            for min_ratio in [0.5, 0.9, 0.98] {
+                let mut d = det(window, min_ratio);
+                let mut history = Vec::new();
+                for &v in &stream {
+                    history.push(v);
+                    assert_eq!(
+                        d.observe(v),
+                        inline_rule(&history, window, min_ratio),
+                        "window={window} min_ratio={min_ratio} len={}",
+                        history.len()
+                    );
+                }
+            }
+        }
+    }
+}

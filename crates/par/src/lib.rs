@@ -134,7 +134,10 @@ impl Pool {
             njobs < u32::MAX as usize,
             "job index space exceeds the claim word"
         );
+        stats::JOBS.fetch_add(1, Ordering::Relaxed);
+        stats::INDICES.fetch_add(njobs as u64, Ordering::Relaxed);
         if njobs <= 1 || self.workers.is_empty() {
+            stats::INLINE_SMALL.fetch_add(1, Ordering::Relaxed);
             for i in 0..njobs {
                 f(i);
             }
@@ -144,6 +147,7 @@ impl Pool {
             Ok(g) => g,
             Err(TryLockError::WouldBlock) => {
                 // Nested or concurrent submission: run inline.
+                stats::INLINE_NESTED.fetch_add(1, Ordering::Relaxed);
                 for i in 0..njobs {
                     f(i);
                 }
@@ -151,6 +155,7 @@ impl Pool {
             }
             Err(TryLockError::Poisoned(e)) => panic!("pool submit lock poisoned: {e}"),
         };
+        stats::PARALLEL.fetch_add(1, Ordering::Relaxed);
         // SAFETY: lifetime erasure only — the pointer is dereferenced solely
         // while this call blocks below, and the epoch-tagged claim word
         // guarantees no worker can claim (and hence call) it afterwards.
@@ -386,6 +391,82 @@ pub mod knobs {
     }
 }
 
+/// Process-wide pool activity counters.
+///
+/// Every [`Pool::run`] call — on any pool instance — bumps these relaxed
+/// atomics. They are observability only: nothing reads them on a kernel
+/// path, and they influence neither chunking nor numerics. A few relaxed
+/// `fetch_add`s per kernel invocation is noise next to the kernel itself.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static JOBS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static PARALLEL: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static INLINE_NESTED: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static INLINE_SMALL: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static INDICES: AtomicU64 = AtomicU64::new(0);
+
+    /// A snapshot of the cumulative pool counters. Monotone: diff two
+    /// snapshots (see [`PoolStats::delta_since`]) to measure an interval.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct PoolStats {
+        /// `Pool::run` submissions.
+        pub jobs: u64,
+        /// Submissions dispatched to worker threads.
+        pub parallel_jobs: u64,
+        /// Submissions run inline because the pool was busy with another
+        /// job (the nested-submission fallback).
+        pub inline_nested: u64,
+        /// Submissions run inline because `njobs <= 1` or the pool has a
+        /// single lane.
+        pub inline_small: u64,
+        /// Total job indices (chunks) executed.
+        pub indices: u64,
+    }
+
+    impl PoolStats {
+        /// Reads the current cumulative counters (relaxed loads — cheap
+        /// enough to call per solver iteration).
+        pub fn snapshot() -> PoolStats {
+            PoolStats {
+                jobs: JOBS.load(Ordering::Relaxed),
+                parallel_jobs: PARALLEL.load(Ordering::Relaxed),
+                inline_nested: INLINE_NESTED.load(Ordering::Relaxed),
+                inline_small: INLINE_SMALL.load(Ordering::Relaxed),
+                indices: INDICES.load(Ordering::Relaxed),
+            }
+        }
+
+        /// Component-wise `self − earlier` (saturating, in case the two
+        /// snapshots raced concurrent submissions).
+        pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+            PoolStats {
+                jobs: self.jobs.saturating_sub(earlier.jobs),
+                parallel_jobs: self.parallel_jobs.saturating_sub(earlier.parallel_jobs),
+                inline_nested: self.inline_nested.saturating_sub(earlier.inline_nested),
+                inline_small: self.inline_small.saturating_sub(earlier.inline_small),
+                indices: self.indices.saturating_sub(earlier.indices),
+            }
+        }
+
+        /// Fraction of submissions that used worker threads (`NaN` when no
+        /// jobs ran).
+        pub fn utilization(&self) -> f64 {
+            self.parallel_jobs as f64 / self.jobs as f64
+        }
+    }
+
+    impl std::fmt::Display for PoolStats {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "jobs {} (parallel {}, inline-small {}, inline-nested {}), chunks {}",
+                self.jobs, self.parallel_jobs, self.inline_small, self.inline_nested, self.indices
+            )
+        }
+    }
+}
+
 /// Number of fixed-size chunks covering `len` items (`0` for an empty range).
 #[inline]
 pub fn chunk_count(len: usize, chunk: usize) -> usize {
@@ -550,5 +631,21 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stats_count_submissions_and_indices() {
+        // The counters are process-global and other tests run concurrently,
+        // so assert lower bounds on the deltas, not exact values.
+        let before = stats::PoolStats::snapshot();
+        let pool = Pool::new(4);
+        pool.run(100, &|_| {});
+        let serial = Pool::new(1);
+        serial.run(10, &|_| {});
+        let d = stats::PoolStats::snapshot().delta_since(&before);
+        assert!(d.jobs >= 2);
+        assert!(d.indices >= 110);
+        assert!(d.parallel_jobs >= 1, "4-lane 100-index job uses workers");
+        assert!(d.inline_small >= 1, "1-lane pool runs inline");
     }
 }

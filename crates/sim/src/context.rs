@@ -20,6 +20,8 @@
 
 use std::collections::HashMap;
 
+use pscg_obs as obs;
+use pscg_obs::SpanKind;
 use pscg_sparse::dense::DenseMatrix;
 use pscg_sparse::kernels;
 use pscg_sparse::op::Operator;
@@ -211,6 +213,7 @@ pub trait Context {
 
     /// Local part of the dot product `xᵀy`; combine with an allreduce.
     fn local_dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        let _sp = obs::span(SpanKind::Dot);
         let (bx, by) = (self.buf_of(x), self.buf_of(y));
         self.charge_local_rw(LocalKind::Dot, 2.0, 16.0, [bx, by], BufId::ANON);
         kernels::dot(x, y)
@@ -218,6 +221,7 @@ pub trait Context {
 
     /// Block update `X += Y·B` (the recurrence linear combinations).
     fn block_add_mul(&mut self, x: &mut MultiVector, y: &MultiVector, b: &DenseMatrix) {
+        let _sp = obs::span(SpanKind::Combine);
         x.add_mul(y, b);
         let (k, m) = (y.ncols() as f64, x.ncols() as f64);
         let (bx, by) = (self.buf_of_multi(x), self.buf_of_multi(y));
@@ -232,6 +236,7 @@ pub trait Context {
 
     /// `y += X·a`.
     fn block_gemv_acc(&mut self, x: &MultiVector, a: &[f64], y: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Combine);
         x.gemv_acc(a, y);
         let k = x.ncols() as f64;
         let (bx, by) = (self.buf_of_multi(x), self.buf_of(y));
@@ -240,6 +245,7 @@ pub trait Context {
 
     /// `y -= X·a`.
     fn block_gemv_sub(&mut self, x: &MultiVector, a: &[f64], y: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Combine);
         x.gemv_sub(a, y);
         let k = x.ncols() as f64;
         let (bx, by) = (self.buf_of_multi(x), self.buf_of(y));
@@ -263,6 +269,7 @@ pub trait Context {
         prev: &MultiVector,
         b: &DenseMatrix,
     ) {
+        let _sp = obs::span(SpanKind::Combine);
         dst.combine_window(src, off, prev, b);
         for j in 0..dst.ncols() {
             let (bs, bd) = (self.buf_of(src.col(off + j)), self.buf_of(dst.col(j)));
@@ -283,6 +290,7 @@ pub trait Context {
     /// `gemv_sub` in one pass (see [`Context::block_combine`] for the
     /// trace-equivalence contract).
     fn block_gemv_sub_into(&mut self, x: &MultiVector, a: &[f64], src: &[f64], dst: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Combine);
         x.gemv_sub_into(a, src, dst);
         let (bs, bd) = (self.buf_of(src), self.buf_of(dst));
         self.charge_local_rw(LocalKind::Vma, 0.0, 16.0, [bs, BufId::ANON], bd);
@@ -293,6 +301,7 @@ pub trait Context {
 
     /// Local Gram product `XᵀY`; combine entries with an allreduce.
     fn local_gram(&mut self, x: &MultiVector, y: &MultiVector) -> DenseMatrix {
+        let _sp = obs::span(SpanKind::Gram);
         let (kx, ky) = (x.ncols() as f64, y.ncols() as f64);
         let (bx, by) = (self.buf_of_multi(x), self.buf_of_multi(y));
         self.charge_local_rw(
@@ -313,6 +322,7 @@ pub trait Context {
         y: &MultiVector,
         yr: std::ops::Range<usize>,
     ) -> DenseMatrix {
+        let _sp = obs::span(SpanKind::Gram);
         let (kx, ky) = (xr.len() as f64, yr.len() as f64);
         let (bx, by) = (self.buf_of_multi(x), self.buf_of_multi(y));
         self.charge_local_rw(
@@ -327,6 +337,7 @@ pub trait Context {
 
     /// Local block-vector products `Xᵀv`; combine with an allreduce.
     fn local_dot_vec(&mut self, x: &MultiVector, v: &[f64]) -> Vec<f64> {
+        let _sp = obs::span(SpanKind::Gram);
         let k = x.ncols() as f64;
         let (bx, bv) = (self.buf_of_multi(x), self.buf_of(v));
         self.charge_local_rw(
@@ -503,6 +514,7 @@ impl Context for SimCtx<'_> {
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Spmv);
         self.a.spmv(x, y);
         self.counters.spmv += 1;
         let (bx, by) = (self.intern_ptr(x.as_ptr()), self.intern_ptr(y.as_ptr()));
@@ -517,6 +529,10 @@ impl Context for SimCtx<'_> {
         if to <= from {
             return;
         }
+        // The constituent products below call `a.spmv` directly (no trait
+        // dispatch), so this is the only span recorded — no nested Spmv
+        // spans that would double-count overlap credit.
+        let _sp = obs::span(SpanKind::Mpk);
         for j in from + 1..=to {
             {
                 let (src, dst) = pow.col_pair_mut(j - 1, j);
@@ -545,6 +561,7 @@ impl Context for SimCtx<'_> {
     }
 
     fn pc_apply(&mut self, r: &[f64], u: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Pc);
         self.pc.apply(r, u);
         self.counters.pc += 1;
         let c = self.pc.cost();
@@ -560,6 +577,7 @@ impl Context for SimCtx<'_> {
     }
 
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64> {
+        let _sp = obs::span(SpanKind::Allreduce);
         self.probe_reduction_input(vals);
         self.counters.blocking_allreduce += 1;
         self.counters.reduced_doubles += vals.len() as u64;
@@ -582,6 +600,7 @@ impl Context for SimCtx<'_> {
             comm: CommId::WORLD,
         });
         self.inflight.insert(id, vals.to_vec());
+        obs::span::window_open(id);
         ReduceHandle { id }
     }
 
@@ -591,6 +610,7 @@ impl Context for SimCtx<'_> {
             .remove(&h.id)
             .expect("wait on unknown or already-completed ReduceHandle");
         self.record(Op::ArWait { id: h.id });
+        obs::span::window_close(h.id);
         vals
     }
 

@@ -24,6 +24,8 @@
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 
+use pscg_obs as obs;
+use pscg_obs::SpanKind;
 use pscg_sparse::partition::{halo_plan, HaloPlan, RowBlockPartition};
 use pscg_sparse::{kernels, CsrMatrix};
 
@@ -348,6 +350,7 @@ impl Context for RankCtx<'_, '_> {
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Spmv);
         assert_eq!(x.len(), self.vec_len());
         assert_eq!(y.len(), self.vec_len());
         // Halo exchange: push our values that neighbours need, pull ghosts.
@@ -369,6 +372,7 @@ impl Context for RankCtx<'_, '_> {
     }
 
     fn pc_apply(&mut self, r: &[f64], u: &mut [f64]) {
+        let _sp = obs::span(SpanKind::Pc);
         match &self.pc {
             LocalPc::None => u.copy_from_slice(r),
             LocalPc::Jacobi(d) => kernels::hadamard(d, r, u),
@@ -377,6 +381,7 @@ impl Context for RankCtx<'_, '_> {
     }
 
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64> {
+        let _sp = obs::span(SpanKind::Allreduce);
         self.counters.blocking_allreduce += 1;
         self.counters.reduced_doubles += vals.len() as u64;
         self.ep.allreduce(vals)
@@ -386,11 +391,16 @@ impl Context for RankCtx<'_, '_> {
         self.counters.nonblocking_allreduce += 1;
         self.counters.reduced_doubles += vals.len() as u64;
         let id = self.ep.iallreduce(vals);
+        // Rank threads post and wait on their own thread, so the window
+        // accounting in `pscg_obs` stays per-thread-correct here too.
+        obs::span::window_open(id);
         ReduceHandle { id }
     }
 
     fn wait(&mut self, h: ReduceHandle) -> Vec<f64> {
-        self.ep.wait(h.id)
+        let vals = self.ep.wait(h.id);
+        obs::span::window_close(h.id);
+        vals
     }
 
     fn peek_pending(&mut self, h: &ReduceHandle) -> Vec<f64> {
