@@ -23,6 +23,15 @@
 //! convergence history, and the achieved-overlap ratios are recorded in
 //! `results/overlap.csv`; any mismatch aborts with exit 1. With no
 //! experiments named, the flag runs the telemetry pass alone.
+//!
+//! `--fault-plan FILE` (or `PSCG_FAULTS=FILE`) runs a fault-injection
+//! campaign instead: the plan (see `pscg-fault` for the text format) is
+//! armed in a fresh simulator for every method and the solve goes through
+//! the resilient supervisor. A method passes when it either converges with
+//! a recomputed residual that confirms the tolerance, or reports an
+//! explicit error — a *silent* wrong answer (claimed convergence
+//! contradicted by `‖b − A x‖`) aborts with exit 1. With no experiments
+//! named, the flag runs the campaign alone.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -31,6 +40,7 @@ use pipescg::methods::MethodKind;
 use pipescg::solver::SolveOptions;
 use pscg_bench::problems;
 use pscg_bench::{experiments, Scale};
+use pscg_fault::FaultPlan;
 use pscg_precond::Jacobi;
 use pscg_sim::{Machine, SimCtx};
 
@@ -249,11 +259,75 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
     ok
 }
 
+/// Arms `plan` in a fresh simulator for every method and solves through the
+/// resilient supervisor. Returns false when any method produces a *silent*
+/// wrong answer — claimed convergence whose recomputed residual `‖b − A x‖`
+/// contradicts the tolerance. Clean convergence (possibly after recovery)
+/// and explicit errors both pass: the contract is "never hang, never lie".
+fn run_fault_campaign(scale: &Scale, plan: &FaultPlan) -> bool {
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let s = 4;
+    println!(
+        "\n## Fault campaign ({}, s = {s}, seed {}, {} event(s))\n",
+        p.name,
+        plan.seed,
+        plan.events.len()
+    );
+    println!("| method | outcome | iters | true relres | faults hit |");
+    println!("|---|---|---|---|---|");
+    let mut ok = true;
+    for method in ALL_METHODS {
+        let mut ctx = SimCtx::serial(&p.a, Box::new(Jacobi::new(&p.a)));
+        ctx.arm_faults(plan.clone());
+        let opts = SolveOptions {
+            rtol: p.rtol,
+            s,
+            max_iters: scale.max_iters,
+            ..Default::default()
+        };
+        let outcome = method.solve_resilient(&mut ctx, &b, None, &opts);
+        let hits = ctx.fault_log().len();
+        match outcome {
+            Ok(res) => {
+                let t = res.true_relres(&p.a, &b);
+                let lied = res.converged() && !(t.is_finite() && t <= p.rtol * 100.0);
+                if lied {
+                    eprintln!(
+                        "[fault-plan] {}: SILENT WRONG ANSWER — reported {:?} \
+                         at relres {:.3e} but true relres is {:.3e}",
+                        method.name(),
+                        res.stop,
+                        res.final_relres,
+                        t
+                    );
+                    ok = false;
+                }
+                println!(
+                    "| {} | {:?} | {} | {:.3e} | {} |",
+                    method.name(),
+                    res.stop,
+                    res.iterations,
+                    t,
+                    hits
+                );
+            }
+            Err(e) => {
+                // An explicit error is an acceptable outcome: the solver
+                // refused to report a solution it could not vouch for.
+                println!("| {} | {e} | — | — | {hits} |", method.name());
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
     let mut scale = Scale::from_env();
     let mut wanted: Vec<String> = Vec::new();
     let mut verify_schedule = false;
     let mut telemetry: Option<PathBuf> = std::env::var_os("PSCG_TELEMETRY").map(PathBuf::from);
+    let mut fault_plan: Option<PathBuf> = std::env::var_os("PSCG_FAULTS").map(PathBuf::from);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -264,6 +338,13 @@ fn main() {
                     std::process::exit(2);
                 };
                 telemetry = Some(PathBuf::from(dir));
+            }
+            "--fault-plan" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--fault-plan needs a file");
+                    std::process::exit(2);
+                };
+                fault_plan = Some(PathBuf::from(file));
             }
             "--scale" => {
                 let v = args.next().unwrap_or_default();
@@ -280,7 +361,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale ci|small|paper] [--verify-schedule] \
-                     [--telemetry DIR] <experiment>...\n\
+                     [--telemetry DIR] [--fault-plan FILE] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
                 );
@@ -289,7 +370,7 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() && !verify_schedule && telemetry.is_none() {
+    if wanted.is_empty() && !verify_schedule && telemetry.is_none() && fault_plan.is_none() {
         wanted.push("all".to_string());
     }
     const KNOWN: [&str; 11] = [
@@ -329,6 +410,26 @@ fn main() {
     if let Some(dir) = &telemetry {
         if !run_telemetry(&scale, dir, &results) {
             eprintln!("[repro] telemetry capture FAILED");
+            std::process::exit(1);
+        }
+    }
+    if let Some(file) = &fault_plan {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[fault-plan] cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        let plan = match FaultPlan::parse(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("[fault-plan] {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        if !run_fault_campaign(&scale, &plan) {
+            eprintln!("[repro] fault campaign FAILED");
             std::process::exit(1);
         }
     }

@@ -45,7 +45,9 @@ pub fn poisson125(scale: &Scale) -> Problem {
 
 /// A SuiteSparse surrogate with its (MatAIJ row-block) profile.
 pub fn surrogate(which: Surrogate, scale: &Scale) -> Problem {
-    let a = which.generate_scaled(scale.surrogate_scale);
+    let a = which
+        .generate_scaled(scale.surrogate_scale)
+        .expect("Scale presets keep the surrogate scale in (0, 1]");
     let nnz = a.nnz();
     let n = a.nrows();
     // All three surrogates are grid-based generators; their slab profiles

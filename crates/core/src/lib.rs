@@ -38,9 +38,12 @@
 pub mod autotune;
 pub mod costmodel;
 pub mod methods;
+pub mod resilience;
 pub mod solver;
 pub mod sstep;
 pub(crate) mod telemetry;
 
 pub use methods::MethodKind;
-pub use solver::{NormType, RefNorm, SolveOptions, SolveResult, StopReason};
+pub use solver::{
+    NormType, RefNorm, Resilience, SolveError, SolveOptions, SolveResult, StopReason,
+};

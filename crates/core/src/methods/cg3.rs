@@ -32,6 +32,7 @@ pub fn solve<C: Context>(
 ) -> SolveResult {
     let bnorm = global_ref_norm(ctx, b, opts);
     let threshold = opts.threshold(bnorm);
+    let mut resil = crate::resilience::ResilienceState::new(opts, bnorm);
     let (mut x, mut r) = init_residual(ctx, b, x0);
 
     let mut u = ctx.alloc_vec();
@@ -70,7 +71,16 @@ pub fn solve<C: Context>(
             stop = StopReason::MaxIterations;
             break;
         }
-        if nu <= 0.0 || nu.is_nan() || !mu.is_finite() {
+        // μ = (r, u) is the γ-like scalar here: finite and non-negative on
+        // an SPD system.
+        if nu <= 0.0 || nu.is_nan() || !relres.is_finite() || crate::resilience::gamma_breakdown(mu)
+        {
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if resil.on_check(ctx, b, &x, relres) {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }
@@ -81,6 +91,7 @@ pub fn solve<C: Context>(
         } else {
             let denom = 1.0 - (gamma * mu) / (gamma_mu_prev * rho);
             if denom == 0.0 || !denom.is_finite() {
+                resil.rollback(ctx, &mut x);
                 stop = StopReason::Breakdown;
                 break;
             }

@@ -38,7 +38,10 @@ pub fn solve<C: Context>(
     let phase1 = pipe_pscg::solve_with(ctx, b, x0, opts, cfg);
 
     match phase1.stop {
-        StopReason::Converged | StopReason::MaxIterations => SolveResult {
+        // A CommFault passes through: reduction retries are already
+        // exhausted, and phase 2 is pipelined too — recovery belongs to
+        // the resilient supervisor, not the stagnation handoff.
+        StopReason::Converged | StopReason::MaxIterations | StopReason::CommFault => SolveResult {
             method: "Hybrid-pipelined",
             ..phase1
         },

@@ -19,6 +19,7 @@ pub fn solve<C: Context>(
 ) -> SolveResult {
     let bnorm = global_ref_norm(ctx, b, opts);
     let threshold = opts.threshold(bnorm);
+    let mut resil = crate::resilience::ResilienceState::new(opts, bnorm);
     let (mut x, mut r) = init_residual(ctx, b, x0);
 
     let mut u = ctx.alloc_vec();
@@ -70,6 +71,7 @@ pub fn solve<C: Context>(
         let ld = ctx.local_dot(&s, &p);
         let delta = ctx.allreduce(&[ld])[0];
         if delta <= 0.0 || delta.is_nan() {
+            resil.rollback(ctx, &mut x);
             return result(ctx, x, i, StopReason::Breakdown, history);
         }
         let alpha = gamma / delta;
@@ -103,7 +105,14 @@ pub fn solve<C: Context>(
         if relres * bnorm < threshold {
             return result(ctx, x, i + 1, StopReason::Converged, history);
         }
-        if !gamma.is_finite() {
+        // γ = (r, u) must stay finite and non-negative on an SPD system;
+        // a non-finite residual means corrupted data reached the norm.
+        if !relres.is_finite() || crate::resilience::gamma_breakdown(gamma) {
+            resil.rollback(ctx, &mut x);
+            return result(ctx, x, i + 1, StopReason::Breakdown, history);
+        }
+        if resil.on_check(ctx, b, &x, relres) {
+            resil.rollback(ctx, &mut x);
             return result(ctx, x, i + 1, StopReason::Breakdown, history);
         }
     }

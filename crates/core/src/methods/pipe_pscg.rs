@@ -92,6 +92,7 @@ pub fn solve_with<C: Context>(
     assert!(s >= 1, "{} requires s >= 1", cfg.method);
     let bnorm = global_ref_norm(ctx, b, opts);
     let threshold = opts.threshold(bnorm);
+    let mut resil = crate::resilience::ResilienceState::new(opts, bnorm);
     let (mut x, r) = init_residual(ctx, b, x0);
 
     // Dual power lists, j = 0..=2s, double-buffered.
@@ -113,7 +114,8 @@ pub fn solve_with<C: Context>(
     // Line 11–12: local dot products and the non-blocking allreduce.
     let udirs0 = ctx.alloc_multi(s);
     let pkt = GramPacket::assemble(ctx, s, &upow, &rpow, &udirs0);
-    let mut handle = ctx.iallreduce(&pkt.pack());
+    let mut posted = pkt.pack();
+    let mut handle = ctx.iallreduce(&posted);
     // Line 13: deep powers overlapped with it — s PCs + s SPMVs.
     extend_powers(ctx, &mut rpow, &mut upow, s, 2 * s, sigma);
 
@@ -141,7 +143,19 @@ pub fn solve_with<C: Context>(
 
     loop {
         // Line 35 wait (posted one overlap window ago).
-        let red = ctx.wait(handle);
+        let red = match crate::resilience::wait_reduction(
+            ctx,
+            handle,
+            &posted,
+            opts.resilience.reduce_retries,
+        ) {
+            Ok(v) => v,
+            Err(_) => {
+                resil.rollback(ctx, &mut x);
+                stop = StopReason::CommFault;
+                break;
+            }
+        };
         let pkt = GramPacket::unpack(s, &red);
 
         let relres = opts
@@ -169,9 +183,16 @@ pub fn solve_with<C: Context>(
             stop = StopReason::MaxIterations;
             break;
         }
-        if !relres.is_finite() || relres > 1e8 {
-            // The recurrences have left the basin of useful arithmetic;
-            // report breakdown instead of iterating into overflow.
+        if !relres.is_finite() || relres > 1e8 || pkt.norms[2] < 0.0 {
+            // The recurrences have left the basin of useful arithmetic
+            // (non-finite/diverged residual, or a negative (r, u) scalar on
+            // an SPD system); report breakdown instead of iterating on.
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if resil.on_check(ctx, b, &x, relres) {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }
@@ -187,6 +208,7 @@ pub fn solve_with<C: Context>(
         }
         // Line 15: Scalar Work.
         if scalar.step(ctx, &pkt).is_err() {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Stagnated;
             break;
         }
@@ -252,7 +274,8 @@ pub fn solve_with<C: Context>(
 
         // Lines 34–35: dot products of the new bases, posted non-blocking.
         let pkt = GramPacket::assemble(ctx, s, &upow_next, &rpow_next, &udirs);
-        handle = ctx.iallreduce(&pkt.pack());
+        posted = pkt.pack();
+        handle = ctx.iallreduce(&posted);
 
         // Line 36: the deep powers — s PCs + s SPMVs — overlapped with the
         // allreduce.

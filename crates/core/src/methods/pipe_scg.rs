@@ -55,6 +55,7 @@ fn solve_inner<C: Context>(
     assert!(s >= 1, "PIPE-sCG requires s >= 1");
     let bnorm = global_ref_norm(ctx, b, opts);
     let threshold = opts.threshold(bnorm);
+    let mut resil = crate::resilience::ResilienceState::new(opts, bnorm);
     let (mut x, r) = init_residual(ctx, b, x0);
 
     // pow[j] = A^j r, j = 0..=2s (double-buffered: recurrences read the old
@@ -78,7 +79,8 @@ fn solve_inner<C: Context>(
     // Lines 8–9: ...the dot products and their non-blocking allreduce...
     let dirs0 = ctx.alloc_multi(s);
     let pkt = GramPacket::assemble(ctx, s, &pow, &pow, &dirs0);
-    let mut handle = ctx.iallreduce(&pkt.pack());
+    let mut posted = pkt.pack();
+    let mut handle = ctx.iallreduce(&posted);
     // Line 10: ...overlapped with the deep powers A^{s+1}r … A^{2s}r.
     if use_mpk {
         ctx.mpk(&mut pow, s, 2 * s, sigma);
@@ -99,7 +101,19 @@ fn solve_inner<C: Context>(
 
     loop {
         // Wait on the allreduce posted one overlap window ago.
-        let red = ctx.wait(handle);
+        let red = match crate::resilience::wait_reduction(
+            ctx,
+            handle,
+            &posted,
+            opts.resilience.reduce_retries,
+        ) {
+            Ok(v) => v,
+            Err(_) => {
+                resil.rollback(ctx, &mut x);
+                stop = StopReason::CommFault;
+                break;
+            }
+        };
         let pkt = GramPacket::unpack(s, &red);
 
         let relres = opts
@@ -127,14 +141,22 @@ fn solve_inner<C: Context>(
             stop = StopReason::MaxIterations;
             break;
         }
-        if !relres.is_finite() || relres > 1e8 {
-            // The recurrences have left the basin of useful arithmetic;
-            // report breakdown instead of iterating into overflow.
+        if !relres.is_finite() || relres > 1e8 || pkt.norms[2] < 0.0 {
+            // The recurrences have left the basin of useful arithmetic
+            // (non-finite/diverged residual, or a negative (r, u) scalar on
+            // an SPD system); report breakdown instead of iterating on.
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if resil.on_check(ctx, b, &x, relres) {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }
         // Line 12: Scalar Work.
         if scalar.step(ctx, &pkt).is_err() {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }
@@ -164,7 +186,8 @@ fn solve_inner<C: Context>(
 
         // Line 26–27: dot products of the new basis, posted non-blocking.
         let pkt = GramPacket::assemble(ctx, s, &pow_next, &pow_next, &dirs);
-        handle = ctx.iallreduce(&pkt.pack());
+        posted = pkt.pack();
+        handle = ctx.iallreduce(&posted);
 
         // Line 28: the s deep powers, overlapped with the allreduce.
         if use_mpk {

@@ -20,6 +20,7 @@ pub fn solve<C: Context>(
 ) -> SolveResult {
     let bnorm = global_ref_norm(ctx, b, opts);
     let threshold = opts.threshold(bnorm);
+    let mut resil = crate::resilience::ResilienceState::new(opts, bnorm);
     let (mut x, mut r) = init_residual(ctx, b, x0);
 
     // u = M⁻¹ r, w = A u.
@@ -48,11 +49,24 @@ pub fn solve<C: Context>(
         let ld = ctx.local_dot(&w, &u);
         let lrr = ctx.local_dot(&r, &r);
         let luu = ctx.local_dot(&u, &u);
-        let h = ctx.iallreduce(&[lg, ld, lrr, luu]);
+        let posted = [lg, ld, lrr, luu];
+        let h = ctx.iallreduce(&posted);
         // Overlapped work: m = M⁻¹ w, n = A m.
         ctx.pc_apply(&w, &mut m);
         ctx.spmv(&m, &mut n);
-        let red = ctx.wait(h);
+        let red = match crate::resilience::wait_reduction(
+            ctx,
+            h,
+            &posted,
+            opts.resilience.reduce_retries,
+        ) {
+            Ok(v) => v,
+            Err(_) => {
+                resil.rollback(ctx, &mut x);
+                stop = StopReason::CommFault;
+                break;
+            }
+        };
         let (gamma, delta, rr, uu) = (red[0], red[1], red[2], red[3]);
 
         let relres = opts.norm.pick_sq(rr, uu, gamma).max(0.0).sqrt() / bnorm;
@@ -67,13 +81,21 @@ pub fn solve<C: Context>(
             stop = StopReason::MaxIterations;
             break;
         }
-        if !gamma.is_finite() || !delta.is_finite() {
+        // γ = (r, u) must stay finite and non-negative on an SPD system.
+        if !relres.is_finite() || crate::resilience::gamma_breakdown(gamma) || !delta.is_finite() {
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if resil.on_check(ctx, b, &x, relres) {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }
 
         let (beta, alpha) = if iters == 0 {
             if delta <= 0.0 {
+                resil.rollback(ctx, &mut x);
                 stop = StopReason::Breakdown;
                 break;
             }
@@ -82,6 +104,7 @@ pub fn solve<C: Context>(
             let beta = gamma / gamma_old;
             let denom = delta - beta * gamma / alpha_old;
             if denom == 0.0 || !denom.is_finite() {
+                resil.rollback(ctx, &mut x);
                 stop = StopReason::Breakdown;
                 break;
             }

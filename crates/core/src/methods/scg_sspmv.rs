@@ -25,6 +25,7 @@ pub fn solve<C: Context>(
     assert!(s >= 1, "sCG-sSPMV requires s >= 1");
     let bnorm = global_ref_norm(ctx, b, opts);
     let threshold = opts.threshold(bnorm);
+    let mut resil = crate::resilience::ResilienceState::new(opts, bnorm);
     let (mut x, r) = init_residual(ctx, b, x0);
 
     // pow[j] = (σA)^j r, j = 0..=s (line 3–4); σ-scaled basis, see sstep.
@@ -78,13 +79,21 @@ pub fn solve<C: Context>(
             stop = StopReason::MaxIterations;
             break;
         }
-        if !relres.is_finite() || relres > 1e8 {
-            // The recurrences have left the basin of useful arithmetic;
-            // report breakdown instead of iterating into overflow.
+        if !relres.is_finite() || relres > 1e8 || pkt.norms[2] < 0.0 {
+            // The recurrences have left the basin of useful arithmetic
+            // (non-finite/diverged residual, or a negative (r, u) scalar on
+            // an SPD system); report breakdown instead of iterating on.
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if resil.on_check(ctx, b, &x, relres) {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }
         if scalar.step(ctx, &pkt).is_err() {
+            resil.rollback(ctx, &mut x);
             stop = StopReason::Breakdown;
             break;
         }

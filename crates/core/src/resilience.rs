@@ -1,0 +1,310 @@
+//! Detection and recovery: the self-stabilization half of the fault story.
+//!
+//! The injection half lives in `pscg-fault` (armed on the engine via
+//! `SimCtx::arm_faults`); this module gives the solver loops and callers
+//! the tools to *survive* what it injects:
+//!
+//! * [`ResilienceState`] — per-solve in-loop state: a periodic true-residual
+//!   **drift probe** (`‖b − A x‖` recomputed from scratch vs the recurrence
+//!   residual, flagged beyond a configurable gap), plus **checkpointing** of
+//!   the last-good iterate and rollback to it when the loop aborts.
+//! * [`wait_reduction`] — bounded retry of a timed-out non-blocking
+//!   reduction completion, re-posting the local contribution when the
+//!   completion was dropped outright.
+//! * [`solve_resilient`] — the supervisor implementing the recovery ladder:
+//!   run the method; verify the result against the true residual; on
+//!   breakdown, communication fault or silent drift, perform a
+//!   **residual-replacement restart** from the current (or rolled-back)
+//!   iterate — which recomputes `r = b − A x` and rebuilds every `AQ`/`AP`
+//!   basis block at solve start — up to
+//!   [`Resilience::max_replacements`] times; finally degrade to a clean PCG
+//!   restart from the best iterate seen. If that also fails, the caller
+//!   gets an explicit [`SolveError`] — never a hang, never a silently wrong
+//!   answer.
+//!
+//! Everything here is inert unless armed: `Resilience::default()` issues no
+//! extra kernels, and on a fault-free run `try_wait` completes first try so
+//! the retry loop never re-posts.
+
+use pscg_sim::{Context, ReduceHandle, ReduceTimeout, WaitOutcome};
+
+use crate::methods::MethodKind;
+use crate::solver::{NormType, Resilience, SolveError, SolveOptions, SolveResult, StopReason};
+use crate::telemetry;
+
+/// Recovery-action codes carried in the `arg` of recovery spans.
+pub mod code {
+    /// A timed-out reduction completion was retried.
+    pub const REDUCE_RETRY: u64 = 1;
+    /// A dropped reduction was re-posted from the local contribution.
+    pub const REDUCE_REPOST: u64 = 2;
+    /// The iterate was rolled back to the last-good checkpoint.
+    pub const ROLLBACK: u64 = 3;
+    /// A residual-replacement restart was performed.
+    pub const REPLACEMENT: u64 = 4;
+    /// The ladder degraded to a clean PCG restart.
+    pub const PCG_RESTART: u64 = 5;
+}
+
+/// True relative residual `‖b − A x‖ / refn` recomputed from scratch in the
+/// convergence-test norm. One SPMV, one PC for preconditioned/natural
+/// norms, one blocking allreduce — all charged through the context.
+pub(crate) fn true_relres<C: Context + ?Sized>(
+    ctx: &mut C,
+    b: &[f64],
+    x: &[f64],
+    norm: NormType,
+    refn: f64,
+) -> f64 {
+    let n = ctx.vec_len();
+    // Plain buffers, not `alloc_vec`: probe scratch is not part of the
+    // method's Table-I memory footprint.
+    let mut ax = vec![0.0; n];
+    ctx.spmv(x, &mut ax);
+    let mut r = vec![0.0; n];
+    ctx.waxpy(&mut r, -1.0, &ax, b);
+    let sq = match norm {
+        NormType::Unpreconditioned => {
+            let rr = ctx.local_dot(&r, &r);
+            ctx.allreduce(&[rr])[0]
+        }
+        NormType::Preconditioned | NormType::Natural => {
+            let mut u = vec![0.0; n];
+            ctx.pc_apply(&r, &mut u);
+            let uu = ctx.local_dot(&u, &u);
+            let ru = ctx.local_dot(&r, &u);
+            let red = ctx.allreduce(&[uu, ru]);
+            norm.pick_sq(f64::NAN, red[0], red[1])
+        }
+    };
+    sq.max(0.0).sqrt() / refn.max(f64::MIN_POSITIVE)
+}
+
+/// Non-finite or negative γ-scalar breakdown guard: `(r, u)` (or any
+/// positive-by-construction CG scalar) must stay finite and non-negative on
+/// an SPD system. Pure comparison — no extra operations on clean runs.
+#[inline]
+pub(crate) fn gamma_breakdown(gamma: f64) -> bool {
+    !gamma.is_finite() || gamma < 0.0
+}
+
+struct Checkpoint {
+    x: Vec<f64>,
+    relres: f64,
+}
+
+/// Per-solve in-loop resilience state: drift probe + checkpoint/rollback.
+pub(crate) struct ResilienceState {
+    cfg: Resilience,
+    norm: NormType,
+    refn: f64,
+    checks: usize,
+    ckpt: Option<Checkpoint>,
+}
+
+impl ResilienceState {
+    pub(crate) fn new(opts: &SolveOptions, refn: f64) -> Self {
+        ResilienceState {
+            cfg: opts.resilience,
+            norm: opts.norm,
+            refn,
+            checks: 0,
+            ckpt: None,
+        }
+    }
+
+    /// Called at every convergence check (after the check decided to keep
+    /// iterating). Takes a checkpoint and/or runs the drift probe on their
+    /// configured cadences. Returns true when the probe found the
+    /// recurrence residual lying — the loop should roll back and abort.
+    /// With a passive configuration this is a single integer compare.
+    pub(crate) fn on_check<C: Context + ?Sized>(
+        &mut self,
+        ctx: &mut C,
+        b: &[f64],
+        x: &[f64],
+        relres: f64,
+    ) -> bool {
+        if self.cfg.passive() {
+            return false;
+        }
+        self.checks += 1;
+        if self.cfg.checkpoint_every > 0
+            && self.checks.is_multiple_of(self.cfg.checkpoint_every)
+            && relres.is_finite()
+            && self.ckpt.as_ref().is_none_or(|c| relres < c.relres)
+        {
+            self.ckpt = Some(Checkpoint {
+                x: x.to_vec(),
+                relres,
+            });
+        }
+        if self.cfg.drift_check_every > 0 && self.checks.is_multiple_of(self.cfg.drift_check_every)
+        {
+            let t = true_relres(ctx, b, x, self.norm, self.refn);
+            let lying = !relres.is_finite()
+                || !t.is_finite()
+                || t > self.cfg.drift_tol * relres.max(f64::MIN_POSITIVE);
+            if lying {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rolls `x` back to the last-good checkpoint; true when one existed.
+    pub(crate) fn rollback<C: Context + ?Sized>(&mut self, ctx: &C, x: &mut [f64]) -> bool {
+        match self.ckpt.take() {
+            Some(c) => {
+                x.copy_from_slice(&c.x);
+                telemetry::note_recovery(ctx, code::ROLLBACK);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Completes a posted reduction with bounded retry-with-backoff: a delayed
+/// completion is waited on again (up to `retries` times, each attempt a
+/// backoff tick), a dropped one is re-posted from `local`. On a clean run
+/// the first `try_wait` succeeds and this is exactly [`Context::wait`].
+pub(crate) fn wait_reduction<C: Context + ?Sized>(
+    ctx: &mut C,
+    mut h: ReduceHandle,
+    local: &[f64],
+    retries: u32,
+) -> Result<Vec<f64>, ReduceTimeout> {
+    let mut attempt = 0u32;
+    loop {
+        match ctx.try_wait(h) {
+            WaitOutcome::Done(v) => return Ok(v),
+            WaitOutcome::TimedOut { handle, fault } => {
+                if attempt >= retries {
+                    return Err(fault);
+                }
+                attempt += 1;
+                h = match handle {
+                    Some(h) => {
+                        telemetry::note_recovery(ctx, code::REDUCE_RETRY);
+                        h
+                    }
+                    None => {
+                        telemetry::note_recovery(ctx, code::REDUCE_REPOST);
+                        ctx.iallreduce(local)
+                    }
+                };
+            }
+        }
+    }
+}
+
+/// The recovery-ladder supervisor (see module docs). Arms
+/// [`Resilience::armed`] when the caller left the default (inert)
+/// configuration, so every attempt checkpoints and drift-probes.
+pub fn solve_resilient<C: Context>(
+    method: MethodKind,
+    ctx: &mut C,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> Result<SolveResult, SolveError> {
+    let mut opts = *opts;
+    if opts.resilience == Resilience::default() {
+        opts.resilience = Resilience::armed();
+    }
+    let refn = crate::methods::global_ref_norm(ctx, b, &opts);
+    // A result is accepted only when the *recomputed* residual agrees that
+    // the tolerance was met (small slack for the recurrence-vs-true gap a
+    // healthy solve accumulates).
+    let accept = |t: f64| {
+        t.is_finite() && t <= opts.rtol.max(opts.atol / refn.max(f64::MIN_POSITIVE)) * 10.0
+    };
+
+    let mut start: Option<Vec<f64>> = x0.map(|v| v.to_vec());
+    let mut total_iters = 0usize;
+    let mut history: Vec<f64> = Vec::new();
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut last = None;
+
+    /// Merges one attempt into the ladder-wide result.
+    fn merged(
+        res: SolveResult,
+        total_iters: usize,
+        mut history: Vec<f64>,
+        counters: pscg_sim::OpCounters,
+    ) -> SolveResult {
+        history.extend(res.history.iter().copied());
+        SolveResult {
+            iterations: total_iters,
+            history,
+            counters,
+            ..res
+        }
+    }
+
+    for attempt in 0..=opts.resilience.max_replacements {
+        let res = method.solve(ctx, b, start.as_deref(), &opts);
+        total_iters += res.iterations;
+        let t = true_relres(ctx, b, &res.x, opts.norm, refn);
+        if t.is_finite() && best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            best = Some((res.x.clone(), t));
+        }
+        if res.converged() && accept(t) {
+            return Ok(merged(res, total_iters, history, *ctx.counters()));
+        }
+        // Honest budget exhaustion (no drift, no fault): report it as-is
+        // rather than burning restarts on a solve that is simply slow.
+        if res.stop == StopReason::MaxIterations
+            && t.is_finite()
+            && t <= opts.resilience.drift_tol * res.final_relres.max(f64::MIN_POSITIVE)
+        {
+            return Ok(merged(res, total_iters, history, *ctx.counters()));
+        }
+        history.extend(res.history.iter().copied());
+        last = Some(res.stop);
+        if attempt < opts.resilience.max_replacements {
+            // Residual replacement: restart from the best finite iterate —
+            // the new solve recomputes r = b − A x and rebuilds the AQ/AP
+            // basis blocks from scratch.
+            telemetry::note_recovery(ctx, code::REPLACEMENT);
+            start = Some(match &best {
+                Some((x, _)) => x.clone(),
+                None => res.x.clone(),
+            });
+        }
+    }
+
+    // Replacement failed max_replacements times: degrade gracefully to a
+    // clean PCG restart from the last-good iterate.
+    telemetry::note_recovery(ctx, code::PCG_RESTART);
+    let from = best.as_ref().map(|(x, _)| x.clone()).or(start);
+    let res = MethodKind::Pcg.solve(ctx, b, from.as_deref(), &opts);
+    total_iters += res.iterations;
+    let t = true_relres(ctx, b, &res.x, opts.norm, refn);
+    if res.converged() && accept(t) {
+        return Ok(merged(res, total_iters, history, *ctx.counters()));
+    }
+    let best_true = best.map(|(_, bt)| bt).unwrap_or(t);
+    Err(SolveError::RecoveryExhausted {
+        last_stop: last.unwrap_or(res.stop),
+        best_true_relres: best_true.min(t),
+        iterations: total_iters,
+    })
+}
+
+impl MethodKind {
+    /// Solves with the full recovery ladder armed; see
+    /// [`solve_resilient`]. Returns an explicit [`SolveError`] when the
+    /// ladder is exhausted — never hangs, never returns a solution whose
+    /// recomputed residual contradicts the reported convergence.
+    pub fn solve_resilient<C: Context>(
+        self,
+        ctx: &mut C,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> Result<SolveResult, SolveError> {
+        solve_resilient(self, ctx, b, x0, opts)
+    }
+}

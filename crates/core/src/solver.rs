@@ -55,6 +55,70 @@ pub enum RefNorm {
     PlainB,
 }
 
+/// Self-stabilization knobs threaded through every solver loop.
+///
+/// The default is fully inert: no drift probes, no checkpoints, no extra
+/// kernel or communication calls — a solve with `Resilience::default()` is
+/// bitwise-identical to one before these knobs existed. [`Resilience::armed`]
+/// is the configuration the resilient supervisor
+/// (`MethodKind::solve_resilient`) uses when the caller did not choose one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resilience {
+    /// Recompute the true residual `‖b − A x‖` every this many convergence
+    /// checks and compare it against the recurrence residual (0 = never).
+    /// Costs one SPMV (plus one PC for preconditioned norms) and one
+    /// blocking allreduce per probe.
+    pub drift_check_every: usize,
+    /// The probe flags drift when the true relative residual exceeds
+    /// `drift_tol ×` the recurrence value.
+    pub drift_tol: f64,
+    /// Save a last-good checkpoint (iterate + residual) every this many
+    /// convergence checks (0 = never). On breakdown, drift or an exhausted
+    /// reduction retry the loop rolls `x` back to the checkpoint before
+    /// returning, so recovery restarts from a sane iterate.
+    pub checkpoint_every: usize,
+    /// Bounded retries of a timed-out non-blocking reduction completion
+    /// before the loop gives up with [`StopReason::CommFault`]. Inert on
+    /// clean runs: a completion that arrives first try never retries.
+    pub reduce_retries: u32,
+    /// Residual-replacement restarts the supervisor attempts before
+    /// degrading to a clean PCG restart from the last-good iterate.
+    pub max_replacements: u32,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            drift_check_every: 0,
+            drift_tol: 100.0,
+            checkpoint_every: 0,
+            reduce_retries: 2,
+            max_replacements: 2,
+        }
+    }
+}
+
+impl Resilience {
+    /// The active configuration used by the resilient supervisor: drift
+    /// probe every 16 checks at a 100× gap, checkpoints every 8 checks,
+    /// 2 reduction retries, 2 replacement restarts.
+    pub fn armed() -> Self {
+        Resilience {
+            drift_check_every: 16,
+            drift_tol: 100.0,
+            checkpoint_every: 8,
+            reduce_retries: 2,
+            max_replacements: 2,
+        }
+    }
+
+    /// True when neither probes nor checkpoints are enabled (the in-loop
+    /// state machine then never issues an extra operation).
+    pub fn passive(&self) -> bool {
+        self.drift_check_every == 0 && self.checkpoint_every == 0
+    }
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveOptions {
@@ -71,6 +135,8 @@ pub struct SolveOptions {
     pub ref_norm: RefNorm,
     /// The s parameter of the s-step methods (ignored by the classic ones).
     pub s: usize,
+    /// Self-stabilization knobs (default: fully inert).
+    pub resilience: Resilience,
 }
 
 impl Default for SolveOptions {
@@ -82,6 +148,7 @@ impl Default for SolveOptions {
             norm: NormType::default(),
             ref_norm: RefNorm::default(),
             s: 3,
+            resilience: Resilience::default(),
         }
     }
 }
@@ -98,6 +165,12 @@ impl SolveOptions {
     /// Convenience: sets `s`.
     pub fn with_s(mut self, s: usize) -> Self {
         self.s = s;
+        self
+    }
+
+    /// Convenience: sets the resilience configuration.
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
         self
     }
 
@@ -118,7 +191,44 @@ pub enum StopReason {
     Breakdown,
     /// Residual stagnation was detected (used by the hybrid driver).
     Stagnated,
+    /// A non-blocking reduction completion kept timing out after the
+    /// configured retries (injected communication fault).
+    CommFault,
 }
+
+/// Terminal failure of a resilient solve (`MethodKind::solve_resilient`):
+/// the whole recovery ladder — residual replacement restarts, then a clean
+/// PCG restart from the last-good iterate — was exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No attempt reached the tolerance with a verified true residual.
+    RecoveryExhausted {
+        /// Stop reason of the final attempt.
+        last_stop: StopReason,
+        /// True relative residual of the best iterate produced.
+        best_true_relres: f64,
+        /// Total CG steps spent across all attempts.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::RecoveryExhausted {
+                last_stop,
+                best_true_relres,
+                iterations,
+            } => write!(
+                f,
+                "recovery ladder exhausted after {iterations} steps \
+                 (last stop {last_stop:?}, best true relres {best_true_relres:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Result of one solve.
 #[derive(Debug, Clone)]

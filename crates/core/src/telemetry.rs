@@ -36,7 +36,7 @@ fn pool_counters() -> PoolCounters {
 }
 
 #[inline]
-fn active_rank<C: Context>(ctx: &C) -> bool {
+fn active_rank<C: Context + ?Sized>(ctx: &C) -> bool {
     pscg_obs::enabled() && ctx.rank() == 0
 }
 
@@ -118,6 +118,15 @@ pub(crate) fn note_stagnation_fired<C: Context>(ctx: &C) {
     }
 }
 
+/// Notes one recovery action (reduction retry, rollback, replacement or
+/// restart) into the active stream and the span recorder.
+pub(crate) fn note_recovery<C: Context + ?Sized>(ctx: &C, code: u64) {
+    if active_rank(ctx) {
+        metrics::note_recovery();
+        pscg_obs::span::record_span(pscg_obs::SpanKind::Recovery, code, pscg_obs::now_ns(), 0);
+    }
+}
+
 /// Builds the `(r·r, u·u, r·u)` triple when a method computed only the
 /// *selected* squared norm: the chosen slot gets `sq`, the natural slot
 /// gets `ru` when known (PCG's γ is exactly `(r, u)`), the rest are `NaN`.
@@ -139,6 +148,7 @@ impl StopReason {
             StopReason::MaxIterations => "MaxIterations",
             StopReason::Breakdown => "Breakdown",
             StopReason::Stagnated => "Stagnated",
+            StopReason::CommFault => "CommFault",
         }
     }
 }

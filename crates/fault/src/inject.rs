@@ -1,0 +1,227 @@
+//! The injector: applies a [`FaultPlan`](crate::FaultPlan) at runtime.
+//!
+//! An engine arms one [`Injector`] and calls [`Injector::corrupt`] after
+//! every data-producing kernel and [`Injector::completion_fate`] at every
+//! non-blocking-reduction wait. The injector counts invocations per site,
+//! fires the plan's matching events, and logs every applied fault. With an
+//! empty plan it only increments counters — no random draws, no data
+//! access — so arming an empty plan is behaviorally inert.
+
+use pscg_sparse::rng::SplitMix64;
+
+use crate::plan::{FaultAction, FaultPlan, FaultSite};
+
+/// The scheduled fate of one reduction completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionFault {
+    /// The completion is lost; the posted values are gone.
+    Drop,
+    /// The completion times out this many times before arriving.
+    Delay {
+        /// Timed-out wait attempts before delivery.
+        ticks: u32,
+    },
+    /// The completion delivers the previous reduction's payload.
+    Duplicate,
+}
+
+/// A log entry for one applied fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// The site struck.
+    pub site: FaultSite,
+    /// The invocation index at which it fired.
+    pub nth: u64,
+    /// The action applied.
+    pub action: FaultAction,
+    /// What happened, human-readable (element index, old/new value, …).
+    pub detail: String,
+}
+
+/// Runtime state of one armed fault campaign.
+#[derive(Debug)]
+pub struct Injector {
+    plan: FaultPlan,
+    counts: [u64; 5],
+    rng: SplitMix64,
+    log: Vec<FaultRecord>,
+}
+
+impl Injector {
+    /// Arms a plan. The plan should be [validated](FaultPlan::validate)
+    /// first; incompatible events are skipped at fire time.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        Injector {
+            plan,
+            counts: [0; 5],
+            rng,
+            log: Vec::new(),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counts one invocation of `site` and returns the actions scheduled
+    /// for it.
+    fn fire(&mut self, site: FaultSite) -> Vec<FaultAction> {
+        let nth = self.counts[site.index()];
+        self.counts[site.index()] += 1;
+        if self.plan.events.is_empty() {
+            return Vec::new();
+        }
+        self.plan
+            .events
+            .iter()
+            .filter(|ev| ev.site == site && ev.nth == nth)
+            .map(|ev| ev.action)
+            .collect()
+    }
+
+    /// Applies any data fault scheduled for this invocation of `site` to
+    /// `out`. Returns true when `out` was modified.
+    pub fn corrupt(&mut self, site: FaultSite, out: &mut [f64]) -> bool {
+        let actions = self.fire(site);
+        let nth = self.counts[site.index()] - 1;
+        let mut hit = false;
+        for action in actions {
+            if action.is_completion_fault() || out.is_empty() {
+                continue;
+            }
+            let i = self.rng.below(out.len());
+            let old = out[i];
+            match action {
+                FaultAction::BitFlip { bit } => {
+                    out[i] = f64::from_bits(old.to_bits() ^ (1u64 << (bit % 52)));
+                }
+                FaultAction::Nan => out[i] = f64::NAN,
+                FaultAction::Inf => out[i] = f64::INFINITY,
+                FaultAction::Perturb { eps } => out[i] = old * (1.0 + eps),
+                _ => unreachable!("completion faults filtered above"),
+            }
+            self.log.push(FaultRecord {
+                site,
+                nth,
+                action,
+                detail: format!("element {i}: {old:e} -> {:e}", out[i]),
+            });
+            hit = true;
+        }
+        hit
+    }
+
+    /// Decides the fate of the next reduction completion (one call per
+    /// first wait attempt on a handle; retries of a delayed completion must
+    /// not call this again).
+    pub fn completion_fate(&mut self) -> Option<CompletionFault> {
+        let actions = self.fire(FaultSite::Wait);
+        let nth = self.counts[FaultSite::Wait.index()] - 1;
+        let fate = actions.into_iter().find_map(|action| {
+            let f = match action {
+                FaultAction::Drop => CompletionFault::Drop,
+                FaultAction::Delay { ticks } => CompletionFault::Delay { ticks },
+                FaultAction::Duplicate => CompletionFault::Duplicate,
+                _ => return None,
+            };
+            Some((action, f))
+        });
+        fate.map(|(action, f)| {
+            self.log.push(FaultRecord {
+                site: FaultSite::Wait,
+                nth,
+                action,
+                detail: format!("completion fate {f:?}"),
+            });
+            f
+        })
+    }
+
+    /// Everything applied so far.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Drains the applied-fault log.
+    pub fn take_log(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Number of faults applied so far.
+    pub fn faults_applied(&self) -> u64 {
+        self.log.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_touches_data() {
+        let mut inj = Injector::new(FaultPlan::new(9));
+        let mut v = vec![1.0, 2.0, 3.0];
+        for _ in 0..10 {
+            assert!(!inj.corrupt(FaultSite::Spmv, &mut v));
+            assert!(inj.completion_fate().is_none());
+        }
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        assert_eq!(inj.faults_applied(), 0);
+    }
+
+    #[test]
+    fn fires_on_the_scheduled_invocation_only() {
+        let plan = FaultPlan::new(1).with(FaultSite::Pc, 2, FaultAction::Nan);
+        let mut inj = Injector::new(plan);
+        let mut v = vec![1.0; 4];
+        assert!(!inj.corrupt(FaultSite::Pc, &mut v)); // nth 0
+        assert!(!inj.corrupt(FaultSite::Pc, &mut v)); // nth 1
+        assert!(inj.corrupt(FaultSite::Pc, &mut v)); // nth 2 fires
+        assert_eq!(v.iter().filter(|x| x.is_nan()).count(), 1);
+        assert!(!inj.corrupt(FaultSite::Pc, &mut v)); // nth 3
+        assert_eq!(inj.log().len(), 1);
+        assert_eq!(inj.log()[0].nth, 2);
+    }
+
+    #[test]
+    fn bitflip_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan =
+                FaultPlan::new(seed).with(FaultSite::Spmv, 0, FaultAction::BitFlip { bit: 40 });
+            let mut inj = Injector::new(plan);
+            let mut v: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+            inj.corrupt(FaultSite::Spmv, &mut v);
+            v
+        };
+        assert_eq!(run(3), run(3), "same seed, same corruption");
+        assert_ne!(run(3), run(4), "different seed strikes elsewhere");
+        let v = run(3);
+        let clean: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+        let diffs = v
+            .iter()
+            .zip(&clean)
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        assert_eq!(diffs, 1, "exactly one element flipped");
+    }
+
+    #[test]
+    fn completion_fates_map_actions() {
+        let plan = FaultPlan::new(0)
+            .with(FaultSite::Wait, 0, FaultAction::Drop)
+            .with(FaultSite::Wait, 1, FaultAction::Delay { ticks: 2 })
+            .with(FaultSite::Wait, 2, FaultAction::Duplicate);
+        let mut inj = Injector::new(plan);
+        assert_eq!(inj.completion_fate(), Some(CompletionFault::Drop));
+        assert_eq!(
+            inj.completion_fate(),
+            Some(CompletionFault::Delay { ticks: 2 })
+        );
+        assert_eq!(inj.completion_fate(), Some(CompletionFault::Duplicate));
+        assert_eq!(inj.completion_fate(), None);
+        assert_eq!(inj.take_log().len(), 3);
+        assert!(inj.log().is_empty());
+    }
+}

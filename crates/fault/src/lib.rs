@@ -1,0 +1,30 @@
+//! # pscg-fault — deterministic fault injection for the solver engines
+//!
+//! Pipelined and s-step CG variants trade synchronization for numerical
+//! fragility: a flipped mantissa bit in an SPMV output, a poisoned
+//! preconditioner application, or a lost non-blocking reduction completion
+//! can silently derail the recurrence (Cools & Vanroose, arXiv:1706.05988).
+//! This crate provides the *injection* half of proving the solvers survive:
+//!
+//! * [`FaultPlan`] — a seeded, fully deterministic campaign description:
+//!   which invocation of which kernel/communication site is corrupted, and
+//!   how. Plans round-trip through a small line-oriented text format so the
+//!   `repro` driver can load them from a file (`--fault-plan`) or the
+//!   `PSCG_FAULTS` environment variable.
+//! * [`Injector`] — the runtime that engines arm. It counts invocations per
+//!   site, applies the scheduled corruption (mantissa bit flips, NaN/Inf,
+//!   relative perturbation, dropped/delayed/duplicated reduction
+//!   completions) and keeps a [`FaultRecord`] log of everything it did.
+//!
+//! Randomness (the corrupted element index within a vector) comes from the
+//! in-tree [`pscg_sparse::rng::SplitMix64`] seeded from the plan, so a
+//! campaign is reproducible bit-for-bit. The *detection and recovery* half
+//! lives with the solvers (`pipescg::resilience`).
+
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{CompletionFault, FaultRecord, Injector};
+pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSite, PlanParseError};

@@ -1,0 +1,357 @@
+//! Fault plans: what to corrupt, where, and when.
+//!
+//! A plan is a list of [`FaultEvent`]s, each firing on the `nth` invocation
+//! (0-based, counted per engine lifetime) of a [`FaultSite`]. Data sites
+//! (`spmv`, `mpk`, `pc`, `reduce`) take value-corrupting actions; the
+//! completion site (`wait`) takes scheduling actions (drop / delay /
+//! duplicate). [`FaultPlan::parse`] and [`FaultPlan::to_text`] round-trip
+//! the text format:
+//!
+//! ```text
+//! # seeded fault campaign
+//! seed 42
+//! at spmv 17 bitflip 12      # flip mantissa bit 12 of one output element
+//! at pc 5 nan                # poison one preconditioner output element
+//! at mpk 2 inf
+//! at reduce 3 perturb 1e-3   # scale one local contribution by (1 + eps)
+//! at wait 4 drop             # lose a reduction completion (surfaces as timeout)
+//! at wait 6 delay 2          # completion times out twice before arriving
+//! at wait 8 duplicate        # completion delivers the previous reduction's payload
+//! ```
+
+use std::fmt;
+
+/// Where a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Output vector of a sparse matrix–vector product.
+    Spmv,
+    /// Output block of a matrix-powers-kernel invocation.
+    Mpk,
+    /// Output vector of a preconditioner application.
+    Pc,
+    /// Local contribution entering an allreduce (blocking or posted).
+    Reduce,
+    /// Completion of a posted non-blocking allreduce.
+    Wait,
+}
+
+impl FaultSite {
+    /// Every site, in plan-text order.
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::Spmv,
+        FaultSite::Mpk,
+        FaultSite::Pc,
+        FaultSite::Reduce,
+        FaultSite::Wait,
+    ];
+
+    /// Plan-text keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Spmv => "spmv",
+            FaultSite::Mpk => "mpk",
+            FaultSite::Pc => "pc",
+            FaultSite::Reduce => "reduce",
+            FaultSite::Wait => "wait",
+        }
+    }
+
+    /// Dense index for per-site invocation counters.
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::Spmv => 0,
+            FaultSite::Mpk => 1,
+            FaultSite::Pc => 2,
+            FaultSite::Reduce => 3,
+            FaultSite::Wait => 4,
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// XOR one mantissa bit (`0..52`) of one output element.
+    BitFlip {
+        /// Mantissa bit to flip (bit 0 is the least significant).
+        bit: u32,
+    },
+    /// Set one output element to NaN.
+    Nan,
+    /// Set one output element to +∞.
+    Inf,
+    /// Scale one output element by `1 + eps`.
+    Perturb {
+        /// Relative perturbation magnitude.
+        eps: f64,
+    },
+    /// Lose the completion: the wait times out and the posted values are
+    /// gone (the caller must re-post to recover).
+    Drop,
+    /// The completion times out `ticks` times before arriving intact.
+    Delay {
+        /// Number of timed-out wait attempts before delivery.
+        ticks: u32,
+    },
+    /// The completion delivers a stale duplicate: the payload of the
+    /// *previous* completed reduction (or the correct one if none).
+    Duplicate,
+}
+
+impl FaultAction {
+    /// True for the actions that target reduction completions (`wait`
+    /// site) rather than numerical data.
+    pub fn is_completion_fault(self) -> bool {
+        matches!(
+            self,
+            FaultAction::Drop | FaultAction::Delay { .. } | FaultAction::Duplicate
+        )
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::BitFlip { bit } => write!(f, "bitflip {bit}"),
+            FaultAction::Nan => write!(f, "nan"),
+            FaultAction::Inf => write!(f, "inf"),
+            FaultAction::Perturb { eps } => write!(f, "perturb {eps:e}"),
+            FaultAction::Drop => write!(f, "drop"),
+            FaultAction::Delay { ticks } => write!(f, "delay {ticks}"),
+            FaultAction::Duplicate => write!(f, "duplicate"),
+        }
+    }
+}
+
+/// One scheduled fault: fires on the `nth` invocation of `site`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Which engine hook the fault targets.
+    pub site: FaultSite,
+    /// 0-based invocation index of `site` at which the fault fires,
+    /// counted over the engine's lifetime.
+    pub nth: u64,
+    /// The corruption applied.
+    pub action: FaultAction,
+}
+
+/// A deterministic, seeded fault campaign.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the SplitMix64 stream that picks corrupted element indices.
+    pub seed: u64,
+    /// The scheduled faults (order irrelevant; all matching events fire).
+    pub events: Vec<FaultEvent>,
+}
+
+/// A syntactically or semantically invalid plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanParseError {
+    /// 1-based line number (0 for whole-plan validation errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid fault plan: {}", self.msg)
+        } else {
+            write!(f, "invalid fault plan (line {}): {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan with the given seed. An *armed but empty* plan must be
+    /// behaviorally inert: the injector draws no random numbers and touches
+    /// no data.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder-style event append.
+    pub fn with(mut self, site: FaultSite, nth: u64, action: FaultAction) -> Self {
+        self.events.push(FaultEvent { site, nth, action });
+        self
+    }
+
+    /// Checks site/action compatibility and parameter ranges.
+    pub fn validate(&self) -> Result<(), PlanParseError> {
+        for ev in &self.events {
+            let err = |msg: String| PlanParseError { line: 0, msg };
+            match ev.action {
+                FaultAction::BitFlip { bit } if bit >= 52 => {
+                    return Err(err(format!(
+                        "bitflip bit {bit} outside the mantissa (0..52)"
+                    )));
+                }
+                FaultAction::Perturb { eps } if !eps.is_finite() => {
+                    return Err(err(format!("perturb magnitude {eps} is not finite")));
+                }
+                _ => {}
+            }
+            let completion_site = ev.site == FaultSite::Wait;
+            if completion_site != ev.action.is_completion_fault() {
+                return Err(err(format!(
+                    "action '{}' cannot target site '{}'",
+                    ev.action, ev.site
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the text format (see module docs). Blank lines and `#`
+    /// comments (full-line or trailing) are ignored.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new(0);
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let err = |msg: String| PlanParseError { line: lineno, msg };
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tok: Vec<&str> = line.split_whitespace().collect();
+            match tok[0] {
+                "seed" => {
+                    if tok.len() != 2 {
+                        return Err(err("'seed' takes exactly one value".into()));
+                    }
+                    plan.seed = tok[1]
+                        .parse()
+                        .map_err(|_| err(format!("bad seed '{}'", tok[1])))?;
+                }
+                "at" => {
+                    if tok.len() < 4 {
+                        return Err(err("'at' needs: at <site> <nth> <action> [arg]".into()));
+                    }
+                    let site = FaultSite::parse(tok[1])
+                        .ok_or_else(|| err(format!("unknown site '{}'", tok[1])))?;
+                    let nth: u64 = tok[2]
+                        .parse()
+                        .map_err(|_| err(format!("bad invocation index '{}'", tok[2])))?;
+                    let arg = |n: usize| -> Result<&str, PlanParseError> {
+                        tok.get(n)
+                            .copied()
+                            .ok_or_else(|| err(format!("action '{}' needs an argument", tok[3])))
+                    };
+                    let action = match tok[3] {
+                        "bitflip" => FaultAction::BitFlip {
+                            bit: arg(4)?
+                                .parse()
+                                .map_err(|_| err(format!("bad bit '{}'", tok[4])))?,
+                        },
+                        "nan" => FaultAction::Nan,
+                        "inf" => FaultAction::Inf,
+                        "perturb" => FaultAction::Perturb {
+                            eps: arg(4)?
+                                .parse()
+                                .map_err(|_| err(format!("bad magnitude '{}'", tok[4])))?,
+                        },
+                        "drop" => FaultAction::Drop,
+                        "delay" => FaultAction::Delay {
+                            ticks: arg(4)?
+                                .parse()
+                                .map_err(|_| err(format!("bad tick count '{}'", tok[4])))?,
+                        },
+                        "duplicate" => FaultAction::Duplicate,
+                        other => return Err(err(format!("unknown action '{other}'"))),
+                    };
+                    plan.events.push(FaultEvent { site, nth, action });
+                }
+                other => return Err(err(format!("unknown directive '{other}'"))),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Serializes to the text format parsed by [`FaultPlan::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = format!("seed {}\n", self.seed);
+        for ev in &self.events {
+            out.push_str(&format!("at {} {} {}\n", ev.site, ev.nth, ev.action));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_action() {
+        let text = "\
+# campaign
+seed 42
+at spmv 17 bitflip 12
+at pc 5 nan            # trailing comment
+at mpk 2 inf
+at reduce 3 perturb 1e-3
+at wait 4 drop
+at wait 6 delay 2
+at wait 8 duplicate
+";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.events.len(), 7);
+        assert_eq!(
+            plan.events[0],
+            FaultEvent {
+                site: FaultSite::Spmv,
+                nth: 17,
+                action: FaultAction::BitFlip { bit: 12 }
+            }
+        );
+        let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for (text, needle) in [
+            ("at spmv x bitflip 3", "bad invocation index"),
+            ("at nowhere 1 nan", "unknown site"),
+            ("at spmv 1 explode", "unknown action"),
+            ("at spmv 1 bitflip", "needs an argument"),
+            ("frobnicate 3", "unknown directive"),
+            ("seed", "exactly one value"),
+            ("at spmv 1 bitflip 60", "outside the mantissa"),
+            ("at spmv 1 drop", "cannot target site"),
+            ("at wait 1 nan", "cannot target site"),
+        ] {
+            let e = FaultPlan::parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?}: expected {needle:?} in {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_valid() {
+        let plan = FaultPlan::parse("seed 7\n").unwrap();
+        assert_eq!(plan, FaultPlan::new(7));
+        assert!(plan.validate().is_ok());
+    }
+}

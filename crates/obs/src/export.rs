@@ -214,8 +214,8 @@ impl MetricsSink for JsonlSink {
         push_jnum(out, fin.achieved_overlap());
         let _ = write!(
             out,
-            ",\"stagnation_fired\":{},\"wall_ns\":{}",
-            fin.stagnation_fired, fin.wall_ns
+            ",\"stagnation_fired\":{},\"faults_injected\":{},\"recoveries\":{},\"wall_ns\":{}",
+            fin.stagnation_fired, fin.faults_injected, fin.recoveries, fin.wall_ns
         );
         let p = &fin.pool;
         let _ = write!(
@@ -782,6 +782,8 @@ mod tests {
                 window_ns: 1600,
                 kernel_in_window_ns: 1200,
                 stagnation_fired: false,
+                faults_injected: 0,
+                recoveries: 0,
                 pool: PoolCounters {
                     jobs: 40,
                     parallel_jobs: 30,

@@ -176,6 +176,12 @@ pub struct FinishRecord {
     pub kernel_in_window_ns: u64,
     /// True when a stagnation detector fired during the solve.
     pub stagnation_fired: bool,
+    /// Faults injected into kernels/reductions during the solve (0 on a
+    /// clean run).
+    pub faults_injected: u64,
+    /// Recovery actions (reduction retries, rollbacks, replacements,
+    /// restarts) taken during the solve.
+    pub recoveries: u64,
     /// Thread-pool activity during the solve.
     pub pool: PoolCounters,
     /// Wall time of the solve in nanoseconds.
@@ -238,6 +244,8 @@ struct ActiveSolve {
     iter_offset: usize,
     last_iter: usize,
     stagnation_fired: bool,
+    faults_injected: u64,
+    recoveries: u64,
     pool_base: PoolCounters,
 }
 
@@ -266,6 +274,8 @@ pub fn begin_solve(meta: SolveMeta, pool_base: PoolCounters) -> bool {
         iter_offset: 0,
         last_iter: 0,
         stagnation_fired: false,
+        faults_injected: 0,
+        recoveries: 0,
         pool_base,
     });
     true
@@ -283,6 +293,22 @@ pub fn set_stagnation_config(cfg: StagnationConfig) {
 pub fn note_stagnation_fired() {
     if let Some(a) = ACTIVE.lock().unwrap().as_mut() {
         a.stagnation_fired = true;
+    }
+}
+
+/// Notes one injected fault (called by a fault-armed execution engine).
+/// No-op without an active solve.
+pub fn note_fault_injected() {
+    if let Some(a) = ACTIVE.lock().unwrap().as_mut() {
+        a.faults_injected += 1;
+    }
+}
+
+/// Notes one recovery action taken by the solver. No-op without an active
+/// solve.
+pub fn note_recovery() {
+    if let Some(a) = ACTIVE.lock().unwrap().as_mut() {
+        a.recoveries += 1;
     }
 }
 
@@ -362,6 +388,8 @@ pub fn end_solve(
         window_ns: total_window,
         kernel_in_window_ns: total_in_window,
         stagnation_fired: a.stagnation_fired,
+        faults_injected: a.faults_injected,
+        recoveries: a.recoveries,
         pool: pool_now.delta_since(&a.pool_base),
         wall_ns: now.saturating_sub(a.start_ns),
     };
@@ -442,6 +470,9 @@ mod tests {
         record_iter(sample(0, 0.4), k2);
         record_iter(sample(2, 0.3), k2);
         note_stagnation_fired();
+        note_fault_injected();
+        note_fault_injected();
+        note_recovery();
         let kf = KernelCounts {
             spmv: 8,
             pc: 10,
@@ -481,6 +512,8 @@ mod tests {
         assert_eq!(t.finish.pool.jobs, 15, "pool deltas are solve-relative");
         assert_eq!(t.finish.pool.parallel_jobs, 9);
         assert!(t.finish.stagnation_fired);
+        assert_eq!(t.finish.faults_injected, 2);
+        assert_eq!(t.finish.recoveries, 1);
         assert_eq!(t.relres_stream(), vec![1.0, 0.5, 0.4, 0.3]);
     }
 

@@ -49,6 +49,11 @@ pub enum SpanKind {
     Iter,
     /// One benchmark-harness measurement body.
     Bench,
+    /// One injected fault (`arg` = fault-site index).
+    Fault,
+    /// One recovery action (`arg` = recovery code, see
+    /// `pipescg::resilience::code`).
+    Recovery,
 }
 
 impl SpanKind {
@@ -65,6 +70,8 @@ impl SpanKind {
             SpanKind::ArWindow => "ar_window",
             SpanKind::Iter => "iter",
             SpanKind::Bench => "bench",
+            SpanKind::Fault => "fault",
+            SpanKind::Recovery => "recovery",
         }
     }
 
@@ -76,6 +83,7 @@ impl SpanKind {
             SpanKind::Allreduce | SpanKind::ArWindow => "comm",
             SpanKind::Iter => "solver",
             SpanKind::Bench => "bench",
+            SpanKind::Fault | SpanKind::Recovery => "fault",
         }
     }
 

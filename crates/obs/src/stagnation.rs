@@ -55,10 +55,19 @@ impl StagnationDetector {
     /// stagnated: the value from `window` checks ago, scaled by
     /// `min_ratio`, is still below the current value.
     ///
-    /// Equivalent to the inline rule on a full history `h` after pushing
-    /// the current value: `h.len() > window && h[h.len() - 1 - window] *
-    /// min_ratio < h[h.len() - 1]`.
+    /// A non-finite value is immediate stagnation: a NaN can never satisfy
+    /// the `>` comparison, so the windowed rule would stay silent forever
+    /// on a stream that has catastrophically failed — and a NaN admitted
+    /// into the window would disarm the rule for the next `window` checks.
+    ///
+    /// For finite streams, equivalent to the inline rule on a full history
+    /// `h` after pushing the current value: `h.len() > window &&
+    /// h[h.len() - 1 - window] * min_ratio < h[h.len() - 1]`.
     pub fn observe(&mut self, relres: f64) -> bool {
+        if !relres.is_finite() {
+            self.fired = true;
+            return true;
+        }
         self.recent.push_back(relres);
         while self.recent.len() > self.cfg.window + 1 {
             self.recent.pop_front();
@@ -122,6 +131,29 @@ mod tests {
         }
         assert!(!d.fired());
         assert!(d.window_ratio().unwrap() < 0.5);
+    }
+
+    #[test]
+    fn non_finite_residual_is_immediate_stagnation() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut d = det(4, 0.5);
+            assert!(!d.observe(1.0));
+            assert!(d.observe(bad), "{bad} must fire at once");
+            assert!(d.fired());
+        }
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_the_window() {
+        // A NaN mid-stream fires but is not admitted into the window: the
+        // rule keeps judging the surviving finite values, so a genuinely
+        // flat stream still stagnates on schedule afterwards.
+        let mut d = det(2, 0.5);
+        assert!(!d.observe(1.0));
+        assert!(d.observe(f64::NAN));
+        assert!(!d.observe(1.0));
+        assert!(d.observe(1.0), "flat finite stream fires past the window");
+        assert_eq!(d.window_ratio(), Some(1.0));
     }
 
     #[test]

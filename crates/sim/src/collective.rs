@@ -32,6 +32,56 @@ impl CommId {
     pub const WORLD: CommId = CommId(0);
 }
 
+/// A non-blocking reduction completion that did not arrive: the faulted
+/// equivalent of an `MPI_Wait` that gives up instead of hanging.
+///
+/// Produced by [`Context::try_wait`](crate::Context::try_wait) when a fault
+/// plan delays or drops a completion. `retriable` distinguishes a *delayed*
+/// completion (the handle is still live; waiting again can succeed) from a
+/// *dropped* one (the posted values are gone; the caller must re-post its
+/// contribution to recover).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceTimeout {
+    /// Reduction id of the timed-out completion.
+    pub id: u64,
+    /// True when the same handle may be waited on again.
+    pub retriable: bool,
+}
+
+impl std::fmt::Display for ReduceTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allreduce {} timed out ({})",
+            self.id,
+            if self.retriable {
+                "delayed; retriable"
+            } else {
+                "dropped; values lost"
+            }
+        )
+    }
+}
+
+impl std::error::Error for ReduceTimeout {}
+
+/// Outcome of a fallible wait on a posted reduction
+/// ([`Context::try_wait`](crate::Context::try_wait)).
+#[derive(Debug)]
+pub enum WaitOutcome {
+    /// The completion arrived; these are the global sums.
+    Done(Vec<f64>),
+    /// The completion timed out. `handle` is `Some` when the reduction is
+    /// still in flight (delayed — wait again), `None` when it was dropped
+    /// (re-post to recover).
+    TimedOut {
+        /// The still-live handle of a delayed reduction.
+        handle: Option<crate::ReduceHandle>,
+        /// Why and whether retrying the same handle can succeed.
+        fault: ReduceTimeout,
+    },
+}
+
 /// A violation of non-blocking collective discipline detected while feeding
 /// a trace's collectives through an [`InflightTracker`].
 #[derive(Debug, Clone, PartialEq, Eq)]

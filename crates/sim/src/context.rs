@@ -27,7 +27,9 @@ use pscg_sparse::kernels;
 use pscg_sparse::op::Operator;
 use pscg_sparse::{CsrMatrix, MultiVector};
 
-use crate::collective::CommId;
+use pscg_fault::{CompletionFault, FaultPlan, FaultRecord, FaultSite, Injector};
+
+use crate::collective::{CommId, ReduceTimeout, WaitOutcome};
 use crate::profile::MatrixProfile;
 use crate::trace::{BufId, LocalKind, Op, OpTrace};
 
@@ -109,6 +111,13 @@ pub trait Context {
     fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle;
     /// Completes a posted allreduce, returning the global sums.
     fn wait(&mut self, h: ReduceHandle) -> Vec<f64>;
+    /// Attempts to complete a posted allreduce, surfacing an injected
+    /// completion fault as a [`WaitOutcome::TimedOut`] instead of a hang.
+    /// Engines without fault injection complete unconditionally (the
+    /// default), so on a clean run this *is* [`Context::wait`].
+    fn try_wait(&mut self, h: ReduceHandle) -> WaitOutcome {
+        WaitOutcome::Done(self.wait(h))
+    }
     /// Reads the values of a posted allreduce **without** completing it.
     ///
     /// This is deliberately wrong-by-construction: each engine hands back
@@ -375,6 +384,15 @@ pub struct SimCtx<'a> {
     bufs: HashMap<usize, u64>,
     next_buf: u64,
     probes: Option<ProbeState>,
+    /// Armed fault injector (`None` on clean runs — every hook below is a
+    /// single `Option` check then).
+    injector: Option<Injector>,
+    /// Reductions whose completion was delayed: id → remaining backoff
+    /// ticks before `try_wait` succeeds.
+    delayed: HashMap<u64, u32>,
+    /// Payload of the most recently completed reduction, kept only while a
+    /// plan is armed — a duplicated completion delivers this stale value.
+    last_completed: Option<Vec<f64>>,
 }
 
 impl<'a> SimCtx<'a> {
@@ -392,6 +410,9 @@ impl<'a> SimCtx<'a> {
             bufs: HashMap::new(),
             next_buf: 1,
             probes: None,
+            injector: None,
+            delayed: HashMap::new(),
+            last_completed: None,
         }
     }
 
@@ -437,6 +458,60 @@ impl<'a> SimCtx<'a> {
             best: f64::INFINITY,
             stale: 0,
         });
+    }
+
+    /// Arms a deterministic fault-injection plan (see `pscg_fault`):
+    /// subsequent kernel outputs, reduction contributions and reduction
+    /// completions are subject to the plan's scheduled events. With no plan
+    /// armed every hook is a single `Option` check and the engine is
+    /// bitwise-identical to one built before fault injection existed.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.injector = Some(Injector::new(plan));
+    }
+
+    /// The faults applied so far (empty when no plan is armed).
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.injector.as_ref().map(|i| i.log()).unwrap_or(&[])
+    }
+
+    /// Takes the fault log, leaving it empty.
+    pub fn take_fault_log(&mut self) -> Vec<FaultRecord> {
+        self.injector
+            .as_mut()
+            .map(|i| i.take_log())
+            .unwrap_or_default()
+    }
+
+    /// Applies any data fault the plan scheduled for this invocation of
+    /// `site` to `out`, reporting it to telemetry when one fired.
+    fn inject_data(&mut self, site: FaultSite, out: &mut [f64]) {
+        let hit = match self.injector.as_mut() {
+            Some(inj) => inj.corrupt(site, out),
+            None => return,
+        };
+        if hit {
+            self.note_fault(site);
+        }
+    }
+
+    /// Reports one injected fault as a first-class telemetry event.
+    fn note_fault(&mut self, site: FaultSite) {
+        obs::metrics::note_fault_injected();
+        obs::span::record_span(SpanKind::Fault, site.index() as u64, obs::now_ns(), 0);
+    }
+
+    /// The fault-free completion path shared by `wait` and `try_wait`.
+    fn complete_wait(&mut self, h: ReduceHandle) -> Vec<f64> {
+        let vals = self
+            .inflight
+            .remove(&h.id)
+            .expect("wait on unknown or already-completed ReduceHandle");
+        self.record(Op::ArWait { id: h.id });
+        obs::span::window_close(h.id);
+        if self.injector.is_some() {
+            self.last_completed = Some(vals.clone());
+        }
+        vals
     }
 
     fn record(&mut self, op: Op) {
@@ -516,6 +591,7 @@ impl Context for SimCtx<'_> {
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
         let _sp = obs::span(SpanKind::Spmv);
         self.a.spmv(x, y);
+        self.inject_data(FaultSite::Spmv, y);
         self.counters.spmv += 1;
         let (bx, by) = (self.intern_ptr(x.as_ptr()), self.intern_ptr(y.as_ptr()));
         self.record(Op::Spmv {
@@ -543,6 +619,7 @@ impl Context for SimCtx<'_> {
                 self.charge_local(LocalKind::Vma, 1.0, 16.0);
             }
         }
+        self.inject_data(FaultSite::Mpk, pow.col_mut(to));
         // Count the constituent products too, so OpCounters stay
         // comparable across engines (the thread engine's default falls
         // back to individual SpMVs).
@@ -563,6 +640,7 @@ impl Context for SimCtx<'_> {
     fn pc_apply(&mut self, r: &[f64], u: &mut [f64]) {
         let _sp = obs::span(SpanKind::Pc);
         self.pc.apply(r, u);
+        self.inject_data(FaultSite::Pc, u);
         self.counters.pc += 1;
         let c = self.pc.cost();
         let (br, bu) = (self.intern_ptr(r.as_ptr()), self.intern_ptr(u.as_ptr()));
@@ -585,7 +663,9 @@ impl Context for SimCtx<'_> {
             doubles: vals.len(),
             comm: CommId::WORLD,
         });
-        vals.to_vec()
+        let mut out = vals.to_vec();
+        self.inject_data(FaultSite::Reduce, &mut out);
+        out
     }
 
     fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle {
@@ -599,19 +679,88 @@ impl Context for SimCtx<'_> {
             doubles: vals.len(),
             comm: CommId::WORLD,
         });
-        self.inflight.insert(id, vals.to_vec());
+        let mut stored = vals.to_vec();
+        self.inject_data(FaultSite::Reduce, &mut stored);
+        self.inflight.insert(id, stored);
         obs::span::window_open(id);
         ReduceHandle { id }
     }
 
     fn wait(&mut self, h: ReduceHandle) -> Vec<f64> {
-        let vals = self
-            .inflight
-            .remove(&h.id)
-            .expect("wait on unknown or already-completed ReduceHandle");
-        self.record(Op::ArWait { id: h.id });
-        obs::span::window_close(h.id);
-        vals
+        self.complete_wait(h)
+    }
+
+    fn try_wait(&mut self, h: ReduceHandle) -> WaitOutcome {
+        if self.injector.is_none() {
+            return WaitOutcome::Done(self.complete_wait(h));
+        }
+        // A completion already marked delayed ticks down deterministically
+        // without consulting the plan again.
+        if let Some(ticks) = self.delayed.get_mut(&h.id) {
+            if *ticks == 0 {
+                self.delayed.remove(&h.id);
+                return WaitOutcome::Done(self.complete_wait(h));
+            }
+            *ticks -= 1;
+            let id = h.id;
+            return WaitOutcome::TimedOut {
+                handle: Some(h),
+                fault: ReduceTimeout {
+                    id,
+                    retriable: true,
+                },
+            };
+        }
+        match self.injector.as_mut().unwrap().completion_fate() {
+            None => WaitOutcome::Done(self.complete_wait(h)),
+            Some(CompletionFault::Drop) => {
+                // The reduction's values are lost. Retire the handle (the
+                // schedule analyzer still sees a well-formed post/wait
+                // pair) and surface a non-retriable timeout — never a
+                // hang, never silent data.
+                self.note_fault(FaultSite::Wait);
+                let id = h.id;
+                self.inflight
+                    .remove(&id)
+                    .expect("wait on unknown or already-completed ReduceHandle");
+                self.record(Op::ArWait { id });
+                obs::span::window_close(id);
+                WaitOutcome::TimedOut {
+                    handle: None,
+                    fault: ReduceTimeout {
+                        id,
+                        retriable: false,
+                    },
+                }
+            }
+            Some(CompletionFault::Delay { ticks }) => {
+                self.note_fault(FaultSite::Wait);
+                if ticks == 0 {
+                    return WaitOutcome::Done(self.complete_wait(h));
+                }
+                self.delayed.insert(h.id, ticks - 1);
+                let id = h.id;
+                WaitOutcome::TimedOut {
+                    handle: Some(h),
+                    fault: ReduceTimeout {
+                        id,
+                        retriable: true,
+                    },
+                }
+            }
+            Some(CompletionFault::Duplicate) => {
+                // A stale (duplicated) completion delivers the *previous*
+                // reduction's payload — a silent data fault the drift
+                // probe, not the wait path, must catch.
+                self.note_fault(FaultSite::Wait);
+                let stale = self.last_completed.clone();
+                let correct = self.complete_wait(h);
+                match stale {
+                    Some(s) if s.len() == correct.len() => WaitOutcome::Done(s),
+                    _ => WaitOutcome::Done(correct),
+                }
+            }
+        }
     }
 
     fn peek_pending(&mut self, h: &ReduceHandle) -> Vec<f64> {
@@ -837,6 +986,123 @@ mod tests {
             ctx.note_residual(r);
             ctx.note_residual(r); // one stale check between improvements
             r *= 0.9;
+        }
+    }
+
+    #[test]
+    fn armed_empty_plan_changes_nothing() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let x = vec![1.0; n];
+        let mut y_clean = vec![0.0; n];
+        let mut y_armed = vec![0.0; n];
+
+        let mut clean = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        clean.spmv(&x, &mut y_clean);
+        let h = clean.iallreduce(&[1.5, 2.5]);
+        let r_clean = match clean.try_wait(h) {
+            WaitOutcome::Done(v) => v,
+            other => panic!("clean try_wait must complete, got {other:?}"),
+        };
+
+        let mut armed = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        armed.arm_faults(FaultPlan::new(42));
+        armed.spmv(&x, &mut y_armed);
+        let h = armed.iallreduce(&[1.5, 2.5]);
+        let r_armed = match armed.try_wait(h) {
+            WaitOutcome::Done(v) => v,
+            other => panic!("empty plan must complete, got {other:?}"),
+        };
+
+        assert_eq!(y_clean, y_armed, "empty plan must not touch kernels");
+        assert_eq!(r_clean, r_armed);
+        assert!(armed.fault_log().is_empty());
+    }
+
+    #[test]
+    fn spmv_bitflip_fires_on_the_scheduled_call() {
+        use pscg_fault::FaultAction;
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(7).with(
+            FaultSite::Spmv,
+            1,
+            FaultAction::BitFlip { bit: 51 },
+        ));
+        let x = vec![1.0; n];
+        let mut y0 = vec![0.0; n];
+        let mut y1 = vec![0.0; n];
+        ctx.spmv(&x, &mut y0); // call 0: clean
+        ctx.spmv(&x, &mut y1); // call 1: one element flipped
+        let mut reference = vec![0.0; n];
+        a.spmv(&x, &mut reference);
+        assert_eq!(y0, reference);
+        let diffs = y1
+            .iter()
+            .zip(&reference)
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        assert_eq!(diffs, 1, "exactly one element corrupted");
+        assert_eq!(ctx.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn dropped_completion_times_out_instead_of_hanging() {
+        use pscg_fault::FaultAction;
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(1).with(FaultSite::Wait, 0, FaultAction::Drop));
+        let h = ctx.iallreduce(&[2.0]);
+        match ctx.try_wait(h) {
+            WaitOutcome::TimedOut { handle, fault } => {
+                assert!(handle.is_none(), "dropped values cannot be re-waited");
+                assert!(!fault.retriable);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // The handle is retired: a fresh reduction works normally.
+        let h = ctx.iallreduce(&[3.0]);
+        assert!(matches!(ctx.try_wait(h), WaitOutcome::Done(v) if v == vec![3.0]));
+    }
+
+    #[test]
+    fn delayed_completion_retries_then_completes() {
+        use pscg_fault::FaultAction;
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(1).with(FaultSite::Wait, 0, FaultAction::Delay { ticks: 2 }));
+        let mut h = ctx.iallreduce(&[4.0]);
+        let mut timeouts = 0;
+        let got = loop {
+            match ctx.try_wait(h) {
+                WaitOutcome::Done(v) => break v,
+                WaitOutcome::TimedOut { handle, fault } => {
+                    assert!(fault.retriable);
+                    timeouts += 1;
+                    h = handle.expect("delayed handle stays waitable");
+                }
+            }
+        };
+        assert_eq!(got, vec![4.0]);
+        assert_eq!(timeouts, 2, "two backoff ticks before completion");
+    }
+
+    #[test]
+    fn duplicated_completion_delivers_the_stale_payload() {
+        use pscg_fault::FaultAction;
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(1).with(FaultSite::Wait, 1, FaultAction::Duplicate));
+        let h = ctx.iallreduce(&[1.0, 2.0]);
+        assert!(matches!(ctx.try_wait(h), WaitOutcome::Done(v) if v == vec![1.0, 2.0]));
+        let h = ctx.iallreduce(&[9.0, 9.0]);
+        match ctx.try_wait(h) {
+            WaitOutcome::Done(v) => assert_eq!(v, vec![1.0, 2.0], "stale payload delivered"),
+            other => panic!("duplicate completes (with stale data), got {other:?}"),
         }
     }
 

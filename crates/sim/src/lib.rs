@@ -35,7 +35,9 @@ pub mod replay;
 pub mod thread;
 pub mod trace;
 
-pub use collective::{AllreduceModel, CommId, InflightTracker, ScheduleViolation};
+pub use collective::{
+    AllreduceModel, CommId, InflightTracker, ReduceTimeout, ScheduleViolation, WaitOutcome,
+};
 pub use context::{Context, OpCounters, ReduceHandle, SimCtx};
 pub use machine::Machine;
 pub use noise::NoiseModel;

@@ -33,6 +33,8 @@ pub enum SparseError {
         /// Index of the zero pivot.
         pivot: usize,
     },
+    /// A caller-supplied argument is outside its valid range.
+    InvalidArgument(String),
     /// Matrix Market parsing failed.
     ParseError(String),
     /// Underlying I/O failure (message only, to keep the error `Clone`).
@@ -56,6 +58,7 @@ impl fmt::Display for SparseError {
             SparseError::SingularMatrix { pivot } => {
                 write!(f, "singular matrix: zero pivot at index {pivot}")
             }
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SparseError::ParseError(msg) => write!(f, "matrix market parse error: {msg}"),
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

@@ -84,21 +84,26 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, SparseError> 
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut coo = CooMatrix::with_capacity(
-        nrows,
-        ncols,
-        if symmetry == Symmetry::Symmetric {
-            2 * nnz
-        } else {
-            nnz
-        },
-    );
+    // Trust the declared count only up to what the stream can actually
+    // hold: a malformed size line must not become a giant allocation.
+    let cap = if symmetry == Symmetry::Symmetric {
+        nnz.saturating_mul(2)
+    } else {
+        nnz
+    }
+    .min(1 << 28);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
     let mut seen = 0usize;
     for line in lines {
         let line = line.map_err(SparseError::from)?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
+        }
+        if seen == nnz {
+            return Err(SparseError::ParseError(format!(
+                "more entries than the header's {nnz}: {trimmed}"
+            )));
         }
         let mut it = trimmed.split_whitespace();
         let r: usize = it
@@ -207,6 +212,78 @@ mod tests {
         assert!(read_matrix_market(short.as_bytes()).is_err());
         let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_matrix_market(zero_based.as_bytes()).is_err());
+    }
+
+    /// Every malformed-input class yields the matching *typed* error —
+    /// never a panic — so loaders can be driven by untrusted files.
+    #[test]
+    fn malformed_inputs_yield_typed_errors() {
+        let parse_err = |text: &str| match read_matrix_market(text.as_bytes()) {
+            Err(e) => e,
+            Ok(_) => panic!("accepted malformed input: {text:?}"),
+        };
+        // Empty file / truncated before the size line.
+        assert!(matches!(parse_err(""), SparseError::ParseError(_)));
+        assert!(matches!(
+            parse_err("%%MatrixMarket matrix coordinate real general\n% only comments\n"),
+            SparseError::ParseError(_)
+        ));
+        // Size line with the wrong arity or garbage numbers.
+        let head = "%%MatrixMarket matrix coordinate real general\n";
+        assert!(matches!(
+            parse_err(&format!("{head}2 2\n")),
+            SparseError::ParseError(_)
+        ));
+        assert!(matches!(
+            parse_err(&format!("{head}two 2 1\n1 1 1.0\n")),
+            SparseError::ParseError(_)
+        ));
+        // Truncated entry stream (header promises more than the file has).
+        assert!(matches!(
+            parse_err(&format!("{head}2 2 2\n1 1 1.0\n")),
+            SparseError::ParseError(_)
+        ));
+        // Excess entries beyond the declared count.
+        assert!(matches!(
+            parse_err(&format!("{head}2 2 1\n1 1 1.0\n2 2 2.0\n")),
+            SparseError::ParseError(_)
+        ));
+        // Entry truncated mid-line (value missing) and a garbage value.
+        assert!(matches!(
+            parse_err(&format!("{head}2 2 1\n1 1\n")),
+            SparseError::ParseError(_)
+        ));
+        assert!(matches!(
+            parse_err(&format!("{head}2 2 1\n1 1 abc\n")),
+            SparseError::ParseError(_)
+        ));
+        // Indices outside the declared shape surface the coordinate error.
+        assert!(matches!(
+            parse_err(&format!("{head}2 2 1\n3 1 1.0\n")),
+            SparseError::IndexOutOfBounds { .. }
+        ));
+        // Unsupported field and symmetry keywords.
+        assert!(matches!(
+            parse_err("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+            SparseError::ParseError(_)
+        ));
+        assert!(matches!(
+            parse_err("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"),
+            SparseError::ParseError(_)
+        ));
+    }
+
+    #[test]
+    fn absurd_declared_nnz_does_not_preallocate() {
+        // The size line claims ~10^18 entries; the reader must fail on the
+        // truncated stream, not abort in the allocator.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 999999999999999999\n\
+                    1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::ParseError(_))
+        ));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! layered, high-contrast field for Serena.
 
 use crate::csr::CsrMatrix;
+use crate::error::SparseError;
 use crate::rng::SplitMix64;
 use crate::stencil::{self, Grid3};
 
@@ -66,15 +67,23 @@ impl Surrogate {
     /// Generates the surrogate at full (paper) scale.
     pub fn generate(self) -> CsrMatrix {
         self.generate_scaled(1.0)
+            .expect("scale 1.0 is always valid")
     }
 
     /// Generates the surrogate with each grid extent scaled by
     /// `scale.cbrt()` (3-D) or `scale.sqrt()` (2-D), so `scale = 0.1` gives
     /// roughly a tenth of the unknowns. Used by tests and quick benchmark
     /// runs; `scale = 1.0` reproduces the table above.
-    pub fn generate_scaled(self, scale: f64) -> CsrMatrix {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-        match self {
+    ///
+    /// A scale outside `(0, 1]` (including NaN) is a typed error, not a
+    /// panic — the scale often arrives from CLI flags or config files.
+    pub fn generate_scaled(self, scale: f64) -> Result<CsrMatrix, SparseError> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(SparseError::InvalidArgument(format!(
+                "surrogate scale must be in (0, 1], got {scale}"
+            )));
+        }
+        Ok(match self {
             Surrogate::Ecology2 => {
                 let f = scale.sqrt();
                 let nx = ((999.0 * f).round() as usize).max(3);
@@ -92,7 +101,7 @@ impl Surrogate {
                 let nz = ((111.0 * f).round() as usize).max(5);
                 serena_like(Grid3::new(nx, nx, nz), 0x5e4e4a)
             }
-        }
+        })
     }
 }
 
@@ -158,9 +167,20 @@ mod tests {
     #[test]
     fn scaled_surrogates_are_spd_certified() {
         for s in [Surrogate::Ecology2, Surrogate::Thermal2, Surrogate::Serena] {
-            let a = s.generate_scaled(0.001);
+            let a = s.generate_scaled(0.001).unwrap();
             assert!(a.is_symmetric(1e-11), "{} not symmetric", s.name());
             assert!(a.is_diagonally_dominant(), "{} not dominant", s.name());
+        }
+    }
+
+    #[test]
+    fn out_of_range_scale_is_a_typed_error_not_a_panic() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let e = Surrogate::Ecology2.generate_scaled(bad).unwrap_err();
+            assert!(
+                matches!(e, SparseError::InvalidArgument(_)),
+                "scale {bad}: got {e:?}"
+            );
         }
     }
 

@@ -1,0 +1,128 @@
+//! The robustness acceptance bar: for every shipped method, a mid-solve
+//! bitflip, a NaN'd preconditioner output, and a dropped reduction
+//! completion must each end in one of exactly two outcomes —
+//!
+//! 1. convergence whose *recomputed* residual `‖b − A x‖ / ‖b‖` confirms
+//!    the tolerance (possibly after residual replacement / restart), or
+//! 2. an explicit [`SolveError`].
+//!
+//! Never a hang (the test completing at all covers that: a dropped
+//! completion surfaces as a timeout in the simulator, not a blocked wait),
+//! and never a silent wrong answer (claimed convergence contradicted by
+//! the recomputed residual).
+
+use pipescg::methods::MethodKind;
+use pipescg::solver::SolveOptions;
+use pscg_fault::{FaultAction, FaultPlan, FaultSite};
+use pscg_precond::Jacobi;
+use pscg_sim::SimCtx;
+use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+const RTOL: f64 = 1e-7;
+
+fn all_methods() -> [MethodKind; 11] {
+    [
+        MethodKind::Pcg,
+        MethodKind::Pipecg,
+        MethodKind::Pipecg3,
+        MethodKind::PipecgOati,
+        MethodKind::Scg,
+        MethodKind::ScgSspmv,
+        MethodKind::Pscg,
+        MethodKind::PipeScg,
+        MethodKind::PipePscg,
+        MethodKind::Hybrid,
+        MethodKind::Cg3,
+    ]
+}
+
+fn problem() -> (pscg_sparse::CsrMatrix, Vec<f64>) {
+    let g = Grid3::cube(6);
+    let a = poisson3d_7pt(g, None);
+    let n = a.nrows();
+    let xstar: Vec<f64> = (0..n).map(|i| (0.31 * i as f64).sin()).collect();
+    let b = a.mul_vec(&xstar);
+    (a, b)
+}
+
+/// Solves `method` under `plan` through the resilient supervisor and
+/// enforces the recover-or-report contract. Returns how many faults the
+/// injector actually applied.
+fn assert_recovers_or_reports(method: MethodKind, plan: FaultPlan, label: &str) -> usize {
+    let (a, b) = problem();
+    let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+    ctx.arm_faults(plan);
+    let opts = SolveOptions::with_rtol(RTOL).with_s(3);
+    let outcome = method.solve_resilient(&mut ctx, &b, None, &opts);
+    let hits = ctx.fault_log().len();
+    match outcome {
+        Ok(res) => {
+            let t = res.true_relres(&a, &b);
+            if res.converged() {
+                assert!(
+                    t.is_finite() && t <= RTOL * 100.0,
+                    "{} [{label}]: silent wrong answer — reported {:?} at relres \
+                     {:.3e} but true relres is {t:.3e}",
+                    method.name(),
+                    res.stop,
+                    res.final_relres
+                );
+            }
+        }
+        Err(e) => {
+            // An explicit error is an acceptable outcome — the solver
+            // refused to vouch for a solution it could not verify.
+            eprintln!("{} [{label}]: explicit error: {e}", method.name());
+        }
+    }
+    hits
+}
+
+#[test]
+fn every_method_survives_a_mid_solve_bitflip() {
+    for method in all_methods() {
+        // A high-mantissa flip in the 4th SpMV output: a large silent data
+        // corruption well after the solve is under way.
+        let plan = FaultPlan::new(11).with(FaultSite::Spmv, 3, FaultAction::BitFlip { bit: 51 });
+        let hits = assert_recovers_or_reports(method, plan, "spmv bitflip");
+        assert!(hits >= 1, "{}: the bitflip never fired", method.name());
+    }
+}
+
+#[test]
+fn every_method_survives_a_nan_preconditioner_output() {
+    for method in all_methods() {
+        let plan = FaultPlan::new(12).with(FaultSite::Pc, 1, FaultAction::Nan);
+        // Unpreconditioned methods apply the PC only once (the reference
+        // norm), so the 2nd-invocation fault may simply never fire — that
+        // is a clean solve, which trivially satisfies the contract.
+        assert_recovers_or_reports(method, plan, "pc nan");
+    }
+}
+
+#[test]
+fn every_method_survives_a_dropped_reduction_completion() {
+    for method in all_methods() {
+        // Drop the completion of the 2nd non-blocking reduction wait. In
+        // the simulator this retires the handle and reports a timeout —
+        // the solver must turn it into recovery or an explicit error, not
+        // a hang. Methods with only blocking reductions never wait, so the
+        // fault stays dormant and the solve is clean.
+        let plan = FaultPlan::new(13).with(FaultSite::Wait, 1, FaultAction::Drop);
+        assert_recovers_or_reports(method, plan, "dropped completion");
+    }
+}
+
+#[test]
+fn combined_campaign_still_ends_in_a_verdict() {
+    // All three fault classes in one plan, plus a perturbed reduction: the
+    // worst case the CI fault-matrix job exercises.
+    for method in all_methods() {
+        let plan = FaultPlan::new(14)
+            .with(FaultSite::Spmv, 2, FaultAction::BitFlip { bit: 50 })
+            .with(FaultSite::Reduce, 3, FaultAction::Perturb { eps: 1e-3 })
+            .with(FaultSite::Wait, 2, FaultAction::Drop);
+        let hits = assert_recovers_or_reports(method, plan, "combined");
+        assert!(hits >= 1, "{}: no fault fired", method.name());
+    }
+}
