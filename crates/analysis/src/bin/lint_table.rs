@@ -1,6 +1,9 @@
 //! CI lint: fail the build when the method table in
 //! `crates/core/src/methods/mod.rs` disagrees with
-//! `costmodel::table1()`.
+//! `costmodel::table1()`. Exits with the doc-table finding code
+//! (see [`pscg_analysis::exit_codes`]) on disagreement.
+
+use pscg_analysis::FindingClass;
 
 fn main() {
     match pscg_analysis::doc_lint::check() {
@@ -10,7 +13,7 @@ fn main() {
             for e in errors {
                 eprintln!("  - {e}");
             }
-            std::process::exit(1);
+            std::process::exit(FindingClass::DocTable.exit_code());
         }
     }
 }

@@ -19,7 +19,8 @@ pub struct Window {
     pub id: u64,
     /// Trace index of the `ArPost`.
     pub post: usize,
-    /// Trace index of the matching `ArWait`.
+    /// Trace index of the matching `ArWait` — or, in a fault-perturbed
+    /// trace, of the non-retriable `ArTimeout` that retired the handle.
     pub wait: usize,
 }
 

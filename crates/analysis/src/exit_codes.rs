@@ -1,0 +1,113 @@
+//! Process exit codes of the verification binaries, one per finding
+//! class, so CI and scripts can tell *what kind* of check failed without
+//! parsing output.
+//!
+//! The analyzer/checker binaries (`lint-table`, `repro
+//! --verify-schedule`, `repro --verify-concurrency`) reserve:
+//!
+//! | code | class | meaning |
+//! |---|---|---|
+//! | 10 | [`FindingClass::Hazard`]    | overlap/collective hazard in a schedule |
+//! | 11 | [`FindingClass::Structure`] | Table I structure violation |
+//! | 12 | [`FindingClass::Probe`]     | numerical probe finding (strict mode only) |
+//! | 13 | [`FindingClass::DocTable`]  | doc method-table / cost-model disagreement |
+//! | 14 | [`FindingClass::Model`]     | model checker found a protocol violation |
+//! | 15 | [`FindingClass::Race`]      | race detector found unordered accesses |
+//!
+//! Codes 1 (generic failure) and 2 (usage error) keep their conventional
+//! meanings. When a run produces several classes, the process exits with
+//! the numerically smallest one — the classes are ordered most-fundamental
+//! first, and a schedule with a hazard makes its other findings moot.
+
+use std::fmt;
+
+/// What kind of verification finding occurred (ordered most severe first;
+/// the discriminant order fixes [`most_severe`]'s preference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FindingClass {
+    /// An overlap or collective-discipline hazard ([`crate::hazards`]).
+    Hazard,
+    /// A Table I structure violation ([`crate::structure`]).
+    Structure,
+    /// A numerical probe finding ([`crate::probes`]) — advisory unless the
+    /// caller opted into strict probes.
+    Probe,
+    /// The documented method table disagrees with the cost model
+    /// ([`crate::doc_lint`]).
+    DocTable,
+    /// The `pscg-check` model checker found a protocol violation.
+    Model,
+    /// The `pscg-check` race detector found unordered conflicting accesses.
+    Race,
+}
+
+impl FindingClass {
+    /// The reserved process exit code of this class.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            FindingClass::Hazard => 10,
+            FindingClass::Structure => 11,
+            FindingClass::Probe => 12,
+            FindingClass::DocTable => 13,
+            FindingClass::Model => 14,
+            FindingClass::Race => 15,
+        }
+    }
+}
+
+impl fmt::Display for FindingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FindingClass::Hazard => "hazard",
+            FindingClass::Structure => "structure",
+            FindingClass::Probe => "probe",
+            FindingClass::DocTable => "doc-table",
+            FindingClass::Model => "model",
+            FindingClass::Race => "race",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The class a multi-finding run should exit with: the most severe
+/// (numerically smallest code) present, or `None` for a clean run.
+pub fn most_severe(classes: &[FindingClass]) -> Option<FindingClass> {
+    classes.iter().copied().min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_reserved() {
+        let all = [
+            FindingClass::Hazard,
+            FindingClass::Structure,
+            FindingClass::Probe,
+            FindingClass::DocTable,
+            FindingClass::Model,
+            FindingClass::Race,
+        ];
+        let codes: Vec<i32> = all.iter().map(|c| c.exit_code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "codes collide: {codes:?}");
+        // Stay clear of the conventional 0/1/2 and of the shell's 126+.
+        assert!(codes.iter().all(|&c| (10..=15).contains(&c)));
+    }
+
+    #[test]
+    fn severity_follows_code_order() {
+        assert_eq!(
+            most_severe(&[FindingClass::Race, FindingClass::Hazard]),
+            Some(FindingClass::Hazard)
+        );
+        assert_eq!(
+            most_severe(&[FindingClass::Model, FindingClass::Structure]),
+            Some(FindingClass::Structure)
+        );
+        assert_eq!(most_severe(&[]), None);
+    }
+}

@@ -50,6 +50,42 @@ pub enum Hazard {
     /// blocking over in-flight, concurrent collectives on one
     /// communicator).
     Collective(ScheduleViolation),
+    /// Use-after-wait on a *dropped* completion: a wait, retry, or result
+    /// read on a handle whose completion was lost (non-retriable
+    /// [`pscg_sim::Op::ArTimeout`]). On a real machine this is a wait on a
+    /// freed `MPI_Request` — anything from an error to silent garbage.
+    WaitAfterDrop {
+        /// The retired handle.
+        id: u64,
+        /// Trace index of the dropped-completion timeout.
+        dropped_at: usize,
+        /// Trace index of the offending wait/read.
+        at: usize,
+    },
+    /// Two completions consumed for one post: the second wait on a handle
+    /// that already completed. Duplicated completions from the fault
+    /// injector (or a solver retrying the wrong handle) create exactly
+    /// this shape.
+    DoubleWait {
+        /// The doubly-completed handle.
+        id: u64,
+        /// Trace index of the first completion.
+        first_at: usize,
+        /// Trace index of the second wait.
+        at: usize,
+    },
+    /// A delayed completion that was timed out on (retriably) but never
+    /// completed before the trace ended: the solver abandoned a handle the
+    /// engine still considers live — a leaked request *and* a lost
+    /// reduction result.
+    AbandonedTimeout {
+        /// The abandoned handle.
+        id: u64,
+        /// Trace index of the post.
+        posted_at: usize,
+        /// Trace index of the last retriable timeout observed.
+        last_timeout_at: usize,
+    },
 }
 
 impl std::fmt::Display for Hazard {
@@ -70,12 +106,38 @@ impl std::fmt::Display for Hazard {
                  (posted at op {posted_at}) is in flight"
             ),
             Hazard::Collective(v) => write!(f, "{v}"),
+            Hazard::WaitAfterDrop { id, dropped_at, at } => write!(
+                f,
+                "op {at}: use of reduction {id} whose completion was dropped at op {dropped_at}"
+            ),
+            Hazard::DoubleWait { id, first_at, at } => write!(
+                f,
+                "op {at}: second wait on reduction {id} (first completed at op {first_at})"
+            ),
+            Hazard::AbandonedTimeout {
+                id,
+                posted_at,
+                last_timeout_at,
+            } => write!(
+                f,
+                "reduction {id} (posted at op {posted_at}) timed out at op \
+                 {last_timeout_at} and was never completed"
+            ),
         }
     }
 }
 
 /// Scans a trace for every hazard class.
+///
+/// Fault-perturbed schedules (traces recorded under an active
+/// `crates/fault` plan) carry [`pscg_sim::Op::ArTimeout`] ops; those add
+/// the fault-induced hazard classes ([`Hazard::WaitAfterDrop`],
+/// [`Hazard::DoubleWait`], [`Hazard::AbandonedTimeout`]) on top of the
+/// clean-schedule ones. A well-behaved resilient solver produces *none* of
+/// them: it retries delayed handles to completion and re-posts (never
+/// re-waits) dropped ones.
 pub fn detect(trace: &OpTrace) -> Vec<Hazard> {
+    use std::collections::HashMap;
     let mut out = Vec::new();
     let mut tracker = InflightTracker::new();
     // Inputs of the dot products accumulated since the last reduction
@@ -83,6 +145,12 @@ pub fn detect(trace: &OpTrace) -> Vec<Hazard> {
     let mut dot_inputs: Vec<BufId> = Vec::new();
     // (handle, posted_at, owned buffers) per in-flight reduction.
     let mut owned: Vec<(u64, usize, Vec<BufId>)> = Vec::new();
+    // Completion-fault bookkeeping: where each handle's completion was
+    // consumed, dropped, or last retriably timed out. A re-post of a
+    // recycled id starts a new lifetime and clears all three.
+    let mut completed: HashMap<u64, usize> = HashMap::new();
+    let mut dropped: HashMap<u64, usize> = HashMap::new();
+    let mut last_timeout: HashMap<u64, usize> = HashMap::new();
 
     for (i, op) in trace.ops.iter().enumerate() {
         // Check writes against in-flight ownership before this op can
@@ -117,13 +185,70 @@ pub fn detect(trace: &OpTrace) -> Vec<Hazard> {
                         .map(Hazard::Collective),
                 );
                 owned.push((id, i, std::mem::take(&mut dot_inputs)));
+                completed.remove(&id);
+                dropped.remove(&id);
+                last_timeout.remove(&id);
             }
             Op::ArWait { id } => {
-                out.extend(tracker.wait(id, i).into_iter().map(Hazard::Collective));
+                if let Some(&dropped_at) = dropped.get(&id) {
+                    // The tracker already retired the handle at the drop;
+                    // report the sharper fault-aware class instead of the
+                    // WaitWithoutPost it would emit.
+                    out.push(Hazard::WaitAfterDrop {
+                        id,
+                        dropped_at,
+                        at: i,
+                    });
+                } else if let Some(&first_at) = completed.get(&id) {
+                    out.push(Hazard::DoubleWait {
+                        id,
+                        first_at,
+                        at: i,
+                    });
+                } else {
+                    out.extend(tracker.wait(id, i).into_iter().map(Hazard::Collective));
+                    completed.insert(id, i);
+                }
                 owned.retain(|(oid, _, _)| *oid != id);
+                last_timeout.remove(&id);
+            }
+            Op::ArTimeout { id, retriable } => {
+                if let Some(&dropped_at) = dropped.get(&id) {
+                    out.push(Hazard::WaitAfterDrop {
+                        id,
+                        dropped_at,
+                        at: i,
+                    });
+                } else if let Some(&first_at) = completed.get(&id) {
+                    out.push(Hazard::DoubleWait {
+                        id,
+                        first_at,
+                        at: i,
+                    });
+                } else if retriable {
+                    // Delayed: the handle stays live (and keeps owning its
+                    // input buffers) until the successful retry.
+                    last_timeout.insert(id, i);
+                } else {
+                    // Dropped: the completion is lost and the handle is
+                    // retired here — it releases its buffers, and any later
+                    // use of it is a WaitAfterDrop.
+                    out.extend(tracker.wait(id, i).into_iter().map(Hazard::Collective));
+                    owned.retain(|(oid, _, _)| *oid != id);
+                    dropped.insert(id, i);
+                    last_timeout.remove(&id);
+                }
             }
             Op::RedRead { id } => {
-                out.push(Hazard::ReadBeforeWait { id, at: i });
+                if let Some(&dropped_at) = dropped.get(&id) {
+                    out.push(Hazard::WaitAfterDrop {
+                        id,
+                        dropped_at,
+                        at: i,
+                    });
+                } else {
+                    out.push(Hazard::ReadBeforeWait { id, at: i });
+                }
             }
             Op::ArBlocking { comm, .. } => {
                 out.extend(
@@ -138,7 +263,20 @@ pub fn detect(trace: &OpTrace) -> Vec<Hazard> {
             _ => {}
         }
     }
-    out.extend(tracker.finish().into_iter().map(Hazard::Collective));
+    // A leaked handle that was retriably timed out on is the sharper
+    // abandoned-timeout class; other leaks stay plain NeverWaited.
+    for v in tracker.finish() {
+        match v {
+            ScheduleViolation::NeverWaited { id, posted_at } if last_timeout.contains_key(&id) => {
+                out.push(Hazard::AbandonedTimeout {
+                    id,
+                    posted_at,
+                    last_timeout_at: last_timeout[&id],
+                });
+            }
+            other => out.push(Hazard::Collective(other)),
+        }
+    }
     out
 }
 
@@ -228,6 +366,118 @@ mod tests {
             h,
             Hazard::Collective(ScheduleViolation::NeverWaited { id: 0, .. })
         )));
+    }
+
+    #[test]
+    fn well_behaved_fault_recovery_is_clean() {
+        // Delayed completion retried to success, then a dropped completion
+        // re-posted under a fresh handle: exactly what the resilient
+        // solvers do, and none of it is a hazard.
+        let t = trace(vec![
+            dot(1, 2),
+            Op::post(0, 2),
+            Op::timeout(0, true), // delay tick 1
+            Op::timeout(0, true), // delay tick 2
+            Op::wait(0),          // delivery
+            dot(1, 2),
+            Op::post(1, 2),
+            Op::timeout(1, false), // dropped — handle retired
+            dot(1, 2),
+            Op::post(2, 2), // recovery re-post
+            Op::wait(2),
+        ]);
+        assert_eq!(detect(&t), vec![]);
+    }
+
+    #[test]
+    fn wait_after_drop_is_flagged() {
+        let t = trace(vec![Op::post(0, 2), Op::timeout(0, false), Op::wait(0)]);
+        assert_eq!(
+            detect(&t),
+            vec![Hazard::WaitAfterDrop {
+                id: 0,
+                dropped_at: 1,
+                at: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn read_after_drop_is_flagged_as_use_after_drop() {
+        let t = trace(vec![
+            Op::post(0, 2),
+            Op::timeout(0, false),
+            Op::RedRead { id: 0 },
+        ]);
+        assert_eq!(
+            detect(&t),
+            vec![Hazard::WaitAfterDrop {
+                id: 0,
+                dropped_at: 1,
+                at: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn double_wait_is_flagged() {
+        let t = trace(vec![Op::post(0, 2), Op::wait(0), Op::wait(0)]);
+        assert_eq!(
+            detect(&t),
+            vec![Hazard::DoubleWait {
+                id: 0,
+                first_at: 1,
+                at: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn abandoned_delayed_handle_is_flagged() {
+        let t = trace(vec![Op::post(0, 2), Op::timeout(0, true)]);
+        assert_eq!(
+            detect(&t),
+            vec![Hazard::AbandonedTimeout {
+                id: 0,
+                posted_at: 0,
+                last_timeout_at: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn delayed_handle_keeps_owning_its_inputs() {
+        // Writing a dot input while the delayed reduction is still live is
+        // the same write-after-post hazard as in the clean schedule.
+        let t = trace(vec![
+            dot(1, 2),
+            Op::post(0, 2),
+            Op::timeout(0, true),
+            write_to(1),
+            Op::wait(0),
+        ]);
+        assert_eq!(
+            detect(&t),
+            vec![Hazard::WriteAfterPost {
+                id: 0,
+                buf: BufId(1),
+                posted_at: 1,
+                write_at: 3,
+            }]
+        );
+    }
+
+    #[test]
+    fn dropped_handle_releases_its_inputs() {
+        // After the drop the reduction is gone; writing its former input
+        // is legal (the recovery path recomputes and re-posts).
+        let t = trace(vec![
+            dot(1, 2),
+            Op::post(0, 2),
+            Op::timeout(0, false),
+            write_to(1),
+        ]);
+        assert_eq!(detect(&t), vec![]);
     }
 
     #[test]

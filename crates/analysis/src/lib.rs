@@ -29,14 +29,16 @@
 
 pub mod dag;
 pub mod doc_lint;
+pub mod exit_codes;
 pub mod hazards;
 pub mod probes;
 pub mod structure;
 
 pub use dag::{ScheduleDag, Window, WindowKernels};
+pub use exit_codes::FindingClass;
 pub use hazards::Hazard;
 pub use probes::ProbeFinding;
-pub use structure::{verify, MethodShape, Pipeline, StructureViolation};
+pub use structure::{verify, verify_faulted, MethodShape, Pipeline, StructureViolation};
 
 use pscg_sim::OpTrace;
 

@@ -1,7 +1,8 @@
 //! Paper-reproduction driver.
 //!
 //! ```text
-//! repro [--scale ci|small|paper] [--verify-schedule] [--telemetry DIR] <experiment>...
+//! repro [--scale ci|small|paper] [--verify-schedule] [--verify-concurrency]
+//!       [--strict-probes] [--telemetry DIR] <experiment>...
 //! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 ablation-progress crossover mpk all
 //! ```
 //!
@@ -10,9 +11,19 @@
 //! traces at 80 nodes).
 //!
 //! `--verify-schedule` runs the static communication-schedule analyzer
-//! (`pscg-analysis`) over every method's trace before the experiments:
-//! overlap hazards or Table I structure violations abort with exit 1.
-//! With no experiments named, the flag runs the verification alone.
+//! (`pscg-analysis`) over every method's trace before the experiments.
+//! Verification failures exit with the finding-class codes of
+//! [`pscg_analysis::exit_codes`]: 10 for overlap hazards, 11 for Table I
+//! structure violations. Numerical probe findings are printed as advisory
+//! unless `--strict-probes` is given, which makes them exit 12. With no
+//! experiments named, the flag runs the verification alone.
+//!
+//! `--verify-concurrency` runs the `pscg-check` concurrency layer: the
+//! exhaustive model checker over the pool dispatch protocol's bounded
+//! configurations (findings exit 14) and the vector-clock race detector
+//! over sync traces of instrumented solves at 1 and 4 kernel threads
+//! (findings exit 15). With no experiments named, the flag runs the
+//! verification alone.
 //!
 //! `--telemetry DIR` (or `PSCG_TELEMETRY=DIR`) runs every method once on
 //! the scale's Poisson problem with runtime telemetry enabled and writes
@@ -38,6 +49,7 @@ use std::time::Instant;
 
 use pipescg::methods::MethodKind;
 use pipescg::solver::SolveOptions;
+use pscg_analysis::FindingClass;
 use pscg_bench::problems;
 use pscg_bench::{experiments, Scale};
 use pscg_fault::FaultPlan;
@@ -60,16 +72,17 @@ const ALL_METHODS: [MethodKind; 11] = [
 ];
 
 /// Runs the static analyzer over every method's trace on the scale's
-/// Poisson problem. Returns false when any hazard or structure violation
-/// is found.
-fn verify_schedules(scale: &Scale) -> bool {
+/// Poisson problem. Returns the finding classes observed: hazards and
+/// structure violations always count; probe findings only under
+/// `strict_probes` (they are printed as advisory either way).
+fn verify_schedules(scale: &Scale, strict_probes: bool) -> Vec<FindingClass> {
     let p = problems::poisson125(scale);
     let b = p.rhs();
     let s = 4;
     println!("\n## Schedule verification ({}, s = {s})\n", p.name);
-    println!("| method | ops | windows | hazards | structure |");
-    println!("|---|---|---|---|---|");
-    let mut clean = true;
+    println!("| method | ops | windows | hazards | structure | probes |");
+    println!("|---|---|---|---|---|---|");
+    let mut classes = Vec::new();
     for method in ALL_METHODS {
         let mut ctx = SimCtx::traced(&p.a, Box::new(Jacobi::new(&p.a)), p.profile.clone());
         let opts = SolveOptions {
@@ -83,12 +96,13 @@ fn verify_schedules(scale: &Scale) -> bool {
         let report = pscg_analysis::analyze(&trace);
         let violations = pscg_analysis::verify(&trace, method, s);
         println!(
-            "| {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} |",
             method.name(),
             trace.ops.len(),
             report.windows.len(),
             report.hazards.len(),
-            violations.len()
+            violations.len(),
+            report.probes.len()
         );
         for h in &report.hazards {
             eprintln!("[verify-schedule] {}: {h}", method.name());
@@ -96,9 +110,108 @@ fn verify_schedules(scale: &Scale) -> bool {
         for v in &violations {
             eprintln!("[verify-schedule] {}: {v}", method.name());
         }
-        clean &= report.is_clean() && violations.is_empty();
+        for pf in &report.probes {
+            let tag = if strict_probes { "" } else { " (advisory)" };
+            eprintln!("[verify-schedule] {}: probe{tag}: {pf}", method.name());
+        }
+        if !report.hazards.is_empty() {
+            classes.push(FindingClass::Hazard);
+        }
+        if !violations.is_empty() {
+            classes.push(FindingClass::Structure);
+        }
+        if strict_probes && !report.probes.is_empty() {
+            classes.push(FindingClass::Probe);
+        }
     }
-    clean
+    classes
+}
+
+/// Methods whose kernel schedules the race detector observes: one
+/// classic, one s-step, and the two pipelined s-step variants cover every
+/// kernel family the par engine dispatches.
+const RACE_METHODS: [MethodKind; 4] = [
+    MethodKind::Pipecg,
+    MethodKind::ScgSspmv,
+    MethodKind::PipeScg,
+    MethodKind::PipePscg,
+];
+
+/// Runs the `pscg-check` concurrency layer: the exhaustive model checker
+/// over every bounded pool-protocol configuration, then the vector-clock
+/// race detector over sync traces of short instrumented solves at 1 and 4
+/// kernel threads. Returns the finding classes observed.
+fn verify_concurrency(scale: &Scale) -> Vec<FindingClass> {
+    let mut classes = Vec::new();
+
+    println!("\n## Concurrency verification: dispatch-protocol model checking\n");
+    println!("| scenario | states | findings |");
+    println!("|---|---|---|");
+    for report in pscg_check::check_all(pscg_check::Variant::Correct) {
+        println!(
+            "| {} | {} | {} |",
+            report.scenario,
+            report.states,
+            report.findings.len()
+        );
+        for f in &report.findings {
+            eprintln!("[verify-concurrency] model: {}: {f}", report.scenario);
+        }
+        if !report.ok() {
+            classes.push(FindingClass::Model);
+        }
+    }
+
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let s = 4;
+    // A few passes give every kernel a turn; the detector's pair scan is
+    // quadratic per buffer, so the window is kept deliberately short.
+    let opts = SolveOptions {
+        rtol: p.rtol,
+        s,
+        max_iters: 4 * s,
+        ..Default::default()
+    };
+    println!(
+        "\n## Concurrency verification: sync-trace race detection ({})\n",
+        p.name
+    );
+    println!("| method | threads | events | races |");
+    println!("|---|---|---|---|");
+    let prev_threads = pscg_par::global_threads();
+    for threads in [1usize, 4] {
+        pscg_par::set_global_threads(threads);
+        for method in RACE_METHODS {
+            pscg_par::sync_trace::drain();
+            pscg_par::sync_trace::set_enabled(true);
+            let mut ctx = SimCtx::serial(&p.a, Box::new(Jacobi::new(&p.a)));
+            method.solve(&mut ctx, &b, None, &opts);
+            pscg_par::sync_trace::set_enabled(false);
+            let trace = pscg_par::sync_trace::drain();
+            let report = pscg_check::detect_races(&trace);
+            println!(
+                "| {} | {threads} | {} | {} |",
+                method.name(),
+                report.events,
+                report.races.len()
+            );
+            for r in &report.races {
+                eprintln!("[verify-concurrency] {} @{threads}t: {r}", method.name());
+            }
+            if report.cyclic {
+                eprintln!(
+                    "[verify-concurrency] {} @{threads}t: cyclic sync trace",
+                    method.name()
+                );
+            }
+            if !report.ok() {
+                classes.push(FindingClass::Race);
+            }
+        }
+    }
+    pscg_par::set_global_threads(prev_threads);
+    classes
 }
 
 /// Lower-case file stem for a method's telemetry artifacts.
@@ -326,12 +439,16 @@ fn main() {
     let mut scale = Scale::from_env();
     let mut wanted: Vec<String> = Vec::new();
     let mut verify_schedule = false;
+    let mut verify_conc = false;
+    let mut strict_probes = false;
     let mut telemetry: Option<PathBuf> = std::env::var_os("PSCG_TELEMETRY").map(PathBuf::from);
     let mut fault_plan: Option<PathBuf> = std::env::var_os("PSCG_FAULTS").map(PathBuf::from);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--verify-schedule" => verify_schedule = true,
+            "--verify-concurrency" => verify_conc = true,
+            "--strict-probes" => strict_probes = true,
             "--telemetry" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--telemetry needs a directory");
@@ -361,6 +478,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale ci|small|paper] [--verify-schedule] \
+                     [--verify-concurrency] [--strict-probes] \
                      [--telemetry DIR] [--fault-plan FILE] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
@@ -370,7 +488,12 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() && !verify_schedule && telemetry.is_none() && fault_plan.is_none() {
+    if wanted.is_empty()
+        && !verify_schedule
+        && !verify_conc
+        && telemetry.is_none()
+        && fault_plan.is_none()
+    {
         wanted.push("all".to_string());
     }
     const KNOWN: [&str; 11] = [
@@ -403,9 +526,19 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    if verify_schedule && !verify_schedules(&scale) {
-        eprintln!("[repro] schedule verification FAILED");
-        std::process::exit(1);
+    if verify_schedule {
+        let found = verify_schedules(&scale, strict_probes);
+        if let Some(worst) = pscg_analysis::exit_codes::most_severe(&found) {
+            eprintln!("[repro] schedule verification FAILED ({worst})");
+            std::process::exit(worst.exit_code());
+        }
+    }
+    if verify_conc {
+        let found = verify_concurrency(&scale);
+        if let Some(worst) = pscg_analysis::exit_codes::most_severe(&found) {
+            eprintln!("[repro] concurrency verification FAILED ({worst})");
+            std::process::exit(worst.exit_code());
+        }
     }
     if let Some(dir) = &telemetry {
         if !run_telemetry(&scale, dir, &results) {

@@ -1,0 +1,16 @@
+//! Prints the explored state count and findings of every standard
+//! scenario — a quick way to eyeball the model's reach after editing it:
+//!
+//! ```text
+//! cargo run -p pscg-check --example states
+//! cargo run -p pscg-check --example states --features broken-par
+//! ```
+
+fn main() {
+    for r in pscg_check::check_all(pscg_check::Variant::Correct) {
+        println!(
+            "{:60} {:8} states, findings {:?}",
+            r.scenario, r.states, r.findings
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Concurrency verification for the par engine (DESIGN.md §9).
+//!
+//! Two complementary tools, both std-only and offline:
+//!
+//! * [`model`] — an exhaustive-interleaving model checker for the
+//!   epoch-tagged claim-word dispatch protocol of `pscg_par::Pool`. The
+//!   protocol is transcribed into a finite transition system at atomic-step
+//!   granularity and every reachable interleaving of bounded configurations
+//!   (≤3 threads, ≤4 jobs) is explored, checking exactly-once execution,
+//!   absence of deadlock, and termination. The `broken-par` feature seeds
+//!   two protocol bugs the checker must flag — the negative control that
+//!   keeps the model honest, mirroring the `broken-variants` feature of
+//!   `pipescg`.
+//! * [`race`] — a vector-clock happens-before race detector over
+//!   [`pscg_par::sync_trace`] recordings of real executions: it derives the
+//!   protocol's ordering edges from event *data* (epochs, claim indices,
+//!   done counts), assigns vector clocks in topological order, and reports
+//!   unordered conflicting accesses to shared kernel buffers.
+//!
+//! The division of labor is deliberate: the race detector sees real code
+//! but only one schedule per run; the model checker sees every schedule
+//! but only a model. A protocol change must keep both green.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod model;
+pub mod race;
+
+pub use model::{check, check_all, standard_scenarios, Finding, Report, Scenario, Variant};
+pub use race::{detect_races, Access, Race, RaceReport};

@@ -1,0 +1,750 @@
+//! Exhaustive-interleaving model checker for the pool dispatch protocol.
+//!
+//! The model transcribes `pscg_par`'s `Pool::run` / `worker_loop` /
+//! `claim_index` / `finish_index` into a finite transition system, one
+//! transition per *observable atomic action*: a mutex acquire/release, one
+//! atomic load-or-RMW, a condvar park (atomic release-and-wait), or a
+//! notify. Lock-protected field updates that no other thread can observe
+//! mid-flight are merged into one transition; the three atomics the
+//! protocol reads without the lock (`claim`, `done`, and the claim-word
+//! CAS) are kept as separate steps, because their interleavings against a
+//! concurrent publish are exactly where the protocol can break. The
+//! submitter's `while done < njobs { wait }` is split into a check step and
+//! a park step so the lost-wakeup window that the lock closes is
+//! reachable in the model.
+//!
+//! A [`Scenario`] bounds the configuration: which threads submit which job
+//! sequences (thread 0 owns the pool and models `Drop`'s shutdown+join at
+//! the end; a second submitter is a *contender* exercising the
+//! `try_lock`-failure inline fallback), plus how many workers the pool
+//! spawned. [`check`] then explores every reachable interleaving by DFS
+//! with state memoization and reports:
+//!
+//! * [`Finding::DuplicateExecution`] — some job index ran twice;
+//! * [`Finding::LostIndex`] — a `run` call returned with an index unrun;
+//! * [`Finding::Deadlock`] — a reachable state with live threads but no
+//!   enabled transition;
+//! * [`Finding::StateCap`] — exploration hit the state bound (never on the
+//!   shipped scenarios; a guard against model regressions, not a verdict).
+//!
+//! Model fidelity limits, stated rather than hidden: condvar wakeups are
+//! never spurious (the code's `while`-loop re-checks make spurious wakeups
+//! benign, so omitting them loses no bugs), `compare_exchange_weak`'s
+//! spurious failure is not modeled (it only adds retries of a pure load,
+//! i.e. cycles with no new observable states), and epochs do not wrap
+//! (bounded scenarios stay far below `u32::MAX`).
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Which protocol variant to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The shipped protocol, transcribed faithfully.
+    Correct,
+    /// Seeded bug: the last finisher notifies `done_cv` *without* taking
+    /// the state lock first. The notify can then fire between the
+    /// submitter's `done` check and its park — the classic lost wakeup the
+    /// real `finish_index` locks against — and the checker must find the
+    /// resulting deadlock.
+    #[cfg(feature = "broken-par")]
+    NoLockNotify,
+    /// Seeded bug: `claim_index` skips the epoch check, so a worker still
+    /// draining the previous job's claim loop can claim an index of the
+    /// *new* claim word and run its **old** closure on it. The checker
+    /// must find the duplicated old index and the lost new one.
+    #[cfg(feature = "broken-par")]
+    StaleEpochClaim,
+}
+
+/// A bounded configuration for the checker.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Name shown in reports.
+    pub name: &'static str,
+    /// One entry per submitting thread: the `njobs` of each job it submits
+    /// in order. Thread 0 owns the pool (its model thread also performs the
+    /// shutdown/join of `Drop`); any further submitters are contenders
+    /// whose `try_lock` may fail into the inline fallback.
+    pub scripts: Vec<Vec<usize>>,
+    /// Worker threads the pool spawned (`Pool::new(workers + 1)`).
+    pub workers: usize,
+}
+
+/// One property violation found during exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Finding {
+    /// Job index `index` of job `job` executed more than once.
+    DuplicateExecution {
+        /// Global job number (scenario submission order).
+        job: u8,
+        /// The duplicated index.
+        index: u8,
+    },
+    /// A `run` call completed while `index` of its job never executed.
+    LostIndex {
+        /// Global job number (scenario submission order).
+        job: u8,
+        /// The index that never ran.
+        index: u8,
+    },
+    /// A reachable state has unterminated threads but no enabled
+    /// transition.
+    Deadlock {
+        /// Threads not yet terminated in the stuck state.
+        live: usize,
+    },
+    /// Exploration stopped at the state bound before exhausting the space.
+    StateCap,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::DuplicateExecution { job, index } => {
+                write!(f, "job {job} index {index} executed more than once")
+            }
+            Finding::LostIndex { job, index } => {
+                write!(f, "job {job} completed with index {index} never executed")
+            }
+            Finding::Deadlock { live } => {
+                write!(f, "deadlock: {live} live thread(s), no enabled transition")
+            }
+            Finding::StateCap => write!(f, "state bound hit before exhausting the space"),
+        }
+    }
+}
+
+/// Result of checking one scenario.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Deduplicated property violations (empty = verified at this bound).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// True when exploration finished with no violation.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Per-thread program counter. Names follow the code: `Pub*` is the
+/// publish block of `Pool::run`, `Join*` its completion wait, `W*` the
+/// worker loop, `Shut*` the owner's `Drop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Submitter between jobs (next job at `script_pos`, or script done).
+    Idle,
+    /// `submit.try_lock()` — success dispatches, failure runs inline.
+    TrySubmit,
+    /// Inline fallback / small-job path: next index to run.
+    InlineExec(u8),
+    /// Blocked acquiring the state mutex to publish.
+    LockPublish,
+    /// `st.epoch += 1` (lock held).
+    PubEpoch,
+    /// `done.store(0)` — atomic, visible without the lock.
+    PubDone,
+    /// `claim.store(epoch << 32)` — atomic, visible without the lock.
+    PubClaim,
+    /// `st.job = Some(..); work_cv.notify_all()` (lock held).
+    PubJob,
+    /// Release the state mutex; fall into the claim loop.
+    PubUnlock,
+    /// One `claim_index` attempt: epoch check + bounds check + CAS.
+    ClaimCas,
+    /// Run the claimed index.
+    Execute,
+    /// `done.fetch_add(1)` of `finish_index`.
+    FinishAdd,
+    /// Last finisher: blocked acquiring the state mutex before notifying.
+    FinishLock,
+    /// `done_cv.notify_all()` (+ release, when the lock is held).
+    FinishNotify,
+    /// Submitter blocked acquiring the state mutex to wait for completion.
+    JoinLock,
+    /// `done < njobs`? (lock held; atomic load).
+    JoinCheck,
+    /// About to park on `done_cv` — the check passed but the wait has not
+    /// yet atomically released the lock. The lost-wakeup window.
+    JoinParkPending,
+    /// Parked on `done_cv`.
+    JoinParked,
+    /// `st.job = None` + release (lock held; nothing observable between).
+    ClearJob,
+    /// Drop the submit guard.
+    ReleaseSubmit,
+    /// Owner blocked acquiring the state mutex for shutdown.
+    ShutLock,
+    /// `st.shutdown = true; work_cv.notify_all()` + release.
+    ShutSet,
+    /// Owner joining workers (enabled once all have terminated).
+    ShutJoin,
+    /// Worker blocked acquiring the state mutex.
+    WLock,
+    /// Worker inner loop: shutdown? new epoch? job? else park.
+    WCheck,
+    /// Parked on `work_cv`.
+    WParked,
+    /// Thread exited.
+    Terminated,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Thread {
+    phase: Phase,
+    /// Worker's `seen_epoch`.
+    seen_epoch: u32,
+    /// Epoch of the job this thread is dispatching/draining.
+    cur_epoch: u32,
+    /// Global job number of that job.
+    cur_job: u8,
+    /// Its index space.
+    cur_njobs: u8,
+    /// Index claimed by the last successful CAS.
+    claimed: u8,
+    /// Next script entry (submitters).
+    script_pos: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// `State::epoch` (lock-protected).
+    epoch: u32,
+    /// `State::job` slot: `(job, njobs)` (lock-protected).
+    job: Option<(u8, u8)>,
+    /// `State::shutdown` (lock-protected).
+    shutdown: bool,
+    /// Claim-word epoch tag (atomic).
+    claim_epoch: u32,
+    /// Claim-word next index (atomic).
+    claim_next: u8,
+    /// `done` counter (atomic).
+    done: u8,
+    /// State-mutex holder.
+    state_lock: Option<u8>,
+    /// Submit-mutex holder.
+    submit_lock: Option<u8>,
+    threads: Vec<Thread>,
+    /// Execution count per `(job, index)`, saturating at 3.
+    exec: Vec<u8>,
+}
+
+/// Exploration stops (with [`Finding::StateCap`]) past this many states.
+const STATE_CAP: usize = 4_000_000;
+
+struct System {
+    scripts: Vec<Vec<usize>>,
+    workers: usize,
+    nthreads: usize,
+    /// Global job number of each submitter's first job.
+    job_base: Vec<u8>,
+    /// Widest index space in the scenario (exec-table stride).
+    maxn: usize,
+    variant: Variant,
+}
+
+impl System {
+    fn new(scenario: &Scenario, variant: Variant) -> System {
+        let mut job_base = Vec::with_capacity(scenario.scripts.len());
+        let mut next = 0u8;
+        for script in &scenario.scripts {
+            job_base.push(next);
+            next += script.len() as u8;
+        }
+        let maxn = scenario
+            .scripts
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        System {
+            scripts: scenario.scripts.clone(),
+            workers: scenario.workers,
+            nthreads: scenario.scripts.len() + scenario.workers,
+            job_base,
+            maxn,
+            variant,
+        }
+    }
+
+    fn initial(&self) -> State {
+        let total_jobs: usize = self.scripts.iter().map(Vec::len).sum();
+        let threads = (0..self.nthreads)
+            .map(|tid| Thread {
+                phase: if tid < self.scripts.len() {
+                    Phase::Idle
+                } else {
+                    Phase::WLock
+                },
+                seen_epoch: 0,
+                cur_epoch: 0,
+                cur_job: 0,
+                cur_njobs: 0,
+                claimed: 0,
+                script_pos: 0,
+            })
+            .collect();
+        State {
+            epoch: 0,
+            job: None,
+            shutdown: false,
+            claim_epoch: 0,
+            claim_next: 0,
+            done: 0,
+            state_lock: None,
+            submit_lock: None,
+            threads,
+            exec: vec![0; total_jobs * self.maxn],
+        }
+    }
+
+    fn is_worker(&self, tid: usize) -> bool {
+        tid >= self.scripts.len()
+    }
+
+    fn all_terminated(&self, st: &State) -> bool {
+        st.threads.iter().all(|t| t.phase == Phase::Terminated)
+    }
+
+    /// Bump the execution count of `(job, index)`; a second execution is a
+    /// violation.
+    fn exec_index(&self, st: &mut State, job: u8, index: u8) -> Option<Finding> {
+        let slot = &mut st.exec[job as usize * self.maxn + index as usize];
+        *slot = (*slot + 1).min(3);
+        (*slot == 2).then_some(Finding::DuplicateExecution { job, index })
+    }
+
+    /// `run` returned for `job`: every index must have executed.
+    fn complete_job(&self, st: &State, job: u8, njobs: u8) -> Option<Finding> {
+        (0..njobs)
+            .find(|&i| st.exec[job as usize * self.maxn + i as usize] == 0)
+            .map(|index| Finding::LostIndex { job, index })
+    }
+
+    /// Blocked-mutex acquire: enabled only when the lock is free.
+    fn acquire_state(
+        &self,
+        st: &State,
+        tid: usize,
+        next: Phase,
+    ) -> Option<(State, Option<Finding>)> {
+        if st.state_lock.is_some() {
+            return None;
+        }
+        let mut s = st.clone();
+        s.state_lock = Some(tid as u8);
+        s.threads[tid].phase = next;
+        Some((s, None))
+    }
+
+    fn wake(st: &mut State, parked: Phase, to: Phase) {
+        for t in &mut st.threads {
+            if t.phase == parked {
+                t.phase = to;
+            }
+        }
+    }
+
+    /// The (at most one) enabled transition of thread `tid`, or `None` if
+    /// it is blocked or terminated.
+    fn step(&self, st: &State, tid: usize) -> Option<(State, Option<Finding>)> {
+        let t = &st.threads[tid];
+        match t.phase {
+            Phase::Terminated | Phase::JoinParked | Phase::WParked => None,
+
+            Phase::Idle => {
+                let script = &self.scripts[tid];
+                if (t.script_pos as usize) < script.len() {
+                    let njobs = script[t.script_pos as usize];
+                    let mut s = st.clone();
+                    let th = &mut s.threads[tid];
+                    th.cur_job = self.job_base[tid] + t.script_pos;
+                    th.cur_njobs = njobs as u8;
+                    th.script_pos += 1;
+                    // `njobs <= 1 || self.workers.is_empty()` short-circuit.
+                    th.phase = if njobs <= 1 || self.workers == 0 {
+                        Phase::InlineExec(0)
+                    } else {
+                        Phase::TrySubmit
+                    };
+                    Some((s, None))
+                } else if tid != 0 {
+                    // A contender's scope ends; the owner's join below
+                    // models the borrow of the pool outliving it.
+                    let mut s = st.clone();
+                    s.threads[tid].phase = Phase::Terminated;
+                    Some((s, None))
+                } else if (1..self.scripts.len()).all(|i| st.threads[i].phase == Phase::Terminated)
+                {
+                    // `Drop` runs only after every borrower is gone.
+                    let mut s = st.clone();
+                    s.threads[tid].phase = Phase::ShutLock;
+                    Some((s, None))
+                } else {
+                    None
+                }
+            }
+
+            Phase::TrySubmit => {
+                let mut s = st.clone();
+                if st.submit_lock.is_none() {
+                    s.submit_lock = Some(tid as u8);
+                    s.threads[tid].phase = Phase::LockPublish;
+                } else {
+                    // Nested/concurrent submission: inline fallback.
+                    s.threads[tid].phase = Phase::InlineExec(0);
+                }
+                Some((s, None))
+            }
+
+            Phase::InlineExec(i) => {
+                let mut s = st.clone();
+                if i < t.cur_njobs {
+                    let f = self.exec_index(&mut s, t.cur_job, i);
+                    s.threads[tid].phase = Phase::InlineExec(i + 1);
+                    Some((s, f))
+                } else {
+                    let f = self.complete_job(&s, t.cur_job, t.cur_njobs);
+                    s.threads[tid].phase = Phase::Idle;
+                    Some((s, f))
+                }
+            }
+
+            Phase::LockPublish => self.acquire_state(st, tid, Phase::PubEpoch),
+
+            Phase::PubEpoch => {
+                let mut s = st.clone();
+                s.epoch += 1;
+                s.threads[tid].cur_epoch = s.epoch;
+                s.threads[tid].phase = Phase::PubDone;
+                Some((s, None))
+            }
+
+            Phase::PubDone => {
+                let mut s = st.clone();
+                s.done = 0;
+                s.threads[tid].phase = Phase::PubClaim;
+                Some((s, None))
+            }
+
+            Phase::PubClaim => {
+                let mut s = st.clone();
+                s.claim_epoch = t.cur_epoch;
+                s.claim_next = 0;
+                s.threads[tid].phase = Phase::PubJob;
+                Some((s, None))
+            }
+
+            Phase::PubJob => {
+                let mut s = st.clone();
+                s.job = Some((t.cur_job, t.cur_njobs));
+                Self::wake(&mut s, Phase::WParked, Phase::WLock);
+                s.threads[tid].phase = Phase::PubUnlock;
+                Some((s, None))
+            }
+
+            Phase::PubUnlock => {
+                let mut s = st.clone();
+                s.state_lock = None;
+                s.threads[tid].phase = Phase::ClaimCas;
+                Some((s, None))
+            }
+
+            Phase::ClaimCas => {
+                let mut s = st.clone();
+                let stale_ok = match self.variant {
+                    #[cfg(feature = "broken-par")]
+                    Variant::StaleEpochClaim => true,
+                    _ => false,
+                };
+                let epoch_match = stale_ok || st.claim_epoch == t.cur_epoch;
+                if epoch_match && st.claim_next < t.cur_njobs {
+                    s.threads[tid].claimed = st.claim_next;
+                    // `cur + 1` keeps the word's epoch bits as-is.
+                    s.claim_next += 1;
+                    s.threads[tid].phase = Phase::Execute;
+                } else {
+                    s.threads[tid].phase = if self.is_worker(tid) {
+                        Phase::WLock
+                    } else {
+                        Phase::JoinLock
+                    };
+                }
+                Some((s, None))
+            }
+
+            Phase::Execute => {
+                let mut s = st.clone();
+                let f = self.exec_index(&mut s, t.cur_job, t.claimed);
+                s.threads[tid].phase = Phase::FinishAdd;
+                Some((s, f))
+            }
+
+            Phase::FinishAdd => {
+                let mut s = st.clone();
+                s.done += 1;
+                s.threads[tid].phase = if s.done == t.cur_njobs {
+                    match self.variant {
+                        #[cfg(feature = "broken-par")]
+                        Variant::NoLockNotify => Phase::FinishNotify,
+                        _ => Phase::FinishLock,
+                    }
+                } else {
+                    Phase::ClaimCas
+                };
+                Some((s, None))
+            }
+
+            Phase::FinishLock => self.acquire_state(st, tid, Phase::FinishNotify),
+
+            Phase::FinishNotify => {
+                let mut s = st.clone();
+                Self::wake(&mut s, Phase::JoinParked, Phase::JoinLock);
+                if st.state_lock == Some(tid as u8) {
+                    s.state_lock = None;
+                }
+                s.threads[tid].phase = Phase::ClaimCas;
+                Some((s, None))
+            }
+
+            Phase::JoinLock => self.acquire_state(st, tid, Phase::JoinCheck),
+
+            Phase::JoinCheck => {
+                let mut s = st.clone();
+                s.threads[tid].phase = if st.done < t.cur_njobs {
+                    Phase::JoinParkPending
+                } else {
+                    Phase::ClearJob
+                };
+                Some((s, None))
+            }
+
+            Phase::JoinParkPending => {
+                // `Condvar::wait` releases the lock and parks atomically.
+                let mut s = st.clone();
+                s.state_lock = None;
+                s.threads[tid].phase = Phase::JoinParked;
+                Some((s, None))
+            }
+
+            Phase::ClearJob => {
+                let mut s = st.clone();
+                s.job = None;
+                s.state_lock = None;
+                let f = self.complete_job(&s, t.cur_job, t.cur_njobs);
+                s.threads[tid].phase = Phase::ReleaseSubmit;
+                Some((s, f))
+            }
+
+            Phase::ReleaseSubmit => {
+                let mut s = st.clone();
+                s.submit_lock = None;
+                s.threads[tid].phase = Phase::Idle;
+                Some((s, None))
+            }
+
+            Phase::ShutLock => self.acquire_state(st, tid, Phase::ShutSet),
+
+            Phase::ShutSet => {
+                let mut s = st.clone();
+                s.shutdown = true;
+                Self::wake(&mut s, Phase::WParked, Phase::WLock);
+                s.state_lock = None;
+                s.threads[tid].phase = Phase::ShutJoin;
+                Some((s, None))
+            }
+
+            Phase::ShutJoin => {
+                if (0..self.nthreads)
+                    .filter(|&i| self.is_worker(i))
+                    .all(|i| st.threads[i].phase == Phase::Terminated)
+                {
+                    let mut s = st.clone();
+                    s.threads[tid].phase = Phase::Terminated;
+                    Some((s, None))
+                } else {
+                    None
+                }
+            }
+
+            Phase::WLock => self.acquire_state(st, tid, Phase::WCheck),
+
+            Phase::WCheck => {
+                let mut s = st.clone();
+                s.state_lock = None;
+                let th = &mut s.threads[tid];
+                if st.shutdown {
+                    th.phase = Phase::Terminated;
+                } else if st.epoch != t.seen_epoch {
+                    th.seen_epoch = st.epoch;
+                    if let Some((job, njobs)) = st.job {
+                        th.cur_job = job;
+                        th.cur_njobs = njobs;
+                        th.cur_epoch = st.epoch;
+                        th.phase = Phase::ClaimCas;
+                    } else {
+                        // Saw the epoch tick but the slot is already
+                        // cleared: back to sleep (next loop iteration finds
+                        // `epoch == seen_epoch` and waits).
+                        th.phase = Phase::WParked;
+                    }
+                } else {
+                    th.phase = Phase::WParked;
+                }
+                Some((s, None))
+            }
+        }
+    }
+}
+
+/// Explores every reachable interleaving of `scenario` under `variant`.
+pub fn check(scenario: &Scenario, variant: Variant) -> Report {
+    let sys = System::new(scenario, variant);
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![sys.initial()];
+    let mut findings = Vec::new();
+    let mut seen = HashSet::new();
+    let mut record = |f: Finding, findings: &mut Vec<Finding>| {
+        if seen.insert(f.clone()) {
+            findings.push(f);
+        }
+    };
+    while let Some(st) = stack.pop() {
+        if visited.len() >= STATE_CAP {
+            record(Finding::StateCap, &mut findings);
+            break;
+        }
+        if !visited.insert(st.clone()) {
+            continue;
+        }
+        let mut any = false;
+        for tid in 0..sys.nthreads {
+            if let Some((next, finding)) = sys.step(&st, tid) {
+                any = true;
+                if let Some(f) = finding {
+                    record(f, &mut findings);
+                }
+                if !visited.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+        if !any && !sys.all_terminated(&st) {
+            let live = st
+                .threads
+                .iter()
+                .filter(|t| t.phase != Phase::Terminated)
+                .count();
+            record(Finding::Deadlock { live }, &mut findings);
+        }
+    }
+    Report {
+        scenario: scenario.name,
+        states: visited.len(),
+        findings,
+    }
+}
+
+/// The bounded configurations the protocol is verified at. Together they
+/// cover: single-job dispatch, sequential epochs (stale-worker claims),
+/// three-lane claiming, the contender inline fallback (and the
+/// both-parallel sequentialization when `try_lock` succeeds), the
+/// small-job inline path, and the workerless pool.
+pub fn standard_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "1sub+1worker, one 2-index job",
+            scripts: vec![vec![2]],
+            workers: 1,
+        },
+        Scenario {
+            name: "1sub+1worker, two 2-index jobs (epoch reuse)",
+            scripts: vec![vec![2, 2]],
+            workers: 1,
+        },
+        Scenario {
+            name: "1sub+2workers, one 3-index job",
+            scripts: vec![vec![3]],
+            workers: 2,
+        },
+        Scenario {
+            name: "1sub+1worker, 1-index then 2-index job (small-inline)",
+            scripts: vec![vec![1, 2]],
+            workers: 1,
+        },
+        Scenario {
+            name: "2 submitters+1worker (contender fallback)",
+            scripts: vec![vec![2], vec![2]],
+            workers: 1,
+        },
+        Scenario {
+            name: "2 submitters, no workers (workerless inline)",
+            scripts: vec![vec![2], vec![2]],
+            workers: 0,
+        },
+    ]
+}
+
+/// Runs [`check`] on every standard scenario.
+pub fn check_all(variant: Variant) -> Vec<Report> {
+    standard_scenarios()
+        .iter()
+        .map(|s| check(s, variant))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_protocol_verifies_at_every_bounded_config() {
+        for report in check_all(Variant::Correct) {
+            assert!(
+                report.ok(),
+                "{}: {:?} ({} states)",
+                report.scenario,
+                report.findings,
+                report.states
+            );
+            // The workerless scenario is nearly sequential; the rest must
+            // branch into real interleavings.
+            let floor = if report.scenario.contains("no workers") {
+                10
+            } else {
+                200
+            };
+            assert!(
+                report.states > floor,
+                "{}: suspiciously small ({} states)",
+                report.scenario,
+                report.states
+            );
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let s = &standard_scenarios()[0];
+        let a = check(s, Variant::Correct);
+        let b = check(s, Variant::Correct);
+        assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    fn epoch_reuse_scenario_reaches_a_nontrivial_space() {
+        // The two-job scenario must actually exercise stale-worker claim
+        // attempts: it explores strictly more states than the one-job one.
+        let one = check(&standard_scenarios()[0], Variant::Correct);
+        let two = check(&standard_scenarios()[1], Variant::Correct);
+        assert!(two.states > one.states);
+    }
+}

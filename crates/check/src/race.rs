@@ -1,0 +1,643 @@
+//! Vector-clock happens-before race detection over [`pscg_par::sync_trace`]
+//! recordings.
+//!
+//! The detector never trusts cross-thread *log order* — two threads may
+//! append their records in the opposite order of their CASes. Instead it
+//! derives the happens-before relation from what the protocol events
+//! *say*:
+//!
+//! * **program order** — each thread's own records, in log order;
+//! * `EpochPublish(pool, e)` → every `ClaimAcquire(pool, e, _)` (the claim
+//!   CAS acquire-reads the word the publish release-stored);
+//! * `ClaimAcquire(pool, e, i)` → `ClaimAcquire(pool, e, i+1)` (each CAS
+//!   in the word's release sequence reads the previous one);
+//! * `FinishIndex(pool, e, k)` → `FinishIndex(pool, e, k+1)` (the AcqRel
+//!   `fetch_add` chain on `done`);
+//! * the last `FinishIndex(pool, e, _)` → `PoolJoin(pool, e)` (the
+//!   submitter's acquire-load of `done == njobs`);
+//! * `ReducePost(id)` → `ReduceComplete(id)`.
+//!
+//! Note what is *absent*: claiming index `i` orders the claim **events**,
+//! not the closure bodies that follow them — chunk bodies of one job are
+//! genuinely concurrent, which is exactly why overlapping `DisjointMut`
+//! writes inside one job are races. Cross-job ordering flows through
+//! finish → join → (program order) → next publish → claim.
+//!
+//! Events get vector clocks by a Kahn topological pass over this DAG;
+//! two buffer accesses race when they touch overlapping ranges of the
+//! same buffer from different threads, at least one writes, and neither
+//! clock orders the other. Like any dynamic detector, a verdict holds for
+//! the *observed* schedule only (a potential race masked by this run's
+//! interleaving is not reported); exhaustiveness over schedules is the
+//! model checker's job ([`crate::model`]). The pair scan is `O(n²)` per
+//! buffer — keep observation windows to a few solver iterations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pscg_par::sync_trace::{SyncEvent, SyncTrace};
+
+/// One side of a racing pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Recording thread's ordinal.
+    pub thread: u64,
+    /// First element touched.
+    pub lo: usize,
+    /// One past the last element touched.
+    pub hi: usize,
+    /// True for a write.
+    pub write: bool,
+}
+
+/// Two unordered conflicting accesses to one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Race {
+    /// Storage address of the buffer (the kernel engine's `BufId`
+    /// identity).
+    pub buf: u64,
+    /// One access.
+    pub first: Access,
+    /// The other.
+    pub second: Access,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.first.write && self.second.write {
+            "write/write"
+        } else {
+            "read/write"
+        };
+        write!(
+            f,
+            "{kind} race on buf {:#x}: thread {} [{}, {}) vs thread {} [{}, {})",
+            self.buf,
+            self.first.thread,
+            self.first.lo,
+            self.first.hi,
+            self.second.thread,
+            self.second.lo,
+            self.second.hi
+        )
+    }
+}
+
+/// Outcome of one detection pass.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Records analyzed.
+    pub events: usize,
+    /// Distinct recording threads seen.
+    pub threads: usize,
+    /// Unordered conflicting pairs (capped at [`RACE_CAP`]).
+    pub races: Vec<Race>,
+    /// True when the derived graph had a cycle — a malformed or
+    /// hand-tampered trace; ordering is then unreliable and `races` empty.
+    pub cyclic: bool,
+}
+
+impl RaceReport {
+    /// True when the trace is well formed and race-free.
+    pub fn ok(&self) -> bool {
+        !self.cyclic && self.races.is_empty()
+    }
+}
+
+/// At most this many races are reported (one unsynchronized buffer can
+/// otherwise produce quadratically many pairs).
+pub const RACE_CAP: usize = 64;
+
+/// Runs the detector over one drained trace.
+pub fn detect_races(trace: &SyncTrace) -> RaceReport {
+    let n = trace.records.len();
+
+    // Dense thread ids and per-thread program-order sequence numbers.
+    let mut tmap: HashMap<u64, usize> = HashMap::new();
+    let mut tix = vec![0usize; n];
+    let mut seq = vec![0u32; n];
+    let mut next_seq: Vec<u32> = Vec::new();
+    for (i, r) in trace.records.iter().enumerate() {
+        let nt = tmap.len();
+        let t = *tmap.entry(r.thread).or_insert(nt);
+        if t == next_seq.len() {
+            next_seq.push(0);
+        }
+        tix[i] = t;
+        seq[i] = next_seq[t];
+        next_seq[t] += 1;
+    }
+    let nthreads = tmap.len();
+
+    // Happens-before edges, derived from event data (module docs).
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut last_of_thread: Vec<Option<usize>> = vec![None; nthreads];
+    let mut publishes: HashMap<(u64, u32), usize> = HashMap::new();
+    let mut claims: HashMap<(u64, u32), Vec<(usize, usize)>> = HashMap::new();
+    let mut finishes: HashMap<(u64, u32), Vec<(usize, usize)>> = HashMap::new();
+    let mut joins: HashMap<(u64, u32), Vec<usize>> = HashMap::new();
+    let mut posts: HashMap<u64, usize> = HashMap::new();
+    for (i, r) in trace.records.iter().enumerate() {
+        if let Some(p) = last_of_thread[tix[i]] {
+            edges.push((p, i));
+        }
+        last_of_thread[tix[i]] = Some(i);
+        match r.event {
+            SyncEvent::EpochPublish { pool, epoch, .. } => {
+                publishes.insert((pool, epoch), i);
+            }
+            SyncEvent::ClaimAcquire { pool, epoch, index } => {
+                claims.entry((pool, epoch)).or_default().push((index, i));
+            }
+            SyncEvent::FinishIndex {
+                pool,
+                epoch,
+                done_after,
+            } => {
+                finishes
+                    .entry((pool, epoch))
+                    .or_default()
+                    .push((done_after, i));
+            }
+            SyncEvent::PoolJoin { pool, epoch } => {
+                joins.entry((pool, epoch)).or_default().push(i);
+            }
+            SyncEvent::ReducePost { id } => {
+                posts.insert(id, i);
+            }
+            SyncEvent::ReduceComplete { id } => {
+                if let Some(&p) = posts.get(&id) {
+                    edges.push((p, i));
+                }
+            }
+            SyncEvent::BufRead { .. } | SyncEvent::BufWrite { .. } => {}
+        }
+    }
+    for (key, list) in &mut claims {
+        list.sort_unstable();
+        if let Some(&p) = publishes.get(key) {
+            if let Some(&(_, first)) = list.first() {
+                edges.push((p, first));
+            }
+        }
+        for w in list.windows(2) {
+            edges.push((w[0].1, w[1].1));
+        }
+    }
+    for (key, list) in &mut finishes {
+        list.sort_unstable();
+        for w in list.windows(2) {
+            edges.push((w[0].1, w[1].1));
+        }
+        if let Some(&(_, last)) = list.last() {
+            for &j in joins.get(key).into_iter().flatten() {
+                edges.push((last, j));
+            }
+        }
+    }
+
+    // Kahn topological pass assigning vector clocks: vc[e][t] = the number
+    // of thread-t events that happen-before-or-equal e.
+    let mut indeg = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        succ[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut vc: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut done = 0usize;
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        done += 1;
+        order.push(i);
+        let mut clock = std::mem::take(&mut vc[i]);
+        if clock.is_empty() {
+            clock = vec![0; nthreads];
+        }
+        clock[tix[i]] = clock[tix[i]].max(seq[i] + 1);
+        for &s in &succ[i] {
+            if vc[s].is_empty() {
+                vc[s] = vec![0; nthreads];
+            }
+            for (a, b) in vc[s].iter_mut().zip(&clock) {
+                *a = (*a).max(*b);
+            }
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+        vc[i] = clock;
+    }
+    if done < n {
+        return RaceReport {
+            events: n,
+            threads: nthreads,
+            races: Vec::new(),
+            cyclic: true,
+        };
+    }
+
+    // Pairwise scan per buffer. `a` happens-before `b` iff b's clock has
+    // seen a's own-thread position.
+    let hb = |a: usize, b: usize| vc[b][tix[a]] > seq[a];
+    let mut by_buf: HashMap<u64, Vec<(usize, Access)>> = HashMap::new();
+    for &i in &order {
+        let (buf, lo, hi, write) = match trace.records[i].event {
+            SyncEvent::BufRead { buf, lo, hi } => (buf, lo, hi, false),
+            SyncEvent::BufWrite { buf, lo, hi } => (buf, lo, hi, true),
+            _ => continue,
+        };
+        by_buf.entry(buf).or_default().push((
+            i,
+            Access {
+                thread: trace.records[i].thread,
+                lo,
+                hi,
+                write,
+            },
+        ));
+    }
+    let mut races = Vec::new();
+    'scan: for (&buf, accs) in &by_buf {
+        for (x, &(i, a)) in accs.iter().enumerate() {
+            for &(j, b) in &accs[x + 1..] {
+                let conflict =
+                    (a.write || b.write) && a.thread != b.thread && a.lo < b.hi && b.lo < a.hi;
+                if conflict && !hb(i, j) && !hb(j, i) {
+                    races.push(Race {
+                        buf,
+                        first: a,
+                        second: b,
+                    });
+                    if races.len() >= RACE_CAP {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    RaceReport {
+        events: n,
+        threads: nthreads,
+        races,
+        cyclic: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscg_par::sync_trace::{SyncRecord, SyncTrace};
+
+    fn rec(thread: u64, event: SyncEvent) -> SyncRecord {
+        SyncRecord { thread, event }
+    }
+
+    /// A faithful two-thread pool job: publish, two claims, disjoint
+    /// writes, finishes, join. The protocol orders everything that must be
+    /// ordered and the writes are disjoint: clean.
+    fn protocol_trace(lo_hi_a: (usize, usize), lo_hi_b: (usize, usize)) -> SyncTrace {
+        SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::EpochPublish {
+                        pool: 7,
+                        epoch: 1,
+                        njobs: 2,
+                    },
+                ),
+                rec(
+                    0,
+                    SyncEvent::ClaimAcquire {
+                        pool: 7,
+                        epoch: 1,
+                        index: 0,
+                    },
+                ),
+                rec(
+                    0,
+                    SyncEvent::BufWrite {
+                        buf: 0x1000,
+                        lo: lo_hi_a.0,
+                        hi: lo_hi_a.1,
+                    },
+                ),
+                rec(
+                    0,
+                    SyncEvent::FinishIndex {
+                        pool: 7,
+                        epoch: 1,
+                        done_after: 1,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::ClaimAcquire {
+                        pool: 7,
+                        epoch: 1,
+                        index: 1,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::BufWrite {
+                        buf: 0x1000,
+                        lo: lo_hi_b.0,
+                        hi: lo_hi_b.1,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::FinishIndex {
+                        pool: 7,
+                        epoch: 1,
+                        done_after: 2,
+                    },
+                ),
+                rec(0, SyncEvent::PoolJoin { pool: 7, epoch: 1 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn disjoint_chunk_writes_are_clean() {
+        let r = detect_races(&protocol_trace((0, 8), (8, 16)));
+        assert!(r.ok(), "{:?}", r.races);
+        assert_eq!(r.threads, 2);
+    }
+
+    #[test]
+    fn overlapping_chunk_writes_of_one_job_race() {
+        // Claiming orders the claim events, not the closure bodies:
+        // overlapping DisjointMut ranges violate the caller contract and
+        // must be reported even inside one properly-dispatched job.
+        let r = detect_races(&protocol_trace((0, 9), (8, 16)));
+        assert_eq!(r.races.len(), 1);
+        assert!(r.races[0].first.write && r.races[0].second.write);
+    }
+
+    #[test]
+    fn unsynchronized_cross_thread_writes_race() {
+        let t = SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::BufWrite {
+                        buf: 0x2000,
+                        lo: 0,
+                        hi: 4,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::BufWrite {
+                        buf: 0x2000,
+                        lo: 2,
+                        hi: 6,
+                    },
+                ),
+            ],
+        };
+        let r = detect_races(&t);
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn cross_job_accesses_are_ordered_through_join_and_publish() {
+        // Job 1: thread 1 writes the buffer. Join on thread 0, then job 2:
+        // thread 1 reads it. Ordering flows finish → join → (program
+        // order) → publish → claim: no race, though neither access is
+        // program-ordered with the other thread's.
+        let t = SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::EpochPublish {
+                        pool: 3,
+                        epoch: 1,
+                        njobs: 1,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::ClaimAcquire {
+                        pool: 3,
+                        epoch: 1,
+                        index: 0,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::BufWrite {
+                        buf: 0x3000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::FinishIndex {
+                        pool: 3,
+                        epoch: 1,
+                        done_after: 1,
+                    },
+                ),
+                rec(0, SyncEvent::PoolJoin { pool: 3, epoch: 1 }),
+                rec(
+                    0,
+                    SyncEvent::EpochPublish {
+                        pool: 3,
+                        epoch: 2,
+                        njobs: 1,
+                    },
+                ),
+                rec(
+                    2,
+                    SyncEvent::ClaimAcquire {
+                        pool: 3,
+                        epoch: 2,
+                        index: 0,
+                    },
+                ),
+                rec(
+                    2,
+                    SyncEvent::BufRead {
+                        buf: 0x3000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+                rec(
+                    2,
+                    SyncEvent::FinishIndex {
+                        pool: 3,
+                        epoch: 2,
+                        done_after: 1,
+                    },
+                ),
+                rec(0, SyncEvent::PoolJoin { pool: 3, epoch: 2 }),
+            ],
+        };
+        let r = detect_races(&t);
+        assert!(r.ok(), "{:?}", r.races);
+    }
+
+    #[test]
+    fn reduce_post_complete_orders_across_threads() {
+        let ordered = SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::BufWrite {
+                        buf: 0x4000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+                rec(0, SyncEvent::ReducePost { id: 42 }),
+                rec(1, SyncEvent::ReduceComplete { id: 42 }),
+                rec(
+                    1,
+                    SyncEvent::BufRead {
+                        buf: 0x4000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+            ],
+        };
+        assert!(detect_races(&ordered).ok());
+        let unordered = SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::BufWrite {
+                        buf: 0x4000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::BufRead {
+                        buf: 0x4000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(detect_races(&unordered).races.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_never_race() {
+        let t = SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::BufRead {
+                        buf: 0x5000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::BufRead {
+                        buf: 0x5000,
+                        lo: 0,
+                        hi: 8,
+                    },
+                ),
+            ],
+        };
+        assert!(detect_races(&t).ok());
+    }
+
+    #[test]
+    fn log_order_is_not_trusted_across_threads() {
+        // Thread 1's claim is *logged before* the publish (append-order
+        // skew), but the data still orders publish → claim → write, and
+        // the join → second access. Still clean: the detector read the
+        // epochs, not the log positions.
+        let t = SyncTrace {
+            records: vec![
+                rec(
+                    1,
+                    SyncEvent::ClaimAcquire {
+                        pool: 9,
+                        epoch: 1,
+                        index: 0,
+                    },
+                ),
+                rec(
+                    0,
+                    SyncEvent::EpochPublish {
+                        pool: 9,
+                        epoch: 1,
+                        njobs: 1,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::BufWrite {
+                        buf: 0x6000,
+                        lo: 0,
+                        hi: 4,
+                    },
+                ),
+                rec(
+                    1,
+                    SyncEvent::FinishIndex {
+                        pool: 9,
+                        epoch: 1,
+                        done_after: 1,
+                    },
+                ),
+                rec(0, SyncEvent::PoolJoin { pool: 9, epoch: 1 }),
+                rec(
+                    0,
+                    SyncEvent::BufRead {
+                        buf: 0x6000,
+                        lo: 0,
+                        hi: 4,
+                    },
+                ),
+            ],
+        };
+        assert!(detect_races(&t).ok());
+    }
+
+    #[test]
+    fn tampered_cyclic_trace_is_reported_not_crashed() {
+        // Publish program-order-after a claim of its own epoch on the same
+        // thread: the derived graph is cyclic.
+        let t = SyncTrace {
+            records: vec![
+                rec(
+                    0,
+                    SyncEvent::ClaimAcquire {
+                        pool: 1,
+                        epoch: 1,
+                        index: 0,
+                    },
+                ),
+                rec(
+                    0,
+                    SyncEvent::EpochPublish {
+                        pool: 1,
+                        epoch: 1,
+                        njobs: 1,
+                    },
+                ),
+            ],
+        };
+        let r = detect_races(&t);
+        assert!(r.cyclic);
+        assert!(!r.ok());
+    }
+}

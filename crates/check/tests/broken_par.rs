@@ -1,0 +1,64 @@
+//! Negative controls for the model checker: with the `broken-par` feature
+//! the transition system grows two seeded protocol bugs, and the checker
+//! must flag both. A checker that passes the real protocol but cannot see
+//! these would be vacuous. Gated exactly like `pipescg`'s
+//! `broken-variants`: `cargo test -p pscg-check --features broken-par`.
+
+#![cfg(feature = "broken-par")]
+
+use pscg_check::{check_all, Finding, Variant};
+
+/// Notifying `done_cv` without the state lock loses the wakeup that fires
+/// between the submitter's `done` check and its park: the checker must
+/// reach the deadlocked state.
+#[test]
+fn no_lock_notify_deadlocks() {
+    let reports = check_all(Variant::NoLockNotify);
+    assert!(
+        reports
+            .iter()
+            .flat_map(|r| &r.findings)
+            .any(|f| matches!(f, Finding::Deadlock { .. })),
+        "lost-wakeup deadlock not found: {:?}",
+        reports
+            .iter()
+            .map(|r| (r.scenario, r.findings.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        reports
+            .iter()
+            .all(|f| !f.findings.contains(&Finding::StateCap)),
+        "state cap must not mask the verdict"
+    );
+}
+
+/// Without the epoch check a stale worker claims an index of the *new*
+/// claim word and runs its old closure on it: the old index executes
+/// twice and the stolen new index never runs.
+#[test]
+fn stale_epoch_claim_duplicates_and_loses_indices() {
+    let reports = check_all(Variant::StaleEpochClaim);
+    let findings: Vec<&Finding> = reports.iter().flat_map(|r| &r.findings).collect();
+    assert!(
+        findings
+            .iter()
+            .any(|f| matches!(f, Finding::DuplicateExecution { .. })),
+        "duplicate execution not found: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| matches!(f, Finding::LostIndex { .. })),
+        "lost index not found: {findings:?}"
+    );
+}
+
+/// The seeded bugs must not make the *correct* variant flaky: the same
+/// binary still verifies the real protocol.
+#[test]
+fn correct_variant_still_verifies_with_feature_enabled() {
+    for r in check_all(Variant::Correct) {
+        assert!(r.ok(), "{}: {:?}", r.scenario, r.findings);
+    }
+}

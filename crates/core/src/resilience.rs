@@ -44,6 +44,9 @@ pub mod code {
     pub const REPLACEMENT: u64 = 4;
     /// The ladder degraded to a clean PCG restart.
     pub const PCG_RESTART: u64 = 5;
+    /// A still-pending reduction was drained (payload discarded) after the
+    /// retry budget ran out, so the next attempt starts quiescent.
+    pub const REDUCE_DRAIN: u64 = 6;
 }
 
 /// True relative residual `‖b − A x‖ / refn` recomputed from scratch in the
@@ -181,6 +184,15 @@ pub(crate) fn wait_reduction<C: Context + ?Sized>(
             WaitOutcome::Done(v) => return Ok(v),
             WaitOutcome::TimedOut { handle, fault } => {
                 if attempt >= retries {
+                    // Collective discipline: never abandon an in-flight
+                    // reduction — the escalation path (restart) would post
+                    // new collectives over it. Drain it, discard the stale
+                    // payload, and report the timeout from a quiescent
+                    // communicator.
+                    if let Some(h) = handle {
+                        telemetry::note_recovery(ctx, code::REDUCE_DRAIN);
+                        let _ = ctx.wait(h);
+                    }
                     return Err(fault);
                 }
                 attempt += 1;

@@ -22,6 +22,7 @@
 //! lives with the solvers (`pipescg::resilience`).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod inject;
 pub mod plan;

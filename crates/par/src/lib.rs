@@ -21,8 +21,16 @@
 //! concurrently) never deadlock: the pool admits one job at a time and any
 //! contending submitter simply runs its job inline on its own thread —
 //! legal precisely because chunking is thread-count independent.
+//!
+//! The dispatch protocol itself is verified two ways (DESIGN.md §9): an
+//! exhaustive model checker in `pscg-check` explores every interleaving of
+//! a faithful transition-system model at bounded configurations, and the
+//! [`sync_trace`] module records the protocol's synchronization events plus
+//! buffer accesses at runtime so a vector-clock race detector can check the
+//! disjoint-write contract on real kernel schedules.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
@@ -58,6 +66,9 @@ struct State {
 }
 
 struct Shared {
+    /// Process-unique pool id, tagging this pool's [`sync_trace`] events so
+    /// the race detector never conflates epochs of distinct pools.
+    id: u64,
     state: Mutex<State>,
     work_cv: Condvar,
     done_cv: Condvar,
@@ -89,8 +100,10 @@ impl Pool {
     /// counts as one, so `threads - 1` workers are spawned; `0` is clamped
     /// to `1`).
     pub fn new(threads: usize) -> Pool {
+        static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(State {
                 epoch: 0,
                 job: None,
@@ -119,6 +132,12 @@ impl Pool {
     #[inline]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Process-unique id tagging this pool's [`sync_trace`] events.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.shared.id
     }
 
     /// Runs `f(i)` for every `i in 0..njobs`, returning when all are done.
@@ -178,10 +197,15 @@ impl Pool {
             self.shared.work_cv.notify_all();
             st.epoch
         };
+        sync_trace::record(sync_trace::SyncEvent::EpochPublish {
+            pool: self.shared.id,
+            epoch,
+            njobs,
+        });
         // The submitter works too.
         while let Some(i) = self.shared.claim_index(epoch, njobs) {
             f(i);
-            self.shared.finish_index(njobs);
+            self.shared.finish_index(epoch, njobs);
         }
         let mut st = self.shared.state.lock().unwrap();
         while self.shared.done.load(Ordering::Acquire) < njobs {
@@ -189,6 +213,11 @@ impl Pool {
         }
         // Drop the job so the stale closure pointer can never be re-read.
         st.job = None;
+        drop(st);
+        sync_trace::record(sync_trace::SyncEvent::PoolJoin {
+            pool: self.shared.id,
+            epoch,
+        });
     }
 
     /// Runs `f(i)` for `i in 0..njobs` and collects the results **in index
@@ -248,7 +277,14 @@ impl Shared {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return Some(i),
+                Ok(_) => {
+                    sync_trace::record(sync_trace::SyncEvent::ClaimAcquire {
+                        pool: self.id,
+                        epoch,
+                        index: i,
+                    });
+                    return Some(i);
+                }
                 Err(now) => cur = now,
             }
         }
@@ -257,8 +293,14 @@ impl Shared {
     /// Reports one claimed index complete; the last finisher wakes the
     /// submitter. Locking the state first keeps the notify from racing the
     /// submitter between its `done` check and its wait.
-    fn finish_index(&self, njobs: usize) {
-        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == njobs {
+    fn finish_index(&self, epoch: u32, njobs: usize) {
+        let done_after = self.done.fetch_add(1, Ordering::AcqRel) + 1;
+        sync_trace::record(sync_trace::SyncEvent::FinishIndex {
+            pool: self.id,
+            epoch,
+            done_after,
+        });
+        if done_after == njobs {
             let _st = self.state.lock().unwrap();
             self.done_cv.notify_all();
         }
@@ -288,7 +330,7 @@ fn worker_loop(shared: &Shared) {
             // in `run` at least until `finish_index` below — the closure
             // outlives this dereference.
             unsafe { (*job.f.0)(i) };
-            shared.finish_index(job.njobs);
+            shared.finish_index(epoch, job.njobs);
         }
     }
 }
@@ -467,6 +509,176 @@ pub mod stats {
     }
 }
 
+/// Synchronization-event recording for the vector-clock race detector.
+///
+/// When enabled (off by default — one relaxed atomic load per event site
+/// otherwise), the pool's dispatch protocol and the kernels' buffer
+/// accesses append [`SyncRecord`]s to a process-global log:
+///
+/// * protocol events — `EpochPublish` (job published under the state
+///   lock), `ClaimAcquire` (successful claim-word CAS), `FinishIndex`
+///   (done-counter increment), `PoolJoin` (submitter observed all indices
+///   done) — carry the data (`pool`, `epoch`, `index`/`done_after`) that
+///   determines the protocol's happens-before edges, so the detector never
+///   has to trust cross-thread log order (two threads may append their
+///   records in the opposite order of their CASes);
+/// * buffer events — `BufRead` / `BufWrite` with the storage address and
+///   half-open element range — are emitted from [`DisjointMut::range`] and
+///   the instrumented kernels, and `ReducePost` / `ReduceComplete` from
+///   the engine's completion handling.
+///
+/// Within one thread the log order is program order (each thread appends
+/// its own events in sequence); that is the only ordering the detector
+/// reads off the log itself. Recording serializes on a mutex, which may
+/// perturb the schedule being observed — like any dynamic race detector,
+/// findings are per observed schedule; exhaustiveness over schedules is
+/// the model checker's job (`pscg-check`).
+pub mod sync_trace {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// One synchronization or memory-access event.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SyncEvent {
+        /// A submitter published a job: epoch bumped, done reset, claim
+        /// word rearmed, all under the pool's state lock.
+        EpochPublish {
+            /// Process-unique pool id.
+            pool: u64,
+            /// The new epoch.
+            epoch: u32,
+            /// Index space of the published job.
+            njobs: usize,
+        },
+        /// A thread won the claim-word CAS for one job index.
+        ClaimAcquire {
+            /// Process-unique pool id.
+            pool: u64,
+            /// Epoch tag the CAS verified.
+            epoch: u32,
+            /// The claimed index.
+            index: usize,
+        },
+        /// A thread reported a claimed index complete.
+        FinishIndex {
+            /// Process-unique pool id.
+            pool: u64,
+            /// Epoch of the finished job.
+            epoch: u32,
+            /// Value of the done counter *after* this increment (1-based),
+            /// which totally orders the finishes of one epoch.
+            done_after: usize,
+        },
+        /// The submitter observed `done == njobs` and reclaimed the job
+        /// slot — everything the workers did is now ordered before it.
+        PoolJoin {
+            /// Process-unique pool id.
+            pool: u64,
+            /// Epoch that completed.
+            epoch: u32,
+        },
+        /// A read of `[lo, hi)` of the buffer with storage address `buf`.
+        BufRead {
+            /// Storage address (the same identity `BufId` interning uses).
+            buf: u64,
+            /// First element read.
+            lo: usize,
+            /// One past the last element read.
+            hi: usize,
+        },
+        /// A write of `[lo, hi)` of the buffer with storage address `buf`.
+        BufWrite {
+            /// Storage address (the same identity `BufId` interning uses).
+            buf: u64,
+            /// First element written.
+            lo: usize,
+            /// One past the last element written.
+            hi: usize,
+        },
+        /// A non-blocking reduction was posted (engine completion handling).
+        ReducePost {
+            /// Engine-assigned reduction handle.
+            id: u64,
+        },
+        /// A posted reduction's completion was consumed.
+        ReduceComplete {
+            /// Engine-assigned reduction handle.
+            id: u64,
+        },
+    }
+
+    /// One logged event with the ordinal of the thread that emitted it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SyncRecord {
+        /// Process-wide thread ordinal (stable per OS thread).
+        pub thread: u64,
+        /// What happened.
+        pub event: SyncEvent,
+    }
+
+    /// A drained synchronization trace.
+    #[derive(Debug, Clone, Default)]
+    pub struct SyncTrace {
+        /// The records, in global append order (per-thread subsequences
+        /// are in program order; cross-thread order is not meaningful).
+        pub records: Vec<SyncRecord>,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static LOG: Mutex<Vec<SyncRecord>> = Mutex::new(Vec::new());
+
+    /// Turns recording on or off. Enabling does not clear the log; use
+    /// [`drain`] to start a fresh observation window.
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Release);
+    }
+
+    /// True when events are being recorded.
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event (no-op unless recording is enabled).
+    #[inline]
+    pub fn record(event: SyncEvent) {
+        if !is_enabled() {
+            return;
+        }
+        let rec = SyncRecord {
+            thread: thread_ordinal(),
+            event,
+        };
+        LOG.lock().unwrap().push(rec);
+    }
+
+    /// Convenience: records a [`SyncEvent::BufRead`] of a slice range.
+    #[inline]
+    pub fn record_read<T>(buf: &[T], lo: usize, hi: usize) {
+        record(SyncEvent::BufRead {
+            buf: buf.as_ptr() as u64,
+            lo,
+            hi,
+        });
+    }
+
+    /// Takes the accumulated records, leaving the log empty.
+    pub fn drain() -> SyncTrace {
+        SyncTrace {
+            records: std::mem::take(&mut *LOG.lock().unwrap()),
+        }
+    }
+
+    /// Stable per-OS-thread ordinal (allocation order, process-wide).
+    pub fn thread_ordinal() -> u64 {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        thread_local! {
+            static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+        }
+        ORDINAL.with(|o| *o)
+    }
+}
+
 /// Number of fixed-size chunks covering `len` items (`0` for an empty range).
 #[inline]
 pub fn chunk_count(len: usize, chunk: usize) -> usize {
@@ -521,6 +733,10 @@ impl<'a, T> DisjointMut<'a, T> {
     /// # Safety
     /// No two live sub-slices may overlap; the caller must hand each range
     /// to at most one concurrent job.
+    ///
+    /// When [`sync_trace`] recording is enabled, every call logs a
+    /// `BufWrite` event, so the vector-clock race detector checks exactly
+    /// this contract on the observed schedule.
     // The `&mut`-from-`&self` shape is the point of this type: it is the
     // caller-enforced disjointness cell the chunk jobs share (same idea as
     // `UnsafeCell`), hence the lint exemption.
@@ -528,7 +744,15 @@ impl<'a, T> DisjointMut<'a, T> {
     #[inline]
     pub unsafe fn range(&self, lo: usize, hi: usize) -> &mut [T] {
         debug_assert!(lo <= hi && hi <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+        sync_trace::record(sync_trace::SyncEvent::BufWrite {
+            buf: self.ptr as u64,
+            lo,
+            hi,
+        });
+        // SAFETY: `lo <= hi <= len` bounds the range inside the wrapped
+        // slice; non-overlap of live sub-slices is the caller contract
+        // stated above, so no two `&mut` views alias.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
     }
 }
 
@@ -631,6 +855,66 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn sync_trace_records_the_dispatch_protocol() {
+        // Recording and the log are process-global, so this is the one
+        // test that drains it (a second drainer could steal our events);
+        // concurrent tests may still interleave their own pools' events,
+        // hence the filter by pool id below.
+        let silent = Pool::new(2);
+        silent.run(4, &|_| {});
+        let pool = Pool::new(3);
+        sync_trace::set_enabled(true);
+        pool.run(5, &|_| {});
+        sync_trace::set_enabled(false);
+        let trace = sync_trace::drain();
+        assert!(
+            trace.records.iter().all(|r| match r.event {
+                sync_trace::SyncEvent::EpochPublish { pool: p, .. } => p != silent.id(),
+                _ => true,
+            }),
+            "a pool used while recording was disabled left events"
+        );
+        let mine: Vec<_> = trace
+            .records
+            .iter()
+            .filter(|r| match r.event {
+                sync_trace::SyncEvent::EpochPublish { pool: p, .. }
+                | sync_trace::SyncEvent::ClaimAcquire { pool: p, .. }
+                | sync_trace::SyncEvent::FinishIndex { pool: p, .. }
+                | sync_trace::SyncEvent::PoolJoin { pool: p, .. } => p == pool.id(),
+                _ => false,
+            })
+            .collect();
+        let claims: Vec<usize> = mine
+            .iter()
+            .filter_map(|r| match r.event {
+                sync_trace::SyncEvent::ClaimAcquire { index, .. } => Some(index),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = claims.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "every index claimed once");
+        let finishes = mine
+            .iter()
+            .filter(|r| matches!(r.event, sync_trace::SyncEvent::FinishIndex { .. }))
+            .count();
+        assert_eq!(finishes, 5);
+        assert_eq!(
+            mine.iter()
+                .filter(|r| matches!(r.event, sync_trace::SyncEvent::EpochPublish { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            mine.iter()
+                .filter(|r| matches!(r.event, sync_trace::SyncEvent::PoolJoin { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -507,6 +507,7 @@ impl<'a> SimCtx<'a> {
             .remove(&h.id)
             .expect("wait on unknown or already-completed ReduceHandle");
         self.record(Op::ArWait { id: h.id });
+        pscg_par::sync_trace::record(pscg_par::sync_trace::SyncEvent::ReduceComplete { id: h.id });
         obs::span::window_close(h.id);
         if self.injector.is_some() {
             self.last_completed = Some(vals.clone());
@@ -682,6 +683,7 @@ impl Context for SimCtx<'_> {
         let mut stored = vals.to_vec();
         self.inject_data(FaultSite::Reduce, &mut stored);
         self.inflight.insert(id, stored);
+        pscg_par::sync_trace::record(pscg_par::sync_trace::SyncEvent::ReducePost { id });
         obs::span::window_open(id);
         ReduceHandle { id }
     }
@@ -703,6 +705,10 @@ impl Context for SimCtx<'_> {
             }
             *ticks -= 1;
             let id = h.id;
+            self.record(Op::ArTimeout {
+                id,
+                retriable: true,
+            });
             return WaitOutcome::TimedOut {
                 handle: Some(h),
                 fault: ReduceTimeout {
@@ -714,16 +720,22 @@ impl Context for SimCtx<'_> {
         match self.injector.as_mut().unwrap().completion_fate() {
             None => WaitOutcome::Done(self.complete_wait(h)),
             Some(CompletionFault::Drop) => {
-                // The reduction's values are lost. Retire the handle (the
-                // schedule analyzer still sees a well-formed post/wait
-                // pair) and surface a non-retriable timeout — never a
-                // hang, never silent data.
+                // The reduction's values are lost. Retire the handle and
+                // record a non-retriable timeout op — the schedule
+                // analyzer sees the dropped completion as what it is (the
+                // timeout closes the overlap window; a plain `ArWait`
+                // would disguise the fault as a clean completion) — and
+                // surface the timeout to the solver: never a hang, never
+                // silent data.
                 self.note_fault(FaultSite::Wait);
                 let id = h.id;
                 self.inflight
                     .remove(&id)
                     .expect("wait on unknown or already-completed ReduceHandle");
-                self.record(Op::ArWait { id });
+                self.record(Op::ArTimeout {
+                    id,
+                    retriable: false,
+                });
                 obs::span::window_close(id);
                 WaitOutcome::TimedOut {
                     handle: None,
@@ -740,6 +752,10 @@ impl Context for SimCtx<'_> {
                 }
                 self.delayed.insert(h.id, ticks - 1);
                 let id = h.id;
+                self.record(Op::ArTimeout {
+                    id,
+                    retriable: true,
+                });
                 WaitOutcome::TimedOut {
                     handle: Some(h),
                     fault: ReduceTimeout {

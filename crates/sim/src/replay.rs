@@ -151,6 +151,18 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
             // it is a *correctness* defect (see the schedule analyzer), not
             // a timing event.
             Op::RedRead { .. } => {}
+            // A fault-injected timeout: the model does not price fault
+            // recovery. A dropped completion (non-retriable) retires its
+            // handle — the posted cost stays in `allreduce_total` but is
+            // never exposed; a delayed one leaves the handle pending for
+            // the eventual successful wait.
+            Op::ArTimeout { id, retriable } => {
+                if !retriable {
+                    pending
+                        .remove(&id)
+                        .expect("ArTimeout without matching ArPost in trace");
+                }
+            }
             Op::ResCheck { relres } => {
                 res.residual_timeline.push((t, relres));
             }

@@ -128,6 +128,18 @@ pub enum Op {
         /// Handle from [`Op::ArPost`].
         id: u64,
     },
+    /// A wait attempt that timed out under an injected completion fault
+    /// (`crates/fault`): `retriable: true` is a *delayed* completion (the
+    /// handle stays live and a later wait will succeed), `retriable: false`
+    /// is a *dropped* completion (the handle is retired; the posted values
+    /// are gone and the solver must re-post to recover). The fault-aware
+    /// hazard analysis keys on this op; clean runs never record it.
+    ArTimeout {
+        /// Handle from [`Op::ArPost`].
+        id: u64,
+        /// Whether the completion will still arrive on a retried wait.
+        retriable: bool,
+    },
     /// Read of the *result* of a posted-but-not-yet-waited non-blocking
     /// allreduce (the engine hands back rank-local partial values).
     ///
@@ -209,6 +221,12 @@ impl Op {
     /// A wait for the non-blocking allreduce `id`.
     pub fn wait(id: u64) -> Op {
         Op::ArWait { id }
+    }
+
+    /// A timed-out wait on the non-blocking allreduce `id` (fault-injected
+    /// completion schedules only).
+    pub fn timeout(id: u64, retriable: bool) -> Op {
+        Op::ArTimeout { id, retriable }
     }
 
     /// A blocking allreduce on the world communicator.
@@ -315,14 +333,21 @@ impl OpTrace {
     /// and its wait are exactly the ones overlappable with that collective.
     ///
     /// Unmatched posts (posted but never waited) produce no edge here; the
-    /// analyzer reports them as leaked collectives.
+    /// analyzer reports them as leaked collectives. A non-retriable
+    /// [`Op::ArTimeout`] (dropped completion) closes its window the same
+    /// way a wait does — the handle is retired at that point — while a
+    /// retriable timeout leaves the window open until the successful wait.
     pub fn completion_edges(&self) -> Vec<(usize, usize)> {
         let mut open: Vec<(u64, usize)> = Vec::new();
         let mut edges = Vec::new();
         for (i, op) in self.ops.iter().enumerate() {
             match op {
                 Op::ArPost { id, .. } => open.push((*id, i)),
-                Op::ArWait { id } => {
+                Op::ArWait { id }
+                | Op::ArTimeout {
+                    id,
+                    retriable: false,
+                } => {
                     if let Some(k) = open.iter().position(|(oid, _)| oid == id) {
                         let (_, post_idx) = open.swap_remove(k);
                         edges.push((post_idx, i));

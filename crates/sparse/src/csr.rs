@@ -268,6 +268,7 @@ impl CsrMatrix {
         let out = DisjointMut::new(y);
         pool.run(nchunks, &|c| {
             let (lo, hi) = (bounds[c], bounds[c + 1]);
+            pscg_par::sync_trace::record_read(x, 0, x.len());
             // SAFETY: partition boundaries are strictly increasing, so row
             // ranges (and the y sub-slices) are pairwise disjoint.
             let yy = unsafe { out.range(lo, hi) };
@@ -306,6 +307,7 @@ impl CsrMatrix {
         let out = DisjointMut::new(y);
         pool.run(bounds.len() - 1, &|c| {
             let (lo, hi) = (bounds[c], bounds[c + 1]);
+            pscg_par::sync_trace::record_read(x, 0, x.len());
             // SAFETY: chunk row ranges are pairwise disjoint.
             let yy = unsafe { out.range(lo, hi) };
             self.spmv_rows_serial(row_lo + lo, row_lo + hi, x, yy);

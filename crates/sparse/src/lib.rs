@@ -24,6 +24,7 @@
 // suggests obscure the row/column structure.
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod coo;
 pub mod csr;

@@ -143,6 +143,7 @@ impl MultiVector {
         let other_cols = other.ncols;
         let dst = DisjointMut::new(&mut self.data);
         run_row_chunks(pool, n, &|clo, chi| {
+            trace_read(other.data());
             for j in 0..ncols {
                 // SAFETY: each chunk writes rows [clo, chi) of each column;
                 // chunks are disjoint.
@@ -177,6 +178,7 @@ impl MultiVector {
         let n = self.len;
         let dst = DisjointMut::new(y);
         run_row_chunks(pool, n, &|clo, chi| {
+            trace_read(self.data());
             // SAFETY: chunks are disjoint.
             let d = unsafe { dst.range(clo, chi) };
             for (k, &coef) in a.iter().enumerate() {
@@ -202,6 +204,7 @@ impl MultiVector {
         let n = self.len;
         let dst = DisjointMut::new(y);
         run_row_chunks(pool, n, &|clo, chi| {
+            trace_read(self.data());
             // SAFETY: chunks are disjoint.
             let d = unsafe { dst.range(clo, chi) };
             for (k, &coef) in a.iter().enumerate() {
@@ -247,6 +250,8 @@ impl MultiVector {
         let prev_cols = prev.ncols;
         let dst = DisjointMut::new(&mut self.data);
         run_row_chunks(pool, n, &|clo, chi| {
+            trace_read(src.data());
+            trace_read(prev.data());
             for j in 0..ncols {
                 // SAFETY: chunks are disjoint.
                 let d = unsafe { dst.range(j * n + clo, j * n + chi) };
@@ -279,6 +284,8 @@ impl MultiVector {
         let n = self.len;
         let out = DisjointMut::new(dst);
         run_row_chunks(pool, n, &|clo, chi| {
+            trace_read(self.data());
+            trace_read(src);
             // SAFETY: chunks are disjoint.
             let d = unsafe { out.range(clo, chi) };
             d.copy_from_slice(&src[clo..chi]);
@@ -374,6 +381,8 @@ impl MultiVector {
             pool.run(nchunks, &|c| {
                 let (clo, chi) = chunk_range(hi - lo, chunk, c);
                 let (clo, chi) = (lo + clo, lo + chi);
+                trace_read(self.data());
+                trace_read(v);
                 // SAFETY: stripes are disjoint per chunk index.
                 let out = unsafe { slots.range(c * ncols, (c + 1) * ncols) };
                 for (oj, j) in out.iter_mut().zip(0..ncols) {
@@ -399,6 +408,17 @@ fn run_row_chunks(pool: &Pool, n: usize, body: &(dyn Fn(usize, usize) + Sync)) {
         let (clo, chi) = chunk_range(n, chunk, c);
         body(clo, chi);
     });
+}
+
+/// Records a whole-buffer read for the race detector (no-op unless
+/// [`pscg_par::sync_trace`] recording is on). Reads are deliberately
+/// over-approximated to the full buffer: source operands are shared `&`
+/// borrows, so the only conflicts a read can participate in are against
+/// writes from *other* kernel invocations — and those are whole-buffer
+/// ordered by the pool's publish/join protocol, not by row ranges.
+#[inline]
+fn trace_read(buf: &[f64]) {
+    pscg_par::sync_trace::record_read(buf, 0, buf.len());
 }
 
 /// Chunk-blocked Gram product `x[:, xr]ᵀ · y[:, yr]` over rows `[lo, hi)`.
@@ -428,6 +448,8 @@ fn gram_chunked(
         pool.run(nchunks, &|c| {
             let (clo, chi) = chunk_range(hi - lo, chunk, c);
             let (clo, chi) = (lo + clo, lo + chi);
+            trace_read(x.data());
+            trace_read(y.data());
             // SAFETY: one chunk index owns exactly one slot.
             let g = &mut unsafe { slots.range(c, c + 1) }[0];
             for (gi, i) in xr.clone().enumerate() {
