@@ -1,19 +1,35 @@
-//! CI lint: fail the build when the method table in
-//! `crates/core/src/methods/mod.rs` disagrees with
-//! `costmodel::table1()`. Exits with the doc-table finding code
-//! (see [`pscg_analysis::exit_codes`]) on disagreement.
+//! CI lint: fail the build when a human-written doc table drifts from the
+//! code it documents — the method table in `crates/core/src/methods/mod.rs`
+//! vs `costmodel::table1()`, and the reserved exit-code table in
+//! `pscg_analysis::exit_codes` vs `FindingClass` itself. Exits with the
+//! doc-table finding code (see [`pscg_analysis::exit_codes`]) on
+//! disagreement.
 
 use pscg_analysis::FindingClass;
 
 fn main() {
+    let mut failed = false;
     match pscg_analysis::doc_lint::check() {
         Ok(summary) => println!("lint-table: {summary}"),
         Err(errors) => {
+            failed = true;
             eprintln!("lint-table: doc table disagrees with costmodel::table1():");
             for e in errors {
                 eprintln!("  - {e}");
             }
-            std::process::exit(FindingClass::DocTable.exit_code());
         }
+    }
+    match pscg_analysis::doc_lint::check_exit_codes() {
+        Ok(summary) => println!("lint-table: {summary}"),
+        Err(errors) => {
+            failed = true;
+            eprintln!("lint-table: exit-code doc table disagrees with FindingClass:");
+            for e in errors {
+                eprintln!("  - {e}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(FindingClass::DocTable.exit_code());
     }
 }

@@ -152,4 +152,77 @@ mod tests {
         let t = trace(vec![Op::post(0, 2), Op::spmv(0)]);
         assert!(ScheduleDag::build(&t).windows.is_empty());
     }
+
+    #[test]
+    fn empty_trace_yields_empty_dag() {
+        let t = trace(vec![]);
+        let dag = ScheduleDag::build(&t);
+        assert_eq!(dag.len, 0);
+        assert!(dag.windows.is_empty());
+        assert_eq!(dag.window_over(0), None);
+    }
+
+    /// A post as the very last op (solver aborted mid-window): the earlier
+    /// completed window must survive, the dangling post must not produce a
+    /// window, and no index is "covered" past the trace end.
+    #[test]
+    fn post_without_wait_at_trace_end() {
+        let t = trace(vec![
+            Op::post(0, 4),
+            Op::spmv(0),
+            Op::wait(0),
+            Op::post(1, 4),
+        ]);
+        let dag = ScheduleDag::build(&t);
+        assert_eq!(
+            dag.windows,
+            vec![Window {
+                id: 0,
+                post: 0,
+                wait: 2
+            }]
+        );
+        assert_eq!(dag.window_over(3), None);
+        assert_eq!(dag.window_over(4), None);
+    }
+
+    /// Solvers reuse a small set of collective handles across iterations;
+    /// each wait must pair with the earliest still-open post of its id, so
+    /// reuse yields one window per iteration, not crossed or merged spans.
+    #[test]
+    fn duplicate_id_reuse_across_iterations_pairs_in_order() {
+        let t = trace(vec![
+            Op::post(7, 4), // iteration 0
+            Op::spmv(0),
+            Op::wait(7),
+            Op::post(7, 4), // iteration 1, same handle id
+            Op::pc(0, 1.0, 8.0, 0),
+            Op::spmv(0),
+            Op::wait(7),
+        ]);
+        let dag = ScheduleDag::build(&t);
+        assert_eq!(
+            dag.windows,
+            vec![
+                Window {
+                    id: 7,
+                    post: 0,
+                    wait: 2
+                },
+                Window {
+                    id: 7,
+                    post: 3,
+                    wait: 6
+                }
+            ]
+        );
+        // Each occurrence is its own window with its own kernel census.
+        let k0 = dag.kernels(&t, &dag.windows[0]);
+        let k1 = dag.kernels(&t, &dag.windows[1]);
+        assert_eq!((k0.spmvs, k0.pcs), (1, 0));
+        assert_eq!((k1.spmvs, k1.pcs), (1, 1));
+        // window_over resolves an index inside the second span to the
+        // second window even though the ids collide.
+        assert_eq!(dag.window_over(4).unwrap().post, 3);
+    }
 }

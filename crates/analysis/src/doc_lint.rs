@@ -11,9 +11,16 @@
 //!
 //! Exposed as a unit test here and as the `lint-table` binary so CI can
 //! fail the build on disagreement.
+//!
+//! The same binary also keeps the *reserved exit-code* doc table in
+//! [`crate::exit_codes`] honest ([`check_exit_codes`]): every
+//! [`crate::FindingClass`] must appear in that table with its actual code,
+//! and the table must not reserve codes the enum does not have.
 
 use pipescg::costmodel::table1;
 use std::path::Path;
+
+use crate::FindingClass;
 
 /// The doc table lives in the sibling `pipescg` crate; resolved relative
 /// to this crate's manifest so the lint works from any working directory.
@@ -140,6 +147,89 @@ pub fn check_source(source: &str) -> Result<String, Vec<String>> {
     }
 }
 
+/// The exit-code doc table lives in this crate's own source; resolved
+/// relative to the manifest like [`DOC_TABLE_SOURCE`].
+const EXIT_CODES_SOURCE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/exit_codes.rs");
+
+/// Parses the reserved-code table out of `exit_codes.rs`' module docs:
+/// `(code, variant)` pairs from rows like
+/// ``//! | 16 | [`FindingClass::Ir`] | … |``.
+pub fn parse_exit_code_table(source: &str) -> Vec<(i32, String)> {
+    let mut rows = Vec::new();
+    for line in source.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix("//! |") else {
+            continue;
+        };
+        let cols: Vec<&str> = rest.split('|').map(str::trim).collect();
+        let (Some(code), Some(class)) = (cols.first(), cols.get(1)) else {
+            continue;
+        };
+        let Ok(code) = code.parse::<i32>() else {
+            continue;
+        };
+        let Some(variant) = class
+            .split("FindingClass::")
+            .nth(1)
+            .and_then(|r| r.split(['`', ']']).next())
+        else {
+            continue;
+        };
+        rows.push((code, variant.to_string()));
+    }
+    rows
+}
+
+/// Lints the reserved exit-code doc table against [`FindingClass`] itself:
+/// every class must be documented with its actual code, and the table must
+/// not reserve codes the enum no longer has.
+pub fn check_exit_codes() -> Result<String, Vec<String>> {
+    let source = std::fs::read_to_string(Path::new(EXIT_CODES_SOURCE))
+        .map_err(|e| vec![format!("cannot read {EXIT_CODES_SOURCE}: {e}")])?;
+    check_exit_codes_source(&source)
+}
+
+/// The exit-code lint body, separated from file I/O for testability.
+pub fn check_exit_codes_source(source: &str) -> Result<String, Vec<String>> {
+    let table = parse_exit_code_table(source);
+    let mut errors = Vec::new();
+    if table.is_empty() {
+        errors.push("no reserved-code table found in exit_codes.rs".to_string());
+    }
+    for class in FindingClass::ALL {
+        let variant = format!("{class:?}");
+        match table.iter().find(|(_, v)| *v == variant) {
+            None => errors.push(format!(
+                "FindingClass::{variant} (code {}) missing from the reserved-code doc table",
+                class.exit_code()
+            )),
+            Some((code, _)) if *code != class.exit_code() => errors.push(format!(
+                "doc table reserves code {code} for FindingClass::{variant}, exit_code() says {}",
+                class.exit_code()
+            )),
+            Some(_) => {}
+        }
+    }
+    for (code, variant) in &table {
+        if !FindingClass::ALL
+            .iter()
+            .any(|c| format!("{c:?}") == *variant)
+        {
+            errors.push(format!(
+                "doc table reserves code {code} for unknown class FindingClass::{variant}"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(format!(
+            "exit-code table OK: {} classes documented",
+            table.len()
+        ))
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +280,49 @@ mod tests {
     fn unparseable_cadence_is_an_error() {
         assert!(cadence_closed_form("2s, blocking").is_err());
         assert!(cadence_closed_form("—").unwrap().is_none());
+    }
+}
+
+#[cfg(test)]
+mod exit_code_table_tests {
+    use super::*;
+
+    /// The shipped reserved-code table must pass its own lint.
+    #[test]
+    fn shipped_exit_code_table_matches_the_enum() {
+        match check_exit_codes() {
+            Ok(summary) => assert!(summary.contains("7 classes"), "{summary}"),
+            Err(errors) => panic!("exit-code lint failed:\n{}", errors.join("\n")),
+        }
+    }
+
+    #[test]
+    fn drifted_or_missing_codes_are_caught() {
+        // Ir documented with the wrong code, Race missing entirely.
+        let source = "\
+//! | code | class | meaning |
+//! |---|---|---|
+//! | 10 | [`FindingClass::Hazard`]    | hazard |
+//! | 11 | [`FindingClass::Structure`] | structure |
+//! | 12 | [`FindingClass::Probe`]     | probe |
+//! | 13 | [`FindingClass::DocTable`]  | doc table |
+//! | 14 | [`FindingClass::Model`]     | model |
+//! | 15 | [`FindingClass::Ir`]        | ir |
+";
+        let errors = check_exit_codes_source(source).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("Ir")), "{errors:?}");
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("Race") && e.contains("missing")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_reserved_class_is_caught() {
+        let source = "//! | 42 | [`FindingClass::Mystery`] | ? |\n";
+        let errors = check_exit_codes_source(source).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("Mystery")), "{errors:?}");
     }
 }

@@ -3,7 +3,8 @@
 //! parsing output.
 //!
 //! The analyzer/checker binaries (`lint-table`, `repro
-//! --verify-schedule`, `repro --verify-concurrency`) reserve:
+//! --verify-schedule`, `repro --verify-concurrency`, `repro --verify-ir`)
+//! reserve:
 //!
 //! | code | class | meaning |
 //! |---|---|---|
@@ -13,6 +14,7 @@
 //! | 13 | [`FindingClass::DocTable`]  | doc method-table / cost-model disagreement |
 //! | 14 | [`FindingClass::Model`]     | model checker found a protocol violation |
 //! | 15 | [`FindingClass::Race`]      | race detector found unordered accesses |
+//! | 16 | [`FindingClass::Ir`]        | method IR failed static verification or trace conformance |
 //!
 //! Codes 1 (generic failure) and 2 (usage error) keep their conventional
 //! meanings. When a run produces several classes, the process exits with
@@ -39,9 +41,24 @@ pub enum FindingClass {
     Model,
     /// The `pscg-check` race detector found unordered conflicting accesses.
     Race,
+    /// A method's declarative IR failed static verification (dataflow,
+    /// structure derivation) or trace conformance (`pscg-ir`).
+    Ir,
 }
 
 impl FindingClass {
+    /// Every finding class, in severity order (matching the doc table
+    /// above; `doc_lint::check_exit_codes` keeps the two in sync).
+    pub const ALL: [FindingClass; 7] = [
+        FindingClass::Hazard,
+        FindingClass::Structure,
+        FindingClass::Probe,
+        FindingClass::DocTable,
+        FindingClass::Model,
+        FindingClass::Race,
+        FindingClass::Ir,
+    ];
+
     /// The reserved process exit code of this class.
     pub fn exit_code(self) -> i32 {
         match self {
@@ -51,6 +68,7 @@ impl FindingClass {
             FindingClass::DocTable => 13,
             FindingClass::Model => 14,
             FindingClass::Race => 15,
+            FindingClass::Ir => 16,
         }
     }
 }
@@ -64,6 +82,7 @@ impl fmt::Display for FindingClass {
             FindingClass::DocTable => "doc-table",
             FindingClass::Model => "model",
             FindingClass::Race => "race",
+            FindingClass::Ir => "ir",
         };
         write!(f, "{name}")
     }
@@ -81,21 +100,14 @@ mod tests {
 
     #[test]
     fn codes_are_distinct_and_reserved() {
-        let all = [
-            FindingClass::Hazard,
-            FindingClass::Structure,
-            FindingClass::Probe,
-            FindingClass::DocTable,
-            FindingClass::Model,
-            FindingClass::Race,
-        ];
+        let all = FindingClass::ALL;
         let codes: Vec<i32> = all.iter().map(|c| c.exit_code()).collect();
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), all.len(), "codes collide: {codes:?}");
         // Stay clear of the conventional 0/1/2 and of the shell's 126+.
-        assert!(codes.iter().all(|&c| (10..=15).contains(&c)));
+        assert!(codes.iter().all(|&c| (10..=16).contains(&c)));
     }
 
     #[test]

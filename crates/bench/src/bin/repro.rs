@@ -25,6 +25,18 @@
 //! (findings exit 15). With no experiments named, the flag runs the
 //! verification alone.
 //!
+//! `--verify-ir` runs the declarative-IR verifier (`pscg-ir`): the static
+//! passes — buffer dataflow (read-before-wait, writes into open overlap
+//! windows), Table I structure derivation cross-checked against the
+//! analyzer and the cost model, overlap-capacity reporting — over every
+//! method's IR *without executing a solve*, then one traced solve per
+//! method whose recorded schedule is replayed op-for-op against the IR.
+//! Any static finding or conformance divergence exits 16. With no
+//! experiments named, the flag runs the verification alone.
+//! `--ir-broken MODE|all` (requires building with `--features broken-ir`)
+//! instead runs the verifier against the deliberately broken specs and
+//! exits 16 when every planted bug is rejected — the non-vacuousness gate.
+//!
 //! `--telemetry DIR` (or `PSCG_TELEMETRY=DIR`) runs every method once on
 //! the scale's Poisson problem with runtime telemetry enabled and writes
 //! per-method Chrome trace-event files (`DIR/<method>.trace.json`, open in
@@ -125,6 +137,134 @@ fn verify_schedules(scale: &Scale, strict_probes: bool) -> Vec<FindingClass> {
         }
     }
     classes
+}
+
+/// Runs the declarative-IR verifier over every method: the static passes
+/// (dataflow, structure derivation, overlap capacity — no solve executed),
+/// then one traced solve whose schedule is replayed against the IR. Any
+/// static finding or conformance divergence contributes
+/// [`FindingClass::Ir`].
+fn verify_ir(scale: &Scale) -> Vec<FindingClass> {
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let s = 4;
+    println!("\n## IR verification ({}, s = {s})\n", p.name);
+    println!("| method | IR nodes | static | overlap capacity | conformance |");
+    println!("|---|---|---|---|---|");
+    let mut classes = Vec::new();
+    for method in ALL_METHODS {
+        let ir = pscg_ir::method_ir(method, s);
+        let findings = pscg_ir::verify_static(&ir);
+        let caps = pscg_ir::overlap::report(&ir);
+        let capacity = if caps.is_empty() {
+            "—".to_string()
+        } else {
+            caps.iter()
+                .map(|c| {
+                    format!(
+                        "[{}] {} SpMV + {} PC + {} local",
+                        c.tag, c.spmvs, c.pcs, c.locals
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        let mut ctx = SimCtx::traced(&p.a, Box::new(Jacobi::new(&p.a)), p.profile.clone());
+        let opts = SolveOptions {
+            rtol: p.rtol,
+            s,
+            max_iters: scale.max_iters,
+            ..Default::default()
+        };
+        method.solve(&mut ctx, &b, None, &opts);
+        let trace = ctx.take_trace().expect("tracing was enabled");
+        let conformance = pscg_ir::conform(&ir, &trace);
+        println!(
+            "| {} | {} | {} | {capacity} | {} |",
+            method.name(),
+            ir.node_count(),
+            if findings.is_empty() { "clean" } else { "FAIL" },
+            if conformance.is_ok() {
+                "ok"
+            } else {
+                "DIVERGED"
+            },
+        );
+        for f in &findings {
+            eprintln!("[verify-ir] {}: {f}", method.name());
+        }
+        if let Err(d) = &conformance {
+            eprintln!("[verify-ir] {}: {d}", method.name());
+        }
+        if !findings.is_empty() || conformance.is_err() {
+            classes.push(FindingClass::Ir);
+        }
+    }
+    classes
+}
+
+/// Runs the IR verifier against the planted broken specs (the
+/// non-vacuousness gate): exits with the IR finding code when *every*
+/// planted bug is rejected by its designated layer, 1 when any slips
+/// through.
+#[cfg(feature = "broken-ir")]
+fn run_ir_broken(scale: &Scale, mode: &str) -> ! {
+    let bugs = if mode == "all" {
+        pscg_ir::broken::all()
+    } else {
+        match pscg_ir::broken::by_name(mode) {
+            Some(b) => vec![b],
+            None => {
+                let known: Vec<&str> = pscg_ir::broken::all().iter().map(|b| b.name).collect();
+                eprintln!(
+                    "unknown --ir-broken mode '{mode}'; known: {} all",
+                    known.join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let mut all_rejected = true;
+    for bug in bugs {
+        let findings = pscg_ir::verify_static(&bug.ir);
+        let caught = if findings.is_empty() {
+            // Statically clean by design — the trace replay must catch it.
+            let mut ctx = SimCtx::traced(&p.a, Box::new(Jacobi::new(&p.a)), p.profile.clone());
+            let opts = SolveOptions {
+                rtol: p.rtol,
+                s: bug.ir.steps,
+                max_iters: scale.max_iters,
+                ..Default::default()
+            };
+            bug.ir.kind.solve(&mut ctx, &b, None, &opts);
+            let trace = ctx.take_trace().expect("tracing was enabled");
+            match pscg_ir::conform(&bug.ir, &trace) {
+                Err(d) => {
+                    eprintln!("[ir-broken] {}: rejected by conformance: {d}", bug.name);
+                    true
+                }
+                Ok(()) => false,
+            }
+        } else {
+            for f in &findings {
+                eprintln!("[ir-broken] {}: rejected statically: {f}", bug.name);
+            }
+            true
+        };
+        if !caught {
+            all_rejected = false;
+            eprintln!(
+                "[ir-broken] {}: NOT rejected — the verifier is vacuous for: {}",
+                bug.name, bug.detail
+            );
+        }
+    }
+    if all_rejected {
+        std::process::exit(FindingClass::Ir.exit_code());
+    }
+    std::process::exit(1);
 }
 
 /// Methods whose kernel schedules the race detector observes: one
@@ -440,6 +580,8 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut verify_schedule = false;
     let mut verify_conc = false;
+    let mut verify_ir_flag = false;
+    let mut ir_broken: Option<String> = None;
     let mut strict_probes = false;
     let mut telemetry: Option<PathBuf> = std::env::var_os("PSCG_TELEMETRY").map(PathBuf::from);
     let mut fault_plan: Option<PathBuf> = std::env::var_os("PSCG_FAULTS").map(PathBuf::from);
@@ -448,6 +590,14 @@ fn main() {
         match arg.as_str() {
             "--verify-schedule" => verify_schedule = true,
             "--verify-concurrency" => verify_conc = true,
+            "--verify-ir" => verify_ir_flag = true,
+            "--ir-broken" => {
+                let Some(mode) = args.next() else {
+                    eprintln!("--ir-broken needs a mode name or 'all'");
+                    std::process::exit(2);
+                };
+                ir_broken = Some(mode);
+            }
             "--strict-probes" => strict_probes = true,
             "--telemetry" => {
                 let Some(dir) = args.next() else {
@@ -478,7 +628,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale ci|small|paper] [--verify-schedule] \
-                     [--verify-concurrency] [--strict-probes] \
+                     [--verify-concurrency] [--verify-ir] [--ir-broken MODE|all] \
+                     [--strict-probes] \
                      [--telemetry DIR] [--fault-plan FILE] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
@@ -491,6 +642,8 @@ fn main() {
     if wanted.is_empty()
         && !verify_schedule
         && !verify_conc
+        && !verify_ir_flag
+        && ir_broken.is_none()
         && telemetry.is_none()
         && fault_plan.is_none()
     {
@@ -526,6 +679,18 @@ fn main() {
     );
 
     let t0 = Instant::now();
+    if let Some(mode) = &ir_broken {
+        #[cfg(feature = "broken-ir")]
+        run_ir_broken(&scale, mode);
+        #[cfg(not(feature = "broken-ir"))]
+        {
+            eprintln!(
+                "--ir-broken {mode} requires building with --features broken-ir \
+                 (the planted specs are gated out of normal builds)"
+            );
+            std::process::exit(2);
+        }
+    }
     if verify_schedule {
         let found = verify_schedules(&scale, strict_probes);
         if let Some(worst) = pscg_analysis::exit_codes::most_severe(&found) {
@@ -537,6 +702,13 @@ fn main() {
         let found = verify_concurrency(&scale);
         if let Some(worst) = pscg_analysis::exit_codes::most_severe(&found) {
             eprintln!("[repro] concurrency verification FAILED ({worst})");
+            std::process::exit(worst.exit_code());
+        }
+    }
+    if verify_ir_flag {
+        let found = verify_ir(&scale);
+        if let Some(worst) = pscg_analysis::exit_codes::most_severe(&found) {
+            eprintln!("[repro] IR verification FAILED ({worst})");
             std::process::exit(worst.exit_code());
         }
     }

@@ -34,6 +34,7 @@
 
 // Indexed loops over block families mirror the paper's AQm[j] notation.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 pub mod autotune;
 pub mod costmodel;

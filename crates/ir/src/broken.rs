@@ -1,0 +1,139 @@
+//! Deliberately broken IR specs — the non-vacuousness gate.
+//!
+//! Each entry takes a correct method spec and plants one realistic schedule
+//! bug. The verifier (static passes + conformance) must reject every one of
+//! them; a verifier that waves any of these through proves nothing about
+//! the clean specs. Compiled only for tests and under the `broken-ir`
+//! feature, mirroring the solver-side `broken-variants` gate.
+
+use pipescg::methods::MethodKind;
+
+use crate::methods::spec;
+use crate::node::{MethodIr, NodeKind};
+use crate::spec::{axpy, blocking, combine, wait};
+
+/// Which layer of the verifier must reject a broken spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// Rejected without executing a solve, by [`crate::verify_static`].
+    Static,
+    /// Statically clean by construction; only the trace replay
+    /// ([`crate::conform::conform`]) can catch it.
+    Conformance,
+}
+
+/// One planted schedule bug.
+pub struct BrokenSpec {
+    /// Stable mode name (`repro --ir-broken <name>`).
+    pub name: &'static str,
+    /// The sabotaged IR.
+    pub ir: MethodIr,
+    /// The layer that must reject it.
+    pub expect: Expect,
+    /// What the bug models.
+    pub detail: &'static str,
+}
+
+fn post_index(ir: &MethodIr) -> usize {
+    ir.body
+        .iter()
+        .position(|n| matches!(n.kind, NodeKind::ArPost { .. }))
+        .expect("a pipelined spec posts in its body")
+}
+
+/// `read-before-wait`: the convergence check consumes the reduced Gram
+/// packet *before* the wait lands — on `P > 1` every rank would branch on
+/// different, un-reduced values (the Cools–Vanroose silent-corruption
+/// class, here as a read instead of a write).
+fn read_before_wait() -> MethodIr {
+    let mut ir = spec(MethodKind::PipePscg, 3);
+    ir.body.swap(0, 1); // [rescheck, wait, …]
+    ir.check_at = 0;
+    ir
+}
+
+/// `write-dot-input`: an AXPY clobbers a dot operand while the reduction
+/// that read it is still in flight — the canonical pipelined-CG hazard.
+fn write_dot_input() -> MethodIr {
+    let mut ir = spec(MethodKind::PipeScg, 3);
+    let at = post_index(&ir) + 1;
+    ir.body.insert(at, axpy(&["x", "pow[0]"], "pow[0]"));
+    ir
+}
+
+/// `wait-hoisted`: the wait is moved to immediately follow the post, so
+/// the overlap window hides nothing — the pipeline exists in name only.
+fn wait_hoisted() -> MethodIr {
+    let mut ir = spec(MethodKind::PipeScg, 3);
+    ir.body.remove(0); // drop the steady-state wait…
+    ir.check_at = 0;
+    let at = post_index(&ir) + 1;
+    ir.body.insert(at, wait("gram", "gram")); // …and hoist it to the post
+    ir
+}
+
+/// `wrong-cadence`: an extra blocking reduction sneaks into PsCG's body,
+/// doubling the allreduce count Table I promises.
+fn wrong_cadence() -> MethodIr {
+    let mut ir = spec(MethodKind::Pscg, 3);
+    let at = ir
+        .body
+        .iter()
+        .position(|n| matches!(n.kind, NodeKind::ArBlocking { .. }))
+        .expect("PsCG reduces once per pass")
+        + 1;
+    ir.body.insert(at, blocking(1, "gram.part", "extra"));
+    ir
+}
+
+/// `phantom-combine`: the spec claims a fused update the solver never
+/// performs. Dataflow and structure are untouched — only replaying a real
+/// trace exposes it, which is exactly what keeps the conformance layer
+/// honest.
+fn phantom_combine() -> MethodIr {
+    let mut ir = spec(MethodKind::Scg, 3);
+    ir.body
+        .push(combine(2.0, 24.0, vec!["ax".into(), "b".into()], "junk"));
+    ir
+}
+
+/// All planted bugs, in a stable order.
+pub fn all() -> Vec<BrokenSpec> {
+    vec![
+        BrokenSpec {
+            name: "read-before-wait",
+            ir: read_before_wait(),
+            expect: Expect::Static,
+            detail: "convergence check reads the Gram packet inside its own overlap window",
+        },
+        BrokenSpec {
+            name: "write-dot-input",
+            ir: write_dot_input(),
+            expect: Expect::Static,
+            detail: "AXPY clobbers a dot operand owned by the in-flight reduction",
+        },
+        BrokenSpec {
+            name: "wait-hoisted",
+            ir: wait_hoisted(),
+            expect: Expect::Static,
+            detail: "wait hoisted to the post; the overlap window is empty",
+        },
+        BrokenSpec {
+            name: "wrong-cadence",
+            ir: wrong_cadence(),
+            expect: Expect::Static,
+            detail: "extra blocking allreduce doubles PsCG's Table I cadence",
+        },
+        BrokenSpec {
+            name: "phantom-combine",
+            ir: phantom_combine(),
+            expect: Expect::Conformance,
+            detail: "spec claims a fused update the solver never records",
+        },
+    ]
+}
+
+/// Look up one planted bug by name.
+pub fn by_name(name: &str) -> Option<BrokenSpec> {
+    all().into_iter().find(|b| b.name == name)
+}

@@ -1,0 +1,356 @@
+//! Static buffer-dataflow analysis over a method IR.
+//!
+//! Runs entirely on the declarative schedule — no solve is executed. Two
+//! properties are checked by symbolically executing prologue + a few
+//! steady-state passes (including a replacement pass when the method has
+//! one):
+//!
+//! 1. **No use-before-def** of *deferred* symbols. Vector storage is
+//!    treated as pre-allocated, but anything produced by a reduction
+//!    pipeline — local partials (`Dot` writes), reduced results (`ArWait` /
+//!    `ArBlocking` writes) and recurrence coefficients (`ScalarRecurrence`
+//!    writes) — must be defined before it is read. Crucially, posting a
+//!    window *kills* the window's result symbol until the matching wait
+//!    redefines it, so reading a reduction result inside its own overlap
+//!    window (a read-before-wait) is reported here.
+//! 2. **No write during an open post→wait window that the window reads** —
+//!    the Cools–Vanroose pipelined-CG hazard, derived statically with the
+//!    same ownership model the dynamic checker in `pscg_analysis::hazards`
+//!    applies to traces: the dot operands accumulated since the last
+//!    reduction event become *owned* by the window at the post and are
+//!    released at the wait; any non-MPK write to an owned symbol while the
+//!    window is open is a hazard.
+//!
+//! Window-protocol defects (double post, wait without post, a window still
+//! open at a legal termination point) are reported as well.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::node::{MethodIr, Node, NodeKind, Sym};
+
+/// A defect found by the static passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticFinding {
+    /// A deferred symbol is read before any node defines it — including a
+    /// reduction result read between its post and its wait.
+    UseBeforeDef {
+        /// Phase (`"setup"`, `"body"`, `"replace"`, `"final"`) and node index.
+        at: String,
+        /// Description of the offending node.
+        node: String,
+        /// The undefined symbol.
+        sym: Sym,
+    },
+    /// A symbol read by an open allreduce window is overwritten while the
+    /// window is still in flight (the Cools–Vanroose hazard).
+    WriteDuringWindow {
+        /// Phase and node index.
+        at: String,
+        /// Description of the offending node.
+        node: String,
+        /// The open window's tag.
+        tag: &'static str,
+        /// The clobbered symbol.
+        sym: Sym,
+    },
+    /// An `ArWait` with no matching open post.
+    WaitWithoutPost {
+        /// Phase and node index.
+        at: String,
+        /// The waited-for tag.
+        tag: &'static str,
+    },
+    /// An `ArPost` on a tag whose previous window is still open.
+    DoublePost {
+        /// Phase and node index.
+        at: String,
+        /// The reposted tag.
+        tag: &'static str,
+    },
+    /// A window still open at a point where the schedule may terminate.
+    LeakedWindow {
+        /// The leaked window's tag.
+        tag: &'static str,
+    },
+    /// Derived schedule structure disagrees with the repo's structural
+    /// model or cost model (see [`crate::table`]).
+    Structure {
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StaticFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticFinding::UseBeforeDef { at, node, sym } => {
+                write!(f, "use-before-def of `{sym}` at {at} ({node})")
+            }
+            StaticFinding::WriteDuringWindow { at, node, tag, sym } => write!(
+                f,
+                "write to `{sym}` owned by open window [{tag}] at {at} ({node})"
+            ),
+            StaticFinding::WaitWithoutPost { at, tag } => {
+                write!(f, "wait without post for window [{tag}] at {at}")
+            }
+            StaticFinding::DoublePost { at, tag } => {
+                write!(f, "double post of window [{tag}] at {at}")
+            }
+            StaticFinding::LeakedWindow { tag } => {
+                write!(f, "window [{tag}] still open at a termination point")
+            }
+            StaticFinding::Structure { detail } => write!(f, "structure mismatch: {detail}"),
+        }
+    }
+}
+
+/// Is this node's write deferred (must be defined before read) rather than
+/// pre-allocated vector storage?
+fn defers_writes(kind: &NodeKind) -> bool {
+    matches!(
+        kind,
+        NodeKind::Dot { .. }
+            | NodeKind::ScalarRecurrence { .. }
+            | NodeKind::ArWait { .. }
+            | NodeKind::ArBlocking { .. }
+    )
+}
+
+/// The symbolic machine state threaded through the phases.
+struct Flow<'ir> {
+    ir: &'ir MethodIr,
+    /// Symbols currently defined.
+    defined: BTreeSet<Sym>,
+    /// Open windows: tag → symbols owned by the in-flight reduction.
+    open: BTreeMap<&'static str, BTreeSet<Sym>>,
+    /// Dot operands accumulated since the last reduction event.
+    dot_inputs: BTreeSet<Sym>,
+    /// Result symbols of each tagged window (writes of its wait nodes).
+    results: BTreeMap<&'static str, BTreeSet<Sym>>,
+    findings: Vec<StaticFinding>,
+}
+
+impl<'ir> Flow<'ir> {
+    fn new(ir: &'ir MethodIr) -> Self {
+        let mut deferred = BTreeSet::new();
+        let mut mentioned = BTreeSet::new();
+        let mut results: BTreeMap<&'static str, BTreeSet<Sym>> = BTreeMap::new();
+        let mut phases: Vec<&[Node]> = vec![&ir.setup, &ir.body];
+        if let Some(r) = &ir.replace {
+            phases.push(&r.body);
+        }
+        for phase in phases {
+            for node in phase {
+                mentioned.extend(node.reads.iter().cloned());
+                mentioned.extend(node.writes.iter().cloned());
+                if defers_writes(&node.kind) {
+                    deferred.extend(node.writes.iter().cloned());
+                }
+                if let NodeKind::ArWait { tag } = node.kind {
+                    results
+                        .entry(tag)
+                        .or_default()
+                        .extend(node.writes.iter().cloned());
+                }
+            }
+        }
+        let defined = mentioned.difference(&deferred).cloned().collect();
+        Flow {
+            ir,
+            defined,
+            open: BTreeMap::new(),
+            dot_inputs: BTreeSet::new(),
+            results,
+            findings: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, phase: &str, index: usize, node: &Node) {
+        let at = format!("{phase}[{index}]");
+        let desc = node.kind.describe();
+        for sym in &node.reads {
+            if !self.defined.contains(sym) {
+                self.findings.push(StaticFinding::UseBeforeDef {
+                    at: at.clone(),
+                    node: desc.clone(),
+                    sym: sym.clone(),
+                });
+            }
+        }
+        // MPK sweeps stage into ghost-padded scratch and are exempt from the
+        // window-ownership rule, exactly as in `pscg_analysis::hazards`.
+        if !matches!(node.kind, NodeKind::Mpk { .. }) {
+            for sym in &node.writes {
+                for (tag, owned) in &self.open {
+                    if owned.contains(sym) {
+                        self.findings.push(StaticFinding::WriteDuringWindow {
+                            at: at.clone(),
+                            node: desc.clone(),
+                            tag,
+                            sym: sym.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        match &node.kind {
+            NodeKind::Dot { .. } => {
+                self.dot_inputs.extend(node.reads.iter().cloned());
+            }
+            NodeKind::ArPost { tag, .. } => {
+                if self.open.contains_key(tag) {
+                    self.findings.push(StaticFinding::DoublePost { at, tag });
+                } else {
+                    self.open.insert(tag, std::mem::take(&mut self.dot_inputs));
+                }
+                // The window's result is stale until the wait lands.
+                if let Some(res) = self.results.get(tag) {
+                    for sym in res {
+                        self.defined.remove(sym);
+                    }
+                }
+            }
+            NodeKind::ArWait { tag } => {
+                if self.open.remove(tag).is_none() {
+                    self.findings
+                        .push(StaticFinding::WaitWithoutPost { at, tag });
+                }
+                self.dot_inputs.clear();
+            }
+            NodeKind::ArBlocking { .. } => {
+                self.dot_inputs.clear();
+            }
+            _ => {}
+        }
+        self.defined.extend(node.writes.iter().cloned());
+    }
+
+    fn run_phase(&mut self, phase: &str, nodes: &[Node]) {
+        for (index, node) in nodes.iter().enumerate() {
+            self.step(phase, index, node);
+        }
+    }
+
+    fn finish(mut self) -> Vec<StaticFinding> {
+        // Final partial pass: the solvers terminate right after the body's
+        // convergence check, so run up to it and require all windows closed.
+        let upto = self.ir.check_at + 1;
+        let body = self.ir.body[..upto.min(self.ir.body.len())].to_vec();
+        self.run_phase("final", &body);
+        for tag in self.open.keys() {
+            self.findings.push(StaticFinding::LeakedWindow { tag });
+        }
+        self.findings
+    }
+}
+
+/// Run the dataflow analysis on one IR (prologue, two steady-state passes,
+/// the replacement pass when present, then a terminating partial pass).
+/// Handoff IRs are analysed independently by [`crate::verify_static`].
+pub fn analyze(ir: &MethodIr) -> Vec<StaticFinding> {
+    let mut flow = Flow::new(ir);
+    flow.run_phase("setup", &ir.setup);
+    flow.run_phase("body", &ir.body);
+    flow.run_phase("body", &ir.body);
+    if let Some(r) = &ir.replace {
+        flow.run_phase("replace", &r.body);
+        flow.run_phase("body", &ir.body);
+    }
+    flow.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{blocking, dot, post, rescheck, spmv, wait};
+    use pipescg::methods::MethodKind;
+
+    fn ir_with_body(body: Vec<Node>, check_at: usize) -> MethodIr {
+        MethodIr {
+            kind: MethodKind::Pipecg,
+            steps: 1,
+            setup: vec![],
+            body,
+            check_at,
+            setup_check: false,
+            replace: None,
+            handoff: None,
+        }
+    }
+
+    #[test]
+    fn read_before_wait_is_use_before_def() {
+        let ir = ir_with_body(
+            vec![
+                dot("r", "r", "red.part"),
+                post("red", 1, "red.part"),
+                rescheck("red"), // reads the killed result
+                wait("red", "red"),
+            ],
+            2,
+        );
+        let findings = analyze(&ir);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, StaticFinding::UseBeforeDef { sym, .. } if sym == "red")));
+    }
+
+    #[test]
+    fn write_to_owned_operand_is_a_hazard() {
+        let ir = ir_with_body(
+            vec![
+                dot("r", "r", "red.part"),
+                post("red", 1, "red.part"),
+                spmv("x", "r"), // clobbers an owned dot operand
+                wait("red", "red"),
+                rescheck("red"),
+            ],
+            4,
+        );
+        let findings = analyze(&ir);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            StaticFinding::WriteDuringWindow { tag: "red", sym, .. } if sym == "r"
+        )));
+    }
+
+    #[test]
+    fn blocking_reduction_releases_ownership() {
+        let ir = ir_with_body(
+            vec![
+                dot("r", "r", "red.part"),
+                blocking(1, "red.part", "red"),
+                spmv("x", "r"),
+                rescheck("red"),
+            ],
+            3,
+        );
+        assert!(analyze(&ir).is_empty());
+    }
+
+    #[test]
+    fn protocol_defects_are_reported() {
+        let ir = ir_with_body(
+            vec![
+                wait("red", "red"),
+                dot("r", "r", "red.part"),
+                post("red", 1, "red.part"),
+                post("red", 1, "red.part"),
+                rescheck("red"),
+            ],
+            4,
+        );
+        let findings = analyze(&ir);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, StaticFinding::DoublePost { .. })));
+        // The very first wait has no post yet.
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, StaticFinding::WaitWithoutPost { .. })));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, StaticFinding::LeakedWindow { tag: "red" })));
+    }
+}

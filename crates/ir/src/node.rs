@@ -1,0 +1,234 @@
+//! The IR node set: typed kernel nodes with symbolic buffer defs/uses.
+//!
+//! One [`Node`] corresponds to exactly one [`pscg_sim::Op`] the solver
+//! records — the conformance checker ([`crate::conform`]) holds the two
+//! streams together op-for-op. Buffers are *symbolic* ([`Sym`] strings like
+//! `"r"`, `"pow[3]"`, `"gram"`), not runtime [`pscg_sim::BufId`]s: the
+//! static passes reason about the names, the dynamic checker ignores them
+//! and matches kinds and cost metadata instead.
+
+use pipescg::methods::MethodKind;
+
+/// A symbolic buffer or scalar name inside one method's IR.
+///
+/// Conventions used by the shipped specs: plain names (`"r"`, `"dirs"`) are
+/// rank-local vectors or vector blocks, `"pow[j]"` names one column of a
+/// power list (see [`crate::spec::col`]), and reduction results carry the
+/// window tag (`"gram"`, `"sigma"`). Only the *reduction dataflow* is
+/// tracked precisely: vector storage is treated as pre-allocated, while any
+/// symbol produced by a `Dot`, `Scalar`, `ArWait` or `ArBlocking` node must
+/// be (re-)defined before use — see [`crate::dataflow`].
+pub type Sym = String;
+
+/// What kind of kernel (or schedule event) a node is.
+///
+/// The floating-point metadata (`flops_per_row`, `bytes_per_row`, `flops`,
+/// `doubles`, `depth`) is part of the node identity: the conformance
+/// checker requires the recorded op to carry exactly these values, which is
+/// what makes an IR spec a *complete* description of the loop and not just
+/// its communication skeleton.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Sparse matrix–vector product.
+    Spmv,
+    /// Matrix-powers kernel covering `depth` consecutive SpMVs.
+    Mpk {
+        /// Number of consecutive powers produced by the sweep.
+        depth: usize,
+    },
+    /// Preconditioner application. Cost fields are preconditioner-dependent
+    /// and deliberately not part of the IR (any `Op::Pc` matches).
+    Pc,
+    /// Rank-local dot-product work (`Op::Local` with `LocalKind::Dot`).
+    Dot {
+        /// Floating-point work per local row.
+        flops_per_row: f64,
+        /// Memory traffic per local row.
+        bytes_per_row: f64,
+    },
+    /// Rank-local vector-multiply-add work — AXPY-family updates and the
+    /// fused recurrence combines (`Op::Local` with `LocalKind::Vma`).
+    Combine {
+        /// Floating-point work per local row.
+        flops_per_row: f64,
+        /// Memory traffic per local row.
+        bytes_per_row: f64,
+    },
+    /// Rank-replicated scalar recurrence work (the s × s solves).
+    ScalarRecurrence {
+        /// Total floating-point operations.
+        flops: f64,
+    },
+    /// Post of a non-blocking allreduce. `tag` names the overlap window;
+    /// the matching [`NodeKind::ArWait`] carries the same tag, which is how
+    /// the post→wait completion edge is expressed in the IR (the runtime
+    /// handle ids are resolved by the conformance checker).
+    ArPost {
+        /// Window name pairing this post with its wait.
+        tag: &'static str,
+        /// Payload size in f64 values.
+        doubles: usize,
+    },
+    /// Completion wait closing the window opened by the same-tag post.
+    ArWait {
+        /// Window name pairing this wait with its post.
+        tag: &'static str,
+    },
+    /// A blocking allreduce.
+    ArBlocking {
+        /// Payload size in f64 values.
+        doubles: usize,
+    },
+    /// Convergence check. The iteration loop may legally terminate
+    /// immediately after this node (and only here; see [`MethodIr::check_at`]).
+    ResCheck,
+}
+
+impl NodeKind {
+    /// Short human-readable name for reports and divergence messages.
+    pub fn describe(&self) -> String {
+        match self {
+            NodeKind::Spmv => "Spmv".into(),
+            NodeKind::Mpk { depth } => format!("Mpk(depth={depth})"),
+            NodeKind::Pc => "Pc".into(),
+            NodeKind::Dot {
+                flops_per_row,
+                bytes_per_row,
+            } => format!("Dot({flops_per_row},{bytes_per_row})"),
+            NodeKind::Combine {
+                flops_per_row,
+                bytes_per_row,
+            } => format!("Combine({flops_per_row},{bytes_per_row})"),
+            NodeKind::ScalarRecurrence { flops } => format!("Scalar({flops})"),
+            NodeKind::ArPost { tag, doubles } => format!("ArPost[{tag}]({doubles})"),
+            NodeKind::ArWait { tag } => format!("ArWait[{tag}]"),
+            NodeKind::ArBlocking { doubles } => format!("ArBlocking({doubles})"),
+            NodeKind::ResCheck => "ResCheck".into(),
+        }
+    }
+}
+
+/// One schedule node: a kernel plus its symbolic buffer uses and defs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The kernel/event kind (including its cost metadata).
+    pub kind: NodeKind,
+    /// Symbols this node reads.
+    pub reads: Vec<Sym>,
+    /// Symbols this node writes (defines).
+    pub writes: Vec<Sym>,
+}
+
+/// The alternative body a method runs on a *replacement* pass (PIPECG-OATI's
+/// periodic non-recurrence computation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplacePhase {
+    /// Replacement period: the alternative body runs on outer iterations
+    /// `k` with `k > 0 && k % every == 0`, mirroring the solver.
+    pub every: usize,
+    /// The full body of a replacement pass (not a diff against `body`).
+    pub body: Vec<Node>,
+}
+
+/// The declarative schedule IR of one method: a prologue run once, then a
+/// steady-state body repeated until the convergence check terminates it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodIr {
+    /// The method this IR describes.
+    pub kind: MethodKind,
+    /// CG steps advanced per body pass (the s-step block size; 1 for the
+    /// classic methods, 2 for the depth-2 pipelined methods).
+    pub steps: usize,
+    /// Prologue: reference norm, initial residual, basis construction, and
+    /// — for the pipelined s-step methods — the lead-in post and first
+    /// overlap window.
+    pub setup: Vec<Node>,
+    /// Steady-state per-iteration schedule.
+    pub body: Vec<Node>,
+    /// Index of the [`NodeKind::ResCheck`] in `body` after which the loop
+    /// may terminate. A conforming trace ends exactly after some pass's
+    /// check (converged, max-iterations, or breakdown — the solvers place
+    /// every exit there), never mid-body elsewhere.
+    pub check_at: usize,
+    /// True when `setup` ends with its own convergence check at which the
+    /// solve may already terminate (PCG checks the initial residual).
+    pub setup_check: bool,
+    /// Periodic replacement pass, when the method has one.
+    pub replace: Option<ReplacePhase>,
+    /// Phase-2 IR for a two-phase driver (Hybrid-pipelined): after a pass
+    /// whose check is followed by divergence from `body`, the trace must
+    /// instead conform to this IR from that point on.
+    pub handoff: Option<Box<MethodIr>>,
+}
+
+impl MethodIr {
+    /// Total node count (setup + body + replacement + handoff), for reports.
+    pub fn node_count(&self) -> usize {
+        self.setup.len()
+            + self.body.len()
+            + self.replace.as_ref().map_or(0, |r| r.body.len())
+            + self.handoff.as_ref().map_or(0, |h| h.node_count())
+    }
+
+    /// The body of outer iteration `outer` — the replacement body on
+    /// replacement passes, the steady-state body otherwise.
+    pub fn body_for(&self, outer: usize) -> &[Node] {
+        match &self.replace {
+            Some(r) if outer > 0 && outer.is_multiple_of(r.every) => &r.body,
+            _ => &self.body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_compact() {
+        assert_eq!(NodeKind::Spmv.describe(), "Spmv");
+        assert_eq!(
+            NodeKind::ArPost {
+                tag: "gram",
+                doubles: 4
+            }
+            .describe(),
+            "ArPost[gram](4)"
+        );
+        assert_eq!(
+            NodeKind::Dot {
+                flops_per_row: 2.0,
+                bytes_per_row: 16.0
+            }
+            .describe(),
+            "Dot(2,16)"
+        );
+    }
+
+    #[test]
+    fn body_for_selects_replacement_passes() {
+        let node = Node {
+            kind: NodeKind::Spmv,
+            reads: vec![],
+            writes: vec![],
+        };
+        let ir = MethodIr {
+            kind: MethodKind::PipecgOati,
+            steps: 2,
+            setup: vec![],
+            body: vec![node.clone()],
+            check_at: 0,
+            setup_check: false,
+            replace: Some(ReplacePhase {
+                every: 3,
+                body: vec![node.clone(), node.clone()],
+            }),
+            handoff: None,
+        };
+        assert_eq!(ir.body_for(0).len(), 1);
+        assert_eq!(ir.body_for(3).len(), 2);
+        assert_eq!(ir.body_for(4).len(), 1);
+        assert_eq!(ir.body_for(6).len(), 2);
+        assert_eq!(ir.node_count(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Overlap-capacity reporting: how much local work each method's IR
+//! schedules under its in-flight reductions.
+//!
+//! This is the quantity the paper's pipelining argument turns on — a
+//! reduction is only free if the window hides enough kernel time — and it
+//! falls straight out of the IR without running a solve. The report is
+//! printed by `repro --verify-ir` next to the pass/fail findings.
+
+use crate::node::{MethodIr, NodeKind};
+use crate::table::cyclic_window;
+
+/// The kernel mix scheduled inside one steady-state overlap window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCapacity {
+    /// The window's tag.
+    pub tag: &'static str,
+    /// SpMV applications under the window (MPK sweeps count their depth).
+    pub spmvs: usize,
+    /// Preconditioner applications under the window.
+    pub pcs: usize,
+    /// Local dot/VMA kernels under the window.
+    pub locals: usize,
+    /// Scalar-recurrence nodes under the window.
+    pub scalars: usize,
+}
+
+/// Overlap capacity of one method IR: one entry per steady-state window,
+/// empty for the blocking methods.
+pub fn report(ir: &MethodIr) -> Vec<WindowCapacity> {
+    let mut out = Vec::new();
+    for node in &ir.body {
+        let NodeKind::ArPost { tag, .. } = node.kind else {
+            continue;
+        };
+        let window = cyclic_window(&ir.body, tag);
+        let mut cap = WindowCapacity {
+            tag,
+            spmvs: 0,
+            pcs: 0,
+            locals: 0,
+            scalars: 0,
+        };
+        for n in window {
+            match n.kind {
+                NodeKind::Spmv => cap.spmvs += 1,
+                NodeKind::Mpk { depth } => cap.spmvs += depth,
+                NodeKind::Pc => cap.pcs += 1,
+                NodeKind::Dot { .. } | NodeKind::Combine { .. } => cap.locals += 1,
+                NodeKind::ScalarRecurrence { .. } => cap.scalars += 1,
+                _ => {}
+            }
+        }
+        out.push(cap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::spec;
+    use pipescg::methods::MethodKind;
+
+    #[test]
+    fn blocking_methods_have_no_windows() {
+        for kind in [MethodKind::Pcg, MethodKind::Scg, MethodKind::Pscg] {
+            assert!(report(&spec(kind, 3)).is_empty());
+        }
+    }
+
+    #[test]
+    fn pipelined_windows_hide_the_deep_extension() {
+        let caps = report(&spec(MethodKind::PipePscg, 4));
+        assert_eq!(caps.len(), 1);
+        assert_eq!(caps[0].spmvs, 4);
+        assert_eq!(caps[0].pcs, 4);
+        // σ scalings of the fresh columns also run under the window.
+        assert!(caps[0].locals >= 4);
+    }
+}

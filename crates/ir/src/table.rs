@@ -1,0 +1,303 @@
+//! Table I structure derivation from the IR — no solve, no trace.
+//!
+//! [`derive`] reads a method's steady-state body and computes its
+//! communication shape: reductions per pass, blocking vs overlapped
+//! discipline, and the kernel mix hidden inside each post→wait window
+//! (windows wrap around the loop back-edge, so a post near the end of the
+//! body overlaps the tail of this pass plus the head of the next — exactly
+//! how the pipelined s-step methods hide their deep basis extension).
+//!
+//! [`check`] then cross-validates the derived shape against the repo's two
+//! independent descriptions of the same structure: the trace analyzer's
+//! [`MethodShape`] table (`pscg_analysis::structure`) and the paper's cost
+//! model (`pipescg::costmodel::table1`). Any of the three drifting apart
+//! is reported as a [`StaticFinding::Structure`].
+
+use pipescg::costmodel::table1;
+use pscg_analysis::structure::{MethodShape, Pipeline};
+
+use crate::dataflow::StaticFinding;
+use crate::node::{MethodIr, Node, NodeKind};
+
+/// The communication structure derived from a steady-state body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedStructure {
+    /// Reduction discipline, in the analyzer's own vocabulary.
+    pub pipeline: Pipeline,
+    /// Reductions (posts + blocking) per body pass.
+    pub reductions_per_pass: usize,
+    /// SpMV applications per body pass (MPK sweeps count their depth).
+    pub spmvs_per_pass: usize,
+    /// Preconditioner applications per body pass.
+    pub pcs_per_pass: usize,
+}
+
+fn count_spmvs(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n.kind {
+            NodeKind::Spmv => 1,
+            NodeKind::Mpk { depth } => depth,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn count_pcs(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Pc))
+        .count()
+}
+
+/// The cyclic post→wait window of `tag` inside `body`: the nodes between
+/// the post and the same-tag wait, wrapping around the loop back-edge when
+/// the wait sits earlier in the body than the post.
+pub fn cyclic_window<'a>(body: &'a [Node], tag: &str) -> Vec<&'a Node> {
+    let p = body
+        .iter()
+        .position(|n| matches!(n.kind, NodeKind::ArPost { tag: t, .. } if t == tag));
+    let w = body
+        .iter()
+        .position(|n| matches!(n.kind, NodeKind::ArWait { tag: t } if t == tag));
+    match (p, w) {
+        (Some(p), Some(w)) if w > p => body[p + 1..w].iter().collect(),
+        (Some(p), Some(w)) => body[p + 1..].iter().chain(body[..w].iter()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Derive the communication structure of one body (steady state or
+/// replacement pass). A present phase-2 handoff makes the whole method
+/// [`Pipeline::Mixed`] regardless of the body's own discipline.
+pub fn derive_body(body: &[Node], mixed: bool) -> DerivedStructure {
+    let posts: Vec<&'static str> = body
+        .iter()
+        .filter_map(|n| match n.kind {
+            NodeKind::ArPost { tag, .. } => Some(tag),
+            _ => None,
+        })
+        .collect();
+    let blocking = body
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::ArBlocking { .. }))
+        .count();
+    let reductions_per_pass = posts.len() + blocking;
+    let pipeline = if mixed {
+        Pipeline::Mixed
+    } else if posts.is_empty() {
+        Pipeline::Blocking { per_pass: blocking }
+    } else {
+        // All shipped pipelined methods have exactly one window per pass;
+        // a multi-window body would still derive a definite shape (the
+        // first window's mix), and the cadence check below would flag it.
+        let window = cyclic_window(body, posts[0]);
+        let spmvs: usize = window
+            .iter()
+            .map(|n| match n.kind {
+                NodeKind::Spmv => 1,
+                NodeKind::Mpk { depth } => depth,
+                _ => 0,
+            })
+            .sum();
+        let pcs = window
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Pc))
+            .count();
+        Pipeline::Overlapped {
+            window_spmvs: spmvs,
+            window_pcs: pcs,
+        }
+    };
+    DerivedStructure {
+        pipeline,
+        reductions_per_pass,
+        spmvs_per_pass: count_spmvs(body),
+        pcs_per_pass: count_pcs(body),
+    }
+}
+
+/// Derive the structure of a whole method IR (its steady-state body).
+pub fn derive(ir: &MethodIr) -> DerivedStructure {
+    derive_body(&ir.body, ir.handoff.is_some())
+}
+
+/// Allreduces per `s` CG steps implied by the derived structure.
+pub fn derived_allreduces_per_s_steps(d: &DerivedStructure, steps: usize, s: usize) -> usize {
+    d.reductions_per_pass * s.div_ceil(steps)
+}
+
+/// Cross-check the derived structure against `analysis::structure` and the
+/// cost model's Table I. Returns one [`StaticFinding::Structure`] per
+/// disagreement.
+pub fn check(ir: &MethodIr) -> Vec<StaticFinding> {
+    let mut out = Vec::new();
+    let derived = derive(ir);
+    let shape = MethodShape::of(ir.kind, ir.steps);
+
+    if ir.steps != shape.steps_per_pass {
+        out.push(StaticFinding::Structure {
+            detail: format!(
+                "{:?}: IR advances {} steps per pass, MethodShape says {}",
+                ir.kind, ir.steps, shape.steps_per_pass
+            ),
+        });
+    }
+    if derived.pipeline != shape.pipeline {
+        out.push(StaticFinding::Structure {
+            detail: format!(
+                "{:?}: IR derives {:?}, MethodShape says {:?}",
+                ir.kind, derived.pipeline, shape.pipeline
+            ),
+        });
+    }
+    // The cadence must agree with the analyzer's closed form at a few block
+    // sizes, not just the configured one.
+    for s in 1..=8 {
+        let ours = derived_allreduces_per_s_steps(&derived, ir.steps, s);
+        let theirs = shape.allreduces_per_s_steps(s);
+        if ours != theirs {
+            out.push(StaticFinding::Structure {
+                detail: format!(
+                    "{:?}: {ours} derived allreduces per {s} steps, shape says {theirs}",
+                    ir.kind
+                ),
+            });
+            break;
+        }
+    }
+    // And with the paper's Table I row, when the method has one.
+    if let Some(name) = shape.table_row {
+        match table1().iter().find(|r| r.method == name) {
+            None => out.push(StaticFinding::Structure {
+                detail: format!("{:?}: no costmodel::table1 row named {name}", ir.kind),
+            }),
+            Some(row) => {
+                let ours = derived_allreduces_per_s_steps(&derived, ir.steps, ir.steps);
+                let table = (row.allreduces)(ir.steps);
+                if ours != table {
+                    out.push(StaticFinding::Structure {
+                        detail: format!(
+                            "{name}: {ours} derived allreduces per s-step block, Table I says {table}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // A pipelined method must not smuggle blocking reductions into the loop,
+    // and its windows must hide real work (the Mixed invariant of
+    // `structure::verify`).
+    match derived.pipeline {
+        Pipeline::Overlapped { window_spmvs, .. } => {
+            if window_spmvs == 0 {
+                out.push(StaticFinding::Structure {
+                    detail: format!("{:?}: overlap window hides no SpMV", ir.kind),
+                });
+            }
+            let blocking = ir
+                .body
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::ArBlocking { .. }))
+                .count();
+            if blocking > 0 {
+                out.push(StaticFinding::Structure {
+                    detail: format!(
+                        "{:?}: {blocking} blocking allreduces inside a pipelined body",
+                        ir.kind
+                    ),
+                });
+            }
+        }
+        Pipeline::Mixed => {
+            // Phase 1 of a mixed driver is itself pipelined: every window
+            // must hide at least one SpMV.
+            for tag in ir.body.iter().filter_map(|n| match n.kind {
+                NodeKind::ArPost { tag, .. } => Some(tag),
+                _ => None,
+            }) {
+                let window = cyclic_window(&ir.body, tag);
+                if !window
+                    .iter()
+                    .any(|n| matches!(n.kind, NodeKind::Spmv | NodeKind::Mpk { .. }))
+                {
+                    out.push(StaticFinding::Structure {
+                        detail: format!("{:?}: window [{tag}] hides no SpMV", ir.kind),
+                    });
+                }
+            }
+        }
+        Pipeline::Blocking { .. } => {}
+    }
+    // A replacement pass must preserve the steady-state communication
+    // discipline (it replaces the recurrence, not the pipeline).
+    if let Some(r) = &ir.replace {
+        let rd = derive_body(&r.body, false);
+        if rd.pipeline != derived.pipeline {
+            out.push(StaticFinding::Structure {
+                detail: format!(
+                    "{:?}: replacement pass derives {:?}, steady state {:?}",
+                    ir.kind, rd.pipeline, derived.pipeline
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::spec;
+    use pipescg::methods::MethodKind;
+
+    #[test]
+    fn derived_shapes_match_the_analyzer() {
+        for s in [2, 3, 4] {
+            for kind in [
+                MethodKind::Pcg,
+                MethodKind::Pipecg,
+                MethodKind::Cg3,
+                MethodKind::Scg,
+                MethodKind::Pscg,
+                MethodKind::PipeScg,
+                MethodKind::PipePscg,
+            ] {
+                let ir = spec(kind, s);
+                assert_eq!(
+                    derive(&ir).pipeline,
+                    MethodShape::of(kind, ir.steps).pipeline,
+                    "{kind:?} at s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipe_pscg_window_wraps_the_back_edge() {
+        let ir = spec(MethodKind::PipePscg, 3);
+        let window = cyclic_window(&ir.body, "gram");
+        // The deep basis extension after the post runs under the window.
+        assert_eq!(
+            window
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::Spmv))
+                .count(),
+            3
+        );
+        assert_eq!(
+            window
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::Pc))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn hybrid_derives_mixed() {
+        let ir = spec(MethodKind::Hybrid, 3);
+        assert_eq!(derive(&ir).pipeline, Pipeline::Mixed);
+        assert!(check(&ir).is_empty());
+    }
+}
