@@ -1,25 +1,38 @@
-//! Kernel-engine benchmark: per-kernel GFLOP/s at several thread counts.
+//! Kernel-engine benchmark: per-kernel, per-format GFLOP/s at several
+//! thread counts.
 //!
 //! ```text
-//! kernelbench [--grid N] [--threads LIST] [--s S] [--out PATH] [--check]
+//! kernelbench [--grid N] [--threads LIST] [--s S] [--formats LIST]
+//!             [--out PATH] [--check] [--min-speedup X] [--baseline PATH]
 //!             [--telemetry PATH] [tune]
 //! ```
 //!
 //! Measures the three hot paths of the s-step overlap window — SpMV, the
 //! blocked Gram product and the fused recurrence update sweep — on the 7-pt
 //! Poisson stencil at `N³` (default 256³, the CI perf-smoke problem), each
-//! at every thread count in `--threads` (default `1,4`). Writes a JSON
-//! baseline (`--out`, default `BENCH_kernels.json`) recording medians,
-//! GFLOP/s and speedups vs the serial run.
+//! at every thread count in `--threads` (default `1,4`). SpMV is measured
+//! once per storage format in `--formats` (default: all of
+//! [`SpmvFormat::ALL`] — see DESIGN.md §12); every format cell records its
+//! effective bytes/nnz so the traffic trajectory is tracked alongside
+//! GFLOP/s. Writes a JSON baseline (`--out`, default `BENCH_kernels.json`).
 //!
 //! `--check` enforces the perf-smoke gate: parallel SpMV at the highest
-//! thread count must not be slower than serial. The gate only binds when
-//! the host actually has that many cores — on a smaller machine the result
-//! is recorded as skipped (a 4-thread pool on one core measures oversubscription,
-//! not the engine).
+//! thread count must reach `--min-speedup` (default 1.0) over serial *for
+//! every measured format*. The gate only binds when the host actually has
+//! that many cores — on a smaller machine the result is recorded and an
+//! explicit `gate: SKIPPED` line is printed (a 4-thread pool on one core
+//! measures oversubscription, not the engine).
+//!
+//! `--baseline PATH` compares this run against a previously committed
+//! report: every (kernel, format, threads) cell present in both is
+//! compared, a >20% GFLOP/s drop is a regression and fails the run with
+//! exit 1. Cells whose thread count exceeds the host's cores are skipped
+//! with an explicit log line, as is the whole comparison on a host too
+//! small to enforce anything meaningful.
 //!
 //! `tune` sweeps the chunk-size knobs around the model defaults
-//! ([`pipescg::autotune::KernelTuning`]) and prints the best setting.
+//! ([`pipescg::autotune::KernelTuning`]) plus the SpMV format over every
+//! requested thread count, and prints/installs the empirical best.
 //!
 //! `--telemetry PATH` records one `bench` span per measured
 //! (kernel, thread-count) cell and writes a Chrome trace-event file
@@ -33,22 +46,29 @@ use pscg_bench::microbench::{gflops_per_sec, Group};
 use pscg_obs::SpanKind;
 use pscg_par::{knobs, stats::PoolStats, Pool};
 use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
-use pscg_sparse::{CsrMatrix, MultiVector};
+use pscg_sparse::{set_spmv_format, CsrMatrix, MultiVector, SpmvFormat};
 
-/// One measured (kernel, thread-count) cell.
+/// One measured (kernel, format, thread-count) cell. `format` and
+/// `bytes_per_nnz` are populated for SpMV cells only — the Gram and fused
+/// sweeps are format-independent.
 struct Cell {
     kernel: &'static str,
+    format: Option<SpmvFormat>,
     threads: usize,
     median_secs: f64,
     gflops: f64,
+    bytes_per_nnz: Option<f64>,
 }
 
 struct Config {
     grid: usize,
     threads: Vec<usize>,
     s: usize,
+    formats: Vec<SpmvFormat>,
     out: String,
     check: bool,
+    min_speedup: f64,
+    baseline: Option<String>,
     tune: bool,
     telemetry: Option<String>,
 }
@@ -58,8 +78,11 @@ fn parse_args() -> Config {
         grid: 256,
         threads: vec![1, 4],
         s: 4,
+        formats: SpmvFormat::ALL.to_vec(),
         out: "BENCH_kernels.json".to_string(),
         check: false,
+        min_speedup: 1.0,
+        baseline: None,
         tune: false,
         telemetry: std::env::var("PSCG_TELEMETRY").ok(),
     };
@@ -78,15 +101,29 @@ fn parse_args() -> Config {
                     .collect();
             }
             "--s" => cfg.s = val("--s").parse().expect("--s: integer"),
+            "--formats" => {
+                cfg.formats = val("--formats")
+                    .split(',')
+                    .map(|f| {
+                        SpmvFormat::parse(f)
+                            .unwrap_or_else(|| panic!("--formats: unknown format {f:?}"))
+                    })
+                    .collect();
+            }
             "--out" => cfg.out = val("--out"),
             "--check" => cfg.check = true,
+            "--min-speedup" => {
+                cfg.min_speedup = val("--min-speedup").parse().expect("--min-speedup: number");
+            }
+            "--baseline" => cfg.baseline = Some(val("--baseline")),
             "--telemetry" => cfg.telemetry = Some(val("--telemetry")),
             "tune" => cfg.tune = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: kernelbench [--grid N] [--threads LIST] [--s S] \
-                     [--out PATH] [--check] [--telemetry PATH] [tune]"
+                     [--formats LIST] [--out PATH] [--check] [--min-speedup X] \
+                     [--baseline PATH] [--telemetry PATH] [tune]"
                 );
                 std::process::exit(2);
             }
@@ -95,6 +132,10 @@ fn parse_args() -> Config {
     assert!(
         !cfg.threads.is_empty(),
         "--threads: need at least one count"
+    );
+    assert!(
+        !cfg.formats.is_empty(),
+        "--formats: need at least one format"
     );
     cfg
 }
@@ -135,6 +176,7 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
     let alpha: Vec<f64> = (0..s).map(|k| 0.1 + 0.05 * k as f64).collect();
     let mut shift = vec![0.0; n];
 
+    let entry_format = pscg_sparse::spmv_format();
     let mut cells = Vec::new();
     for &t in &cfg.threads {
         let pool = Pool::new(t);
@@ -142,22 +184,28 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
         // One `bench` span per measured cell (arg = thread count); inert
         // unless --telemetry enabled recording.
         let spmv_fl = 2 * a.nnz() as u64;
-        let m = {
-            let _sp = pscg_obs::span_arg(SpanKind::Bench, t as u64);
-            group.bench_flops("spmv", a.nnz() as u64, spmv_fl, || {
-                a.spmv_with(
-                    &pool,
-                    std::hint::black_box(&x),
-                    std::hint::black_box(&mut y),
-                )
-            })
-        };
-        cells.push(Cell {
-            kernel: "spmv",
-            threads: t,
-            median_secs: m,
-            gflops: gflops_per_sec(spmv_fl, m),
-        });
+        for &fmt in &cfg.formats {
+            set_spmv_format(fmt);
+            let m = {
+                let _sp = pscg_obs::span_arg(SpanKind::Bench, t as u64);
+                group.bench_flops(&format!("spmv[{fmt}]"), a.nnz() as u64, spmv_fl, || {
+                    a.spmv_with(
+                        &pool,
+                        std::hint::black_box(&x),
+                        std::hint::black_box(&mut y),
+                    )
+                })
+            };
+            cells.push(Cell {
+                kernel: "spmv",
+                format: Some(fmt),
+                threads: t,
+                median_secs: m,
+                gflops: gflops_per_sec(spmv_fl, m),
+                bytes_per_nnz: Some(a.spmv_traffic_bytes(fmt) / a.nnz() as f64),
+            });
+        }
+        set_spmv_format(entry_format);
 
         let gram_fl = (2 * s * s * n) as u64;
         let m = {
@@ -168,9 +216,11 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
         };
         cells.push(Cell {
             kernel: "gram",
+            format: None,
             threads: t,
             median_secs: m,
             gflops: gflops_per_sec(gram_fl, m),
+            bytes_per_nnz: None,
         });
 
         let fu_fl = fused_flops(n, s);
@@ -188,26 +238,48 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
         };
         cells.push(Cell {
             kernel: "fused_update",
+            format: None,
             threads: t,
             median_secs: m,
             gflops: gflops_per_sec(fu_fl, m),
+            bytes_per_nnz: None,
         });
     }
     cells
 }
 
-/// Serial-baseline speedup of `kernel` at `threads`, if both were measured.
-fn speedup(cells: &[Cell], kernel: &str, threads: usize) -> Option<f64> {
+/// Serial-baseline speedup of `(kernel, format)` at `threads`, if both the
+/// serial and parallel cells were measured.
+fn speedup(
+    cells: &[Cell],
+    kernel: &str,
+    format: Option<SpmvFormat>,
+    threads: usize,
+) -> Option<f64> {
     let serial = cells
         .iter()
-        .find(|c| c.kernel == kernel && c.threads == 1)?;
+        .find(|c| c.kernel == kernel && c.format == format && c.threads == 1)?;
     let par = cells
         .iter()
-        .find(|c| c.kernel == kernel && c.threads == threads)?;
+        .find(|c| c.kernel == kernel && c.format == format && c.threads == threads)?;
     Some(serial.median_secs / par.median_secs)
 }
 
-fn write_json(cfg: &Config, a: &CsrMatrix, cells: &[Cell], gate: &GateResult) -> String {
+/// JSON cell key used in the `speedup_vs_serial` map and in log lines.
+fn cell_key(kernel: &str, format: Option<SpmvFormat>, threads: usize) -> String {
+    match format {
+        Some(f) => format!("{kernel}[{f}]@{threads}"),
+        None => format!("{kernel}@{threads}"),
+    }
+}
+
+fn write_json(
+    cfg: &Config,
+    a: &CsrMatrix,
+    cells: &[Cell],
+    gate: &GateResult,
+    baseline: Option<&BaselineCmp>,
+) -> String {
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -223,42 +295,95 @@ fn write_json(cfg: &Config, a: &CsrMatrix, cells: &[Cell], gate: &GateResult) ->
     let _ = writeln!(out, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         out,
-        "  \"knobs\": {{ \"spmv_chunk_nnz\": {}, \"gram_chunk_rows\": {} }},",
+        "  \"formats\": [{}],",
+        cfg.formats
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"knobs\": {{ \"spmv_chunk_nnz\": {}, \"gram_chunk_rows\": {}, \"sell_sigma\": {}, \"sym_chunk_nnz\": {} }},",
         knobs::spmv_chunk_nnz(),
-        knobs::gram_chunk_rows()
+        knobs::gram_chunk_rows(),
+        knobs::sell_sigma(),
+        knobs::sym_chunk_nnz()
     );
     let _ = writeln!(out, "  \"results\": [");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
+        let fmt_field = match c.format {
+            Some(f) => format!("\"format\": \"{f}\", "),
+            None => String::new(),
+        };
+        let traffic = match c.bytes_per_nnz {
+            Some(b) => format!(", \"bytes_per_nnz\": {b:.2}"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "    {{ \"kernel\": \"{}\", \"threads\": {}, \"median_secs\": {:.6e}, \"gflops\": {:.4} }}{comma}",
-            c.kernel, c.threads, c.median_secs, c.gflops
+            "    {{ \"kernel\": \"{}\", {}\"threads\": {}, \"median_secs\": {:.6e}, \"gflops\": {:.4}{} }}{comma}",
+            c.kernel, fmt_field, c.threads, c.median_secs, c.gflops, traffic
         );
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"speedup_vs_serial\": {{");
     let tmax = *cfg.threads.iter().max().unwrap();
-    let kernels = ["spmv", "gram", "fused_update"];
-    for (i, k) in kernels.iter().enumerate() {
-        let comma = if i + 1 < kernels.len() { "," } else { "" };
-        match speedup(cells, k, tmax) {
+    let mut keys: Vec<(String, Option<f64>)> = Vec::new();
+    for &f in &cfg.formats {
+        keys.push((
+            cell_key("spmv", Some(f), tmax),
+            speedup(cells, "spmv", Some(f), tmax),
+        ));
+    }
+    for k in ["gram", "fused_update"] {
+        keys.push((cell_key(k, None, tmax), speedup(cells, k, None, tmax)));
+    }
+    for (i, (key, sp)) in keys.iter().enumerate() {
+        let comma = if i + 1 < keys.len() { "," } else { "" };
+        match sp {
             Some(sp) => {
-                let _ = writeln!(out, "    \"{k}@{tmax}\": {sp:.3}{comma}");
+                let _ = writeln!(out, "    \"{key}\": {sp:.3}{comma}");
             }
             None => {
-                let _ = writeln!(out, "    \"{k}@{tmax}\": null{comma}");
+                let _ = writeln!(out, "    \"{key}\": null{comma}");
             }
         }
     }
     let _ = writeln!(out, "  }},");
     let _ = writeln!(
         out,
-        "  \"check\": {{ \"enforced\": {}, \"passed\": {}, \"detail\": \"{}\" }}",
+        "  \"check\": {{ \"enforced\": {}, \"passed\": {}, \"min_speedup\": {}, \"detail\": \"{}\" }}{}",
         gate.enforced,
         gate.passed.map_or("null".to_string(), |p| p.to_string()),
-        gate.detail
+        cfg.min_speedup,
+        gate.detail,
+        if baseline.is_some() { "," } else { "" }
     );
+    if let Some(b) = baseline {
+        let _ = writeln!(out, "  \"baseline\": {{");
+        let _ = writeln!(out, "    \"path\": \"{}\",", b.path);
+        let _ = writeln!(out, "    \"compared\": {},", b.compared);
+        let _ = writeln!(out, "    \"skipped\": {},", b.skipped);
+        let _ = writeln!(out, "    \"deltas_pct\": {{");
+        for (i, (key, pct)) in b.deltas.iter().enumerate() {
+            let comma = if i + 1 < b.deltas.len() { "," } else { "" };
+            let _ = writeln!(out, "      \"{key}\": {pct:.1}{comma}");
+        }
+        let _ = writeln!(out, "    }},");
+        let _ = writeln!(
+            out,
+            "    \"regressions\": [{}],",
+            b.regressions
+                .iter()
+                .map(|r| format!("\"{r}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(out, "    \"passed\": {}", b.regressions.is_empty());
+        let _ = writeln!(out, "  }}");
+    }
     let _ = writeln!(out, "}}");
     out
 }
@@ -269,8 +394,9 @@ struct GateResult {
     detail: String,
 }
 
-/// The perf-smoke gate: SpMV at the top thread count must not lose to
-/// serial — enforced only when the host can actually run that many lanes.
+/// The perf-smoke gate: SpMV at the top thread count must reach the
+/// required speedup over serial for *every* measured format — enforced
+/// only when the host can actually run that many lanes.
 fn evaluate_gate(cfg: &Config, cells: &[Cell]) -> GateResult {
     let tmax = *cfg.threads.iter().max().unwrap();
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -281,39 +407,143 @@ fn evaluate_gate(cfg: &Config, cells: &[Cell]) -> GateResult {
             detail: "single-threaded run, nothing to compare".into(),
         };
     }
-    let Some(sp) = speedup(cells, "spmv", tmax) else {
-        return GateResult {
-            enforced: false,
-            passed: None,
-            detail: "no serial baseline measured".into(),
+    let mut report = Vec::new();
+    let mut worst = f64::INFINITY;
+    for &f in &cfg.formats {
+        let Some(sp) = speedup(cells, "spmv", Some(f), tmax) else {
+            return GateResult {
+                enforced: false,
+                passed: None,
+                detail: format!("no serial baseline measured for spmv[{f}]"),
+            };
         };
-    };
+        worst = worst.min(sp);
+        report.push(format!("{f} {sp:.3}"));
+    }
+    let detail = format!(
+        "spmv speedups at {tmax} threads: {} (required >= {})",
+        report.join(", "),
+        cfg.min_speedup
+    );
     if host_cores < tmax {
         return GateResult {
             enforced: false,
             passed: None,
-            detail: format!(
-                "host has {host_cores} core(s) < {tmax} threads; speedup {sp:.3} recorded, gate skipped"
-            ),
+            detail: format!("SKIPPED — host has {host_cores} core(s) < {tmax} threads; {detail}"),
         };
     }
     GateResult {
         enforced: true,
-        passed: Some(sp >= 1.0),
-        detail: format!("spmv speedup at {tmax} threads: {sp:.3} (required >= 1.0)"),
+        passed: Some(worst >= cfg.min_speedup),
+        detail,
     }
 }
 
-/// Sweeps the chunk knobs around the model suggestion, serially re-timing
-/// SpMV and Gram, and prints the empirical best.
+/// Outcome of the committed-baseline comparison (`--baseline`).
+struct BaselineCmp {
+    path: String,
+    compared: usize,
+    skipped: usize,
+    /// `(cell key, GFLOP/s delta in percent vs the baseline)`.
+    deltas: Vec<(String, f64)>,
+    /// Human-readable lines for cells that dropped more than 20%.
+    regressions: Vec<String>,
+}
+
+/// Extracts the value of `"key": ...` from a single-line JSON object as the
+/// raw token (quotes stripped for strings). Robust only for the flat
+/// one-object-per-line cells this tool itself writes — which is exactly
+/// what the committed baseline is.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next().map(str::to_string)
+    } else {
+        rest.split([',', '}']).next().map(|t| t.trim().to_string())
+    }
+}
+
+/// Compares this run's cells against a committed baseline report: any
+/// (kernel, format, threads) cell present in both whose GFLOP/s dropped
+/// more than 20% is a regression. Baseline cells without a `format` field
+/// (the pre-format schema) are matched against the plain-CSR cell. Cells
+/// the host cannot genuinely run (threads > cores) are skipped with a log
+/// line rather than compared against oversubscribed numbers.
+fn compare_baseline(path: &str, cells: &[Cell]) -> BaselineCmp {
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+    let mut cmp = BaselineCmp {
+        path: path.to_string(),
+        compared: 0,
+        skipped: 0,
+        deltas: Vec::new(),
+        regressions: Vec::new(),
+    };
+    let Some(results_at) = text.find("\"results\"") else {
+        println!("baseline: {path} has no results section; nothing to compare");
+        return cmp;
+    };
+    for line in text[results_at..].lines() {
+        if line.trim_start().starts_with(']') {
+            break;
+        }
+        let Some(kernel) = json_field(line, "kernel") else {
+            continue;
+        };
+        let Some(threads) = json_field(line, "threads").and_then(|t| t.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let Some(old_gflops) = json_field(line, "gflops").and_then(|g| g.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        // Pre-format baselines carry no format field: their spmv cells
+        // were plain CSR.
+        let format = match json_field(line, "format") {
+            Some(f) => SpmvFormat::parse(&f),
+            None if kernel == "spmv" => Some(SpmvFormat::Csr),
+            None => None,
+        };
+        let key = cell_key(&kernel, format, threads);
+        let Some(new) = cells
+            .iter()
+            .find(|c| c.kernel == kernel && c.format == format && c.threads == threads)
+        else {
+            continue; // cell not measured in this run
+        };
+        if threads > host_cores {
+            println!("baseline: SKIPPED {key} — host has {host_cores} core(s) < {threads} threads");
+            cmp.skipped += 1;
+            continue;
+        }
+        let pct = (new.gflops - old_gflops) / old_gflops * 100.0;
+        cmp.deltas.push((key.clone(), pct));
+        cmp.compared += 1;
+        if new.gflops < 0.8 * old_gflops {
+            cmp.regressions.push(format!(
+                "{key}: {:.3} -> {:.3} GFLOP/s ({pct:.1}%)",
+                old_gflops, new.gflops
+            ));
+        }
+    }
+    cmp
+}
+
+/// Sweeps the chunk knobs around the model suggestion plus the SpMV format
+/// over every requested thread count, re-timing SpMV and Gram, and
+/// prints/installs the empirical best.
 fn tune(cfg: &Config, a: &mut CsrMatrix) {
     let n = a.nrows();
     let suggested = KernelTuning::for_problem(a.nnz(), cfg.s);
     println!(
-        "\nmodel suggestion: threads = {}, spmv_chunk_nnz = {}, gram_chunk_rows = {}",
-        suggested.threads, suggested.spmv_chunk_nnz, suggested.gram_chunk_rows
+        "\nmodel suggestion: threads = {}, spmv_chunk_nnz = {}, gram_chunk_rows = {}, format = {}",
+        suggested.threads, suggested.spmv_chunk_nnz, suggested.gram_chunk_rows, suggested.format
     );
-    let pool = Pool::new(*cfg.threads.iter().max().unwrap());
+    let tmax = *cfg.threads.iter().max().unwrap();
+    let pool = Pool::new(tmax);
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
     let mut y = vec![0.0; n];
 
@@ -341,6 +571,35 @@ fn tune(cfg: &Config, a: &mut CsrMatrix) {
     }
     println!("\nbest spmv_chunk_nnz: {}", best.1);
     knobs::set_spmv_chunk_nnz(best.1);
+    a.reset_par_rows();
+
+    // Format sweep: every requested format at every requested thread
+    // count; the winner at the top thread count is installed.
+    let mut best = (f64::INFINITY, SpmvFormat::Csr);
+    for &t in &cfg.threads {
+        let tpool = Pool::new(t);
+        let group = Group::new(&format!("tune_spmv_format_t{t}"));
+        for &fmt in &cfg.formats {
+            set_spmv_format(fmt);
+            let m = group.bench_flops(
+                &format!("format={fmt}"),
+                a.nnz() as u64,
+                2 * a.nnz() as u64,
+                || {
+                    a.spmv_with(
+                        &tpool,
+                        std::hint::black_box(&x),
+                        std::hint::black_box(&mut y),
+                    )
+                },
+            );
+            if t == tmax && m < best.0 {
+                best = (m, fmt);
+            }
+        }
+    }
+    println!("\nbest spmv format at {tmax} thread(s): {}", best.1);
+    set_spmv_format(best.1);
 
     let s = cfg.s;
     let cols: Vec<Vec<f64>> = (0..s)
@@ -369,19 +628,25 @@ fn tune(cfg: &Config, a: &mut CsrMatrix) {
     }
     println!("\nbest gram_chunk_rows: {}", best.1);
     knobs::set_gram_chunk_rows(best.1);
+    println!("\ninstalled tuning: {:?}", KernelTuning::current());
 }
 
 fn main() {
     let cfg = parse_args();
     println!(
-        "# kernelbench — 7pt Poisson {0}³ ({1} threads), s = {2}",
+        "# kernelbench — 7pt Poisson {0}³ ({1} threads), s = {2}, formats: {3}",
         cfg.grid,
         cfg.threads
             .iter()
             .map(|t| t.to_string())
             .collect::<Vec<_>>()
             .join("/"),
-        cfg.s
+        cfg.s,
+        cfg.formats
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
     );
     let mut a = poisson3d_7pt(Grid3::cube(cfg.grid), None);
     println!("nrows = {}, nnz = {}", a.nrows(), a.nnz());
@@ -412,14 +677,40 @@ fn main() {
         );
     }
     let gate = evaluate_gate(&cfg, &cells);
-    let json = write_json(&cfg, &a, &cells, &gate);
+    let baseline = cfg.baseline.as_deref().map(|p| compare_baseline(p, &cells));
+    let json = write_json(&cfg, &a, &cells, &gate, baseline.as_ref());
     std::fs::write(&cfg.out, &json).expect("write bench report");
     println!("\nwrote {}", cfg.out);
     println!("pool: {pool_delta}");
     println!("gate: {}", gate.detail);
+    if let Some(b) = &baseline {
+        println!(
+            "baseline: {} cell(s) compared, {} skipped, {} regression(s)",
+            b.compared,
+            b.skipped,
+            b.regressions.len()
+        );
+        for r in &b.regressions {
+            eprintln!("REGRESSION: {r}");
+        }
+    }
 
+    let mut fail = false;
     if cfg.check && gate.enforced && gate.passed == Some(false) {
         eprintln!("FAIL: {}", gate.detail);
+        fail = true;
+    }
+    if let Some(b) = &baseline {
+        if !b.regressions.is_empty() {
+            eprintln!(
+                "FAIL: {} cell(s) regressed more than 20% vs {}",
+                b.regressions.len(),
+                b.path
+            );
+            fail = true;
+        }
+    }
+    if fail {
         std::process::exit(1);
     }
 }

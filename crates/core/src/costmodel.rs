@@ -142,9 +142,25 @@ pub fn kernel_times(
     let pc = machine.compute_time(pc_flops_per_row * rows, pc_bytes_per_row * rows);
     let spmv = machine.compute_time(
         2.0 * w.local_nnz as f64,
-        12.0 * w.local_nnz as f64 + 16.0 * rows,
+        spmv_model_bytes(pscg_sparse::spmv_format(), w.local_nnz as f64, rows),
     ) + machine.halo_time(w.neighbors, 8.0 * w.halo_doubles as f64);
     (g, pc, spmv)
+}
+
+/// Modelled SpMV memory traffic for one storage format (DESIGN.md §12).
+/// CSR moves 12 B per stored entry (value + compressed column index) plus
+/// 16 B of pointer/vector traffic per row; the register-blocked variants
+/// move the same bytes (their win is instruction-level parallelism, not
+/// traffic), as does SELL-C-σ under this coarse model (the permutation and
+/// length arrays replace the row pointer). The symmetric format stores
+/// only the upper triangle — half the entry traffic — at the price of a
+/// second streamed pass over `y`.
+pub fn spmv_model_bytes(format: pscg_sparse::SpmvFormat, nnz: f64, rows: f64) -> f64 {
+    use pscg_sparse::SpmvFormat as F;
+    match format {
+        F::Csr | F::CsrUnrolled4 | F::CsrUnrolled8 | F::SellCSigma => 12.0 * nnz + 16.0 * rows,
+        F::SymCsr => 6.0 * nnz + 24.0 * rows,
+    }
 }
 
 /// The smallest rank count (among `candidates`) at which `G` exceeds

@@ -47,6 +47,12 @@ pub mod code {
     /// A still-pending reduction was drained (payload discarded) after the
     /// retry budget ran out, so the next attempt starts quiescent.
     pub const REDUCE_DRAIN: u64 = 6;
+    /// The preconditioner apply was demoted to fp32 at solve start
+    /// (`SolveOptions::pc_fp32`).
+    pub const PC_DEMOTE: u64 = 7;
+    /// The fp32 preconditioner apply was promoted back to fp64 after an
+    /// attempt failed — the drift-probe-gated mixed-precision fallback.
+    pub const PC_PROMOTE: u64 = 8;
 }
 
 /// True relative residual `‖b − A x‖ / refn` recomputed from scratch in the
@@ -225,6 +231,14 @@ pub fn solve_resilient<C: Context>(
     if opts.resilience == Resilience::default() {
         opts.resilience = Resilience::armed();
     }
+    // Mixed-precision policy: try the fp32 preconditioner apply first. The
+    // acceptance check below re-verifies every result against the
+    // recomputed fp64 true residual, and the in-loop drift probe aborts a
+    // lying recurrence — so reduced precision can cost a restart but never
+    // a silently wrong answer. A failed attempt promotes back to fp64.
+    if opts.pc_fp32 && ctx.pc_demote() {
+        telemetry::note_recovery(ctx, code::PC_DEMOTE);
+    }
     let refn = crate::methods::global_ref_norm(ctx, b, &opts);
     // A result is accepted only when the *recomputed* residual agrees that
     // the tolerance was met (small slack for the recurrence-vs-true gap a
@@ -263,6 +277,7 @@ pub fn solve_resilient<C: Context>(
             best = Some((res.x.clone(), t));
         }
         if res.converged() && accept(t) {
+            ctx.pc_promote();
             return Ok(merged(res, total_iters, history, *ctx.counters()));
         }
         // Honest budget exhaustion (no drift, no fault): report it as-is
@@ -271,10 +286,17 @@ pub fn solve_resilient<C: Context>(
             && t.is_finite()
             && t <= opts.resilience.drift_tol * res.final_relres.max(f64::MIN_POSITIVE)
         {
+            ctx.pc_promote();
             return Ok(merged(res, total_iters, history, *ctx.counters()));
         }
         history.extend(res.history.iter().copied());
         last = Some(res.stop);
+        // fp64 fallback: a demoted preconditioner is the first suspect of
+        // a failed attempt — promote before burning a restart on it.
+        if ctx.pc_demoted() {
+            ctx.pc_promote();
+            telemetry::note_recovery(ctx, code::PC_PROMOTE);
+        }
         if attempt < opts.resilience.max_replacements {
             // Residual replacement: restart from the best finite iterate —
             // the new solve recomputes r = b − A x and rebuilds the AQ/AP
@@ -288,7 +310,11 @@ pub fn solve_resilient<C: Context>(
     }
 
     // Replacement failed max_replacements times: degrade gracefully to a
-    // clean PCG restart from the last-good iterate.
+    // clean PCG restart from the last-good iterate (always full fp64).
+    if ctx.pc_demoted() {
+        ctx.pc_promote();
+        telemetry::note_recovery(ctx, code::PC_PROMOTE);
+    }
     telemetry::note_recovery(ctx, code::PCG_RESTART);
     let from = best.as_ref().map(|(x, _)| x.clone()).or(start);
     let res = MethodKind::Pcg.solve(ctx, b, from.as_deref(), &opts);

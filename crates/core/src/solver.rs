@@ -137,6 +137,13 @@ pub struct SolveOptions {
     pub s: usize,
     /// Self-stabilization knobs (default: fully inert).
     pub resilience: Resilience,
+    /// Mixed-precision policy: ask the context to demote the
+    /// preconditioner apply to fp32 for the fp64 outer loop. Only honoured
+    /// by [`crate::resilience::solve_resilient`], whose true-residual
+    /// drift probe and acceptance check gate the reduced precision — a
+    /// failed attempt promotes back to fp64 and restarts, so the answer is
+    /// never silently degraded.
+    pub pc_fp32: bool,
 }
 
 impl Default for SolveOptions {
@@ -149,6 +156,7 @@ impl Default for SolveOptions {
             ref_norm: RefNorm::default(),
             s: 3,
             resilience: Resilience::default(),
+            pc_fp32: false,
         }
     }
 }

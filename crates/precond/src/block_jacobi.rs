@@ -7,15 +7,24 @@
 //! block count* — more ranks, weaker coupling — which the global engines
 //! emulate by taking the intended rank count at construction.
 
-use pscg_sparse::dense::{DenseMatrix, LuFactors};
+use pscg_sparse::dense::{DenseMatrix, LuFactors, LuFactorsF32};
 use pscg_sparse::op::{ApplyCost, Operator};
 use pscg_sparse::partition::RowBlockPartition;
 use pscg_sparse::CsrMatrix;
 
 /// Block-Jacobi with dense LU per diagonal block.
+///
+/// Supports the demoted fp32 apply (DESIGN.md §12): on
+/// [`Operator::demote_precision`] every block's factors are rounded to f32
+/// once and the triangular solves run in f32, halving factor traffic. The
+/// fp64 factors are kept, so promotion restores the original operator
+/// exactly.
 pub struct BlockJacobi {
     part: RowBlockPartition,
     blocks: Vec<LuFactors>,
+    /// fp32 copies of the block factors, built lazily on first demotion.
+    blocks_f32: Vec<LuFactorsF32>,
+    fp32: bool,
     avg_block: f64,
 }
 
@@ -51,6 +60,8 @@ impl BlockJacobi {
         BlockJacobi {
             part,
             blocks,
+            blocks_f32: Vec::new(),
+            fp32: false,
             avg_block,
         }
     }
@@ -67,24 +78,52 @@ impl Operator for BlockJacobi {
     }
 
     fn apply(&mut self, r: &[f64], u: &mut [f64]) {
-        for (b, lu) in self.blocks.iter().enumerate() {
-            let (lo, hi) = self.part.range(b);
-            let x = lu.solve(&r[lo..hi]);
-            u[lo..hi].copy_from_slice(&x);
+        if self.fp32 {
+            for (b, lu) in self.blocks_f32.iter().enumerate() {
+                let (lo, hi) = self.part.range(b);
+                lu.solve_into(&r[lo..hi], &mut u[lo..hi]);
+            }
+        } else {
+            for (b, lu) in self.blocks.iter().enumerate() {
+                let (lo, hi) = self.part.range(b);
+                let x = lu.solve(&r[lo..hi]);
+                u[lo..hi].copy_from_slice(&x);
+            }
         }
     }
 
     fn cost(&self) -> ApplyCost {
-        // Dense triangular solves: ~2·m² flops over m rows = 2m per row.
+        // Dense triangular solves: ~2·m² flops over m rows = 2m per row;
+        // demoted factors halve the dominant factor traffic.
         ApplyCost {
             flops_per_row: 2.0 * self.avg_block,
-            bytes_per_row: 8.0 * self.avg_block,
+            bytes_per_row: if self.fp32 { 4.0 } else { 8.0 } * self.avg_block,
             comm_rounds: 0,
         }
     }
 
     fn name(&self) -> &str {
-        "BlockJacobi"
+        if self.fp32 {
+            "BlockJacobi-fp32"
+        } else {
+            "BlockJacobi"
+        }
+    }
+
+    fn demote_precision(&mut self) -> bool {
+        if self.blocks_f32.is_empty() && !self.blocks.is_empty() {
+            self.blocks_f32 = self.blocks.iter().map(LuFactors::to_f32).collect();
+        }
+        self.fp32 = true;
+        true
+    }
+
+    fn promote_precision(&mut self) {
+        self.fp32 = false;
+    }
+
+    fn is_demoted(&self) -> bool {
+        self.fp32
     }
 }
 

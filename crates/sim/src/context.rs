@@ -105,6 +105,19 @@ pub trait Context {
     /// `u = M⁻¹ r` on the local rows.
     fn pc_apply(&mut self, r: &[f64], u: &mut [f64]);
 
+    /// Attempts to demote the preconditioner apply to fp32 (see
+    /// [`pscg_sparse::op::Operator::demote_precision`]). Engines without a
+    /// precision-switchable preconditioner refuse — the default.
+    fn pc_demote(&mut self) -> bool {
+        false
+    }
+    /// Restores the fp64 preconditioner apply (no-op when never demoted).
+    fn pc_promote(&mut self) {}
+    /// True while the preconditioner applies in reduced (fp32) precision.
+    fn pc_demoted(&self) -> bool {
+        false
+    }
+
     /// Blocking sum-allreduce of `vals`.
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64>;
     /// Posts a non-blocking sum-allreduce of `vals`.
@@ -653,6 +666,21 @@ impl Context for SimCtx<'_> {
             r: br,
             u: bu,
         });
+    }
+
+    fn pc_demote(&mut self) -> bool {
+        // The IR keeps seeing the same logical Pc node: `pc_apply` records
+        // the operator's *current* declared cost, so demotion shows up as
+        // updated cost metadata, not a new node kind.
+        self.pc.demote_precision()
+    }
+
+    fn pc_promote(&mut self) {
+        self.pc.promote_precision();
+    }
+
+    fn pc_demoted(&self) -> bool {
+        self.pc.is_demoted()
     }
 
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64> {

@@ -5,6 +5,9 @@ use std::sync::OnceLock;
 use pscg_par::{DisjointMut, Pool};
 
 use crate::error::SparseError;
+use crate::format::{spmv_format, SpmvFormat};
+use crate::sell::SellMatrix;
+use crate::symcsr::SymCsrMatrix;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -12,7 +15,13 @@ use crate::error::SparseError;
 /// `row_ptr.len() == nrows + 1`, `row_ptr\[0\] == 0`, `row_ptr` is
 /// non-decreasing, `col_idx.len() == vals.len() == row_ptr[nrows]`, and
 /// column indices within each row are strictly increasing and `< ncols`.
-#[derive(Debug, Clone)]
+///
+/// The SpMV entry points dispatch on the process-wide
+/// [`crate::format::spmv_format`] knob; alternative representations
+/// (SELL-C-σ, symmetric CSR) are derived lazily and cached. All formats
+/// produce bitwise-identical results (see [`crate::sell`] and
+/// [`crate::symcsr`] for the respective arguments).
+#[derive(Debug)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
@@ -22,11 +31,33 @@ pub struct CsrMatrix {
     /// nnz-balanced row boundaries for the parallel SpMV, built lazily from
     /// the structure (never the values, so `vals_mut` cannot stale it).
     par_rows: OnceLock<Vec<usize>>,
+    /// Cached SELL-C-σ representation (`None` inside = conversion not
+    /// applicable). Value-derived: invalidated by `vals_mut`/`scale`.
+    sell: OnceLock<Option<SellMatrix>>,
+    /// Cached symmetric representation (`None` inside = matrix is not
+    /// exactly symmetric). Value-derived: invalidated by
+    /// `vals_mut`/`scale`.
+    sym: OnceLock<Option<SymCsrMatrix>>,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        // Derived caches are not cloned: they are cheap to rebuild relative
+        // to their footprint, and `SymCsrMatrix` owns scratch state.
+        CsrMatrix::assemble(
+            self.nrows,
+            self.ncols,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
 }
 
 impl PartialEq for CsrMatrix {
     fn eq(&self, other: &Self) -> bool {
-        // The cached partition is derived state, not identity.
+        // The cached partition/representations are derived state, not
+        // identity.
         self.nrows == other.nrows
             && self.ncols == other.ncols
             && self.row_ptr == other.row_ptr
@@ -56,6 +87,26 @@ fn nnz_balanced_rows(row_ptr: &[usize], chunk_nnz: usize) -> Vec<usize> {
 }
 
 impl CsrMatrix {
+    /// Internal constructor: wraps validated arrays with empty caches.
+    fn assemble(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+            par_rows: OnceLock::new(),
+            sell: OnceLock::new(),
+            sym: OnceLock::new(),
+        }
+    }
+
     /// Builds a CSR matrix from raw arrays, validating all invariants.
     pub fn from_raw_parts(
         nrows: usize,
@@ -113,26 +164,12 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix {
-            nrows,
-            ncols,
-            row_ptr,
-            col_idx,
-            vals,
-            par_rows: OnceLock::new(),
-        })
+        Ok(CsrMatrix::assemble(nrows, ncols, row_ptr, col_idx, vals))
     }
 
     /// The `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n).collect(),
-            vals: vec![1.0; n],
-            par_rows: OnceLock::new(),
-        }
+        CsrMatrix::assemble(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// Number of rows.
@@ -180,9 +217,13 @@ impl CsrMatrix {
         &self.vals
     }
 
-    /// Mutable values array (structure stays fixed).
+    /// Mutable values array (structure stays fixed). Drops the cached
+    /// SELL/symmetric representations — they embed values, unlike the
+    /// structure-only row partition.
     #[inline]
     pub fn vals_mut(&mut self) -> &mut [f64] {
+        self.sell = OnceLock::new();
+        self.sym = OnceLock::new();
         &mut self.vals
     }
 
@@ -220,10 +261,30 @@ impl CsrMatrix {
             .get_or_init(|| nnz_balanced_rows(&self.row_ptr, pscg_par::knobs::spmv_chunk_nnz()))
     }
 
-    /// Drops the cached row partition so the next SpMV rebuilds it — needed
-    /// after changing [`pscg_par::knobs::spmv_chunk_nnz`] (the tuner does).
+    /// Drops the cached row partition *and* the cached SELL/symmetric
+    /// representations so the next SpMV rebuilds them — needed after
+    /// changing any [`pscg_par::knobs`] chunking knob (the tuner does).
     pub fn reset_par_rows(&mut self) {
         self.par_rows = OnceLock::new();
+        self.sell = OnceLock::new();
+        self.sym = OnceLock::new();
+    }
+
+    /// The cached SELL-C-σ representation, built on first use (`None` when
+    /// the matrix cannot be converted, e.g. indices past `u32`).
+    pub fn sell_cache(&self) -> Option<&SellMatrix> {
+        self.sell
+            .get_or_init(|| SellMatrix::from_csr(self).ok())
+            .as_ref()
+    }
+
+    /// The cached symmetric representation, built on first use (`None` when
+    /// the matrix is not exactly symmetric — the SpMV dispatch then falls
+    /// back to plain CSR).
+    pub fn sym_cache(&self) -> Option<&SymCsrMatrix> {
+        self.sym
+            .get_or_init(|| SymCsrMatrix::try_from_csr(self).ok())
+            .as_ref()
     }
 
     /// Rows `[row_lo, row_hi)` of `y = A x`, serial (the per-chunk kernel;
@@ -241,12 +302,90 @@ impl CsrMatrix {
         }
     }
 
+    /// Rows `[row_lo, row_hi)` with `B`-row register blocking: `B` rows
+    /// walk their common-length prefix in lockstep with `B` independent
+    /// accumulators (hiding the FP-add latency that bounds the scalar
+    /// kernel), then finish their tails one row at a time; trailing rows
+    /// `< B` fall back to the scalar kernel. Each row's own chain is still
+    /// ascending-column from `0.0` — bitwise equal to `spmv_rows_serial`.
+    fn spmv_rows_serial_blocked<const B: usize>(
+        &self,
+        row_lo: usize,
+        row_hi: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        assert!(x.len() >= self.ncols, "blocked spmv: x shorter than ncols");
+        let (vals, cols) = (&self.vals[..], &self.col_idx[..]);
+        let mut r = row_lo;
+        while r + B <= row_hi {
+            let mut base = [0usize; B];
+            let mut len = [0usize; B];
+            let mut min_len = usize::MAX;
+            for j in 0..B {
+                base[j] = self.row_ptr[r + j];
+                len[j] = self.row_ptr[r + j + 1] - base[j];
+                min_len = min_len.min(len[j]);
+            }
+            let mut acc = [0.0f64; B];
+            for k in 0..min_len {
+                for j in 0..B {
+                    let idx = base[j] + k;
+                    // SAFETY: `idx < row_ptr[r+j+1] <= nnz` bounds vals and
+                    // col_idx, and every stored column index is `< ncols <=
+                    // x.len()` (validated by `from_raw_parts`, asserted
+                    // above). Unchecked because three bounds checks per
+                    // entry dominate this bandwidth-bound loop.
+                    unsafe {
+                        acc[j] +=
+                            vals.get_unchecked(idx) * x.get_unchecked(*cols.get_unchecked(idx));
+                    }
+                }
+            }
+            for j in 0..B {
+                for k in min_len..len[j] {
+                    let idx = base[j] + k;
+                    // SAFETY: as above.
+                    unsafe {
+                        acc[j] +=
+                            vals.get_unchecked(idx) * x.get_unchecked(*cols.get_unchecked(idx));
+                    }
+                }
+                y[r - row_lo + j] = acc[j];
+            }
+            r += B;
+        }
+        if r < row_hi {
+            self.spmv_rows_serial(r, row_hi, x, &mut y[r - row_lo..]);
+        }
+    }
+
+    /// The per-chunk CSR row kernel for `fmt` (scalar for the non-CSR
+    /// formats, which have their own drivers).
+    fn spmv_rows_fmt(
+        &self,
+        fmt: SpmvFormat,
+        row_lo: usize,
+        row_hi: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        match fmt {
+            SpmvFormat::CsrUnrolled4 => self.spmv_rows_serial_blocked::<4>(row_lo, row_hi, x, y),
+            SpmvFormat::CsrUnrolled8 => self.spmv_rows_serial_blocked::<8>(row_lo, row_hi, x, y),
+            _ => self.spmv_rows_serial(row_lo, row_hi, x, y),
+        }
+    }
+
     /// Sparse matrix–vector product `y = A x`.
     ///
     /// The hot loop of every method in the paper: row chunks of the cached
     /// nnz-balanced partition run on the global thread pool, each keeping
     /// the row accumulation in a register and streaming `col_idx`/`vals`
-    /// once. Bitwise identical to the serial product at any thread count.
+    /// once. Bitwise identical to the serial product at any thread count —
+    /// and in any [`crate::format::spmv_format`] (the knob this entry point
+    /// dispatches on): every format preserves each row's ascending-column
+    /// accumulation chain exactly.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         self.spmv_with(&pscg_par::global(), x, y)
     }
@@ -255,6 +394,23 @@ impl CsrMatrix {
     pub fn spmv_with(&self, pool: &Pool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        let fmt = spmv_format();
+        match fmt {
+            SpmvFormat::SellCSigma => {
+                if let Some(s) = self.sell_cache() {
+                    return s.spmv_with(pool, x, y);
+                }
+                // Conversion not applicable (u32 overflow): plain CSR.
+            }
+            SpmvFormat::SymCsr => {
+                if let Some(s) = self.sym_cache() {
+                    return s.spmv_with(pool, x, y);
+                }
+                // Not exactly symmetric: plain CSR (results are bitwise
+                // identical either way; only traffic differs).
+            }
+            _ => {}
+        }
         // The serial/parallel decision depends only on the shape, never on
         // the pool width: a 1-lane pool takes the exact same path (inline)
         // with the exact same allocations, so traced runs — whose BufId
@@ -262,7 +418,7 @@ impl CsrMatrix {
         let bounds = self.par_row_bounds();
         let nchunks = bounds.len().saturating_sub(1);
         if nchunks <= 1 {
-            self.spmv_rows_serial(0, self.nrows, x, y);
+            self.spmv_rows_fmt(fmt, 0, self.nrows, x, y);
             return;
         }
         let out = DisjointMut::new(y);
@@ -272,7 +428,7 @@ impl CsrMatrix {
             // SAFETY: partition boundaries are strictly increasing, so row
             // ranges (and the y sub-slices) are pairwise disjoint.
             let yy = unsafe { out.range(lo, hi) };
-            self.spmv_rows_serial(lo, hi, x, yy);
+            self.spmv_rows_fmt(fmt, lo, hi, x, yy);
         });
     }
 
@@ -284,7 +440,11 @@ impl CsrMatrix {
 
     /// [`CsrMatrix::spmv_rows`] on an explicit pool. The row window is
     /// re-chunked at the same nnz target, so the result stays bitwise equal
-    /// to the serial kernel regardless of window or thread count.
+    /// to the serial kernel regardless of window or thread count. Format
+    /// dispatch covers the CSR kernels only; the SELL/symmetric
+    /// representations cover the whole matrix, not a window, so those
+    /// formats run the 4-row register-blocked CSR kernel here (still
+    /// bitwise identical — the representation never changes results).
     pub fn spmv_rows_with(
         &self,
         pool: &Pool,
@@ -295,12 +455,17 @@ impl CsrMatrix {
     ) {
         assert!(row_hi <= self.nrows);
         assert_eq!(y.len(), row_hi - row_lo, "spmv_rows: y length mismatch");
+        let fmt = match spmv_format() {
+            SpmvFormat::Csr => SpmvFormat::Csr,
+            SpmvFormat::CsrUnrolled8 => SpmvFormat::CsrUnrolled8,
+            _ => SpmvFormat::CsrUnrolled4,
+        };
         let window_nnz = self.row_ptr[row_hi] - self.row_ptr[row_lo];
         let chunk_nnz = pscg_par::knobs::spmv_chunk_nnz();
         // Shape-only decision — see `spmv_with` on why the pool width must
         // not influence the code path or its allocations.
         if window_nnz < 2 * chunk_nnz {
-            self.spmv_rows_serial(row_lo, row_hi, x, y);
+            self.spmv_rows_fmt(fmt, row_lo, row_hi, x, y);
             return;
         }
         let bounds = nnz_balanced_rows(&self.row_ptr[row_lo..=row_hi], chunk_nnz);
@@ -310,7 +475,7 @@ impl CsrMatrix {
             pscg_par::sync_trace::record_read(x, 0, x.len());
             // SAFETY: chunk row ranges are pairwise disjoint.
             let yy = unsafe { out.range(lo, hi) };
-            self.spmv_rows_serial(row_lo + lo, row_lo + hi, x, yy);
+            self.spmv_rows_fmt(fmt, row_lo + lo, row_lo + hi, x, yy);
         });
     }
 
@@ -346,14 +511,7 @@ impl CsrMatrix {
         }
         // Rows of the transpose are produced in increasing source-row order,
         // so column indices are already sorted.
-        CsrMatrix {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            row_ptr,
-            col_idx,
-            vals,
-            par_rows: OnceLock::new(),
-        }
+        CsrMatrix::assemble(self.ncols, self.nrows, row_ptr, col_idx, vals)
     }
 
     /// Sparse matrix product `self · other`, via a row-merge with a dense
@@ -393,14 +551,7 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix {
-            nrows: self.nrows,
-            ncols: m,
-            row_ptr,
-            col_idx,
-            vals,
-            par_rows: OnceLock::new(),
-        }
+        CsrMatrix::assemble(self.nrows, m, row_ptr, col_idx, vals)
     }
 
     /// Galerkin triple product `Pᵀ · self · P`.
@@ -479,8 +630,44 @@ impl CsrMatrix {
 
     /// Scales all values by `s`.
     pub fn scale(&mut self, s: f64) {
+        // Value-derived caches go stale (the structure-only row partition
+        // does not).
+        self.sell = OnceLock::new();
+        self.sym = OnceLock::new();
         for v in &mut self.vals {
             *v *= s;
+        }
+    }
+
+    /// Modelled memory traffic of one SpMV in format `fmt`, in bytes —
+    /// matrix streams (values + indices + row metadata) plus one
+    /// write-allocate pass over `y` and one nominal read of `x` (gather
+    /// locality is not modelled). Used by `kernelbench` to report
+    /// effective bytes/nnz per format.
+    pub fn spmv_traffic_bytes(&self, fmt: SpmvFormat) -> f64 {
+        let nnz = self.nnz() as f64;
+        let rows = self.nrows as f64;
+        let vecs = 16.0 * rows; // x read + y written, 8 B each
+        match fmt {
+            // 8 B value + 8 B usize column per entry + 8 B row_ptr per row.
+            SpmvFormat::Csr | SpmvFormat::CsrUnrolled4 | SpmvFormat::CsrUnrolled8 => {
+                16.0 * nnz + 8.0 * rows + vecs
+            }
+            // 8 B value + 4 B u32 column per *padded* entry + 8 B
+            // perm/len metadata per row.
+            SpmvFormat::SellCSigma => match self.sell_cache() {
+                Some(s) => 12.0 * s.padded_nnz() as f64 + 8.0 * rows + vecs,
+                None => self.spmv_traffic_bytes(SpmvFormat::Csr),
+            },
+            // Each stored upper entry (12 B) is read once and serves both
+            // mirror halves; diagonal 8 B + row_ptr 8 B per row.
+            SpmvFormat::SymCsr => match self.sym_cache() {
+                Some(s) => {
+                    let upper = (s.stored_nnz() - s.nrows()) as f64;
+                    12.0 * upper + 16.0 * rows + vecs
+                }
+                None => self.spmv_traffic_bytes(SpmvFormat::Csr),
+            },
         }
     }
 }
@@ -628,6 +815,68 @@ mod tests {
         // Degenerate shapes.
         assert_eq!(nnz_balanced_rows(&[0], 4), vec![0]);
         assert_eq!(nnz_balanced_rows(&[0, 3], 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn blocked_kernels_are_bitwise_scalar() {
+        use crate::stencil::{poisson3d_7pt, Grid3};
+        let a = poisson3d_7pt(Grid3::cube(7), None);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.61).cos()).collect();
+        let mut want = vec![0.0; a.nrows()];
+        a.spmv_rows_serial(0, a.nrows(), &x, &mut want);
+        let mut y4 = vec![f64::NAN; a.nrows()];
+        a.spmv_rows_serial_blocked::<4>(0, a.nrows(), &x, &mut y4);
+        assert_eq!(y4, want);
+        let mut y8 = vec![f64::NAN; a.nrows()];
+        a.spmv_rows_serial_blocked::<8>(0, a.nrows(), &x, &mut y8);
+        assert_eq!(y8, want);
+        // Odd windows exercise the scalar remainder.
+        let mut part = vec![f64::NAN; 13];
+        a.spmv_rows_serial_blocked::<4>(3, 16, &x, &mut part);
+        assert_eq!(part, want[3..16]);
+    }
+
+    #[test]
+    fn format_dispatch_is_bitwise_invariant() {
+        use crate::format::{set_spmv_format, SpmvFormat};
+        use crate::stencil::{poisson3d_7pt, Grid3};
+        let a = poisson3d_7pt(Grid3::cube(6), None);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.29).sin()).collect();
+        let mut want = vec![0.0; a.nrows()];
+        a.spmv_rows_serial(0, a.nrows(), &x, &mut want);
+        let before = crate::format::spmv_format();
+        for fmt in SpmvFormat::ALL {
+            set_spmv_format(fmt);
+            let mut y = vec![f64::NAN; a.nrows()];
+            a.spmv(&x, &mut y);
+            assert_eq!(y, want, "format {fmt} diverges");
+            let mut part = vec![f64::NAN; a.nrows() - 9];
+            a.spmv_rows(4, a.nrows() - 5, &x, &mut part);
+            assert_eq!(part, want[4..a.nrows() - 5], "format {fmt} window diverges");
+            assert!(a.spmv_traffic_bytes(fmt) > 0.0);
+        }
+        set_spmv_format(before);
+    }
+
+    #[test]
+    fn value_mutation_invalidates_derived_formats() {
+        use crate::format::{set_spmv_format, SpmvFormat};
+        let mut a = small();
+        let before = crate::format::spmv_format();
+        set_spmv_format(SpmvFormat::SellCSigma);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y); // populates the SELL cache
+        a.vals_mut()[0] = 10.0;
+        a.spmv(&x, &mut y);
+        assert_eq!(y[0], 10.0 * 1.0 - 1.0 * 2.0, "stale SELL cache served");
+        set_spmv_format(SpmvFormat::SymCsr);
+        let mut b = small();
+        b.spmv(&x, &mut y); // populates the symmetric cache
+        b.scale(2.0);
+        b.spmv(&x, &mut y);
+        assert_eq!(y[0], 2.0 * (4.0 - 2.0), "stale symmetric cache served");
+        set_spmv_format(before);
     }
 
     #[test]

@@ -329,6 +329,59 @@ impl LuFactors {
     pub fn order(&self) -> usize {
         self.n
     }
+
+    /// Demotes the factors to fp32 storage (see [`LuFactorsF32`]).
+    pub fn to_f32(&self) -> LuFactorsF32 {
+        LuFactorsF32 {
+            n: self.n,
+            lu: self.lu.iter().map(|&v| v as f32).collect(),
+            piv: self.piv.clone(),
+        }
+    }
+}
+
+/// fp32 copy of [`LuFactors`] for the demoted preconditioner apply: the
+/// triangular solves run entirely in f32 (the right-hand side is rounded on
+/// entry, the result widened on exit), halving factor traffic. Same
+/// substitution order as [`LuFactors::solve`], so the result is a
+/// deterministic function of the inputs.
+#[derive(Debug, Clone)]
+pub struct LuFactorsF32 {
+    n: usize,
+    lu: Vec<f32>,
+    piv: Vec<usize>,
+}
+
+impl LuFactorsF32 {
+    /// Solves `A x ≈ b` in f32 arithmetic, widening into `out`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "LuFactorsF32::solve_into: dimension");
+        assert_eq!(out.len(), self.n, "LuFactorsF32::solve_into: dimension");
+        let n = self.n;
+        let mut x: Vec<f32> = self.piv.iter().map(|&p| b[p] as f32).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for k in 0..i {
+                acc -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for k in (i + 1)..n {
+                acc -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        for (o, v) in out.iter_mut().zip(&x) {
+            *o = f64::from(*v);
+        }
+    }
+
+    /// Order of the factorised matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
 }
 
 #[cfg(test)]

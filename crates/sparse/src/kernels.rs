@@ -51,6 +51,51 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// `y += a·x`, manually unrolled 4× with a scalar tail — the streaming
+/// update body of the fused s-step sweeps. Elements are independent (no
+/// cross-element accumulation), so unrolling cannot change rounding: this
+/// is bitwise identical to [`axpy`] and exists purely to keep four
+/// load/FMA/store pipelines in flight per iteration.
+#[inline]
+pub fn axpy_unrolled4(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let blocks = n / 4 * 4;
+    let mut i = 0;
+    while i < blocks {
+        y[i] += a * x[i];
+        y[i + 1] += a * x[i + 1];
+        y[i + 2] += a * x[i + 2];
+        y[i + 3] += a * x[i + 3];
+        i += 4;
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// `y -= a·x`, manually unrolled 4× with a scalar tail (see
+/// [`axpy_unrolled4`]; bitwise identical to the plain loop).
+#[inline]
+pub fn axmy_unrolled4(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let blocks = n / 4 * 4;
+    let mut i = 0;
+    while i < blocks {
+        y[i] -= a * x[i];
+        y[i + 1] -= a * x[i + 1];
+        y[i + 2] -= a * x[i + 2];
+        y[i + 3] -= a * x[i + 3];
+        i += 4;
+    }
+    while i < n {
+        y[i] -= a * x[i];
+        i += 1;
+    }
+}
+
 /// `y = x + a·y` (the CG direction update `p = u + β p`).
 #[inline]
 pub fn aypx(a: f64, x: &[f64], y: &mut [f64]) {
@@ -102,6 +147,20 @@ pub fn hadamard(d: &[f64], x: &[f64], z: &mut [f64]) {
     }
 }
 
+/// Pointwise product `z = d ⊙ x` with `d` stored in fp32 and the multiply
+/// performed in fp32 — the demoted-precision Jacobi apply. Each `x[i]` is
+/// rounded to f32 on entry and the product widened back on exit, so the
+/// kernel moves 4 bytes of diagonal per row instead of 8. Deterministic:
+/// pure elementwise rounding, no accumulation order to vary.
+#[inline]
+pub fn hadamard_f32(d: &[f32], x: &[f64], z: &mut [f64]) {
+    debug_assert_eq!(d.len(), x.len());
+    debug_assert_eq!(d.len(), z.len());
+    for ((zi, di), xi) in z.iter_mut().zip(d).zip(x) {
+        *zi = f64::from(di * (*xi as f32));
+    }
+}
+
 /// Maximum absolute difference between two vectors.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
@@ -141,6 +200,23 @@ mod tests {
         let mut z = [0.0; 3];
         waxpy(&mut z, -1.0, &y, &x);
         assert_eq!(z, [-6.0, -12.0, -18.0]);
+    }
+
+    #[test]
+    fn unrolled_axpy_is_bitwise_plain() {
+        let x: Vec<f64> = (0..103).map(|i| (i as f64 * 0.83).sin()).collect();
+        let mut y_plain: Vec<f64> = (0..103).map(|i| (i as f64 * 0.19).cos()).collect();
+        let mut y_unrolled = y_plain.clone();
+        axpy(0.731, &x, &mut y_plain);
+        axpy_unrolled4(0.731, &x, &mut y_unrolled);
+        assert_eq!(y_plain, y_unrolled);
+        let mut z_plain = y_plain.clone();
+        let mut z_unrolled = y_plain.clone();
+        for (zi, xi) in z_plain.iter_mut().zip(&x) {
+            *zi -= 1.37 * xi;
+        }
+        axmy_unrolled4(1.37, &x, &mut z_unrolled);
+        assert_eq!(z_plain, z_unrolled);
     }
 
     #[test]

@@ -156,10 +156,7 @@ impl MultiVector {
                     if coef == 0.0 {
                         continue;
                     }
-                    let src = &other.col(k)[clo..chi];
-                    for (di, si) in d.iter_mut().zip(src) {
-                        *di += coef * si;
-                    }
+                    crate::kernels::axpy_unrolled4(coef, &other.col(k)[clo..chi], d);
                 }
             }
         });
@@ -185,9 +182,7 @@ impl MultiVector {
                 if coef == 0.0 {
                     continue;
                 }
-                for (yi, si) in d.iter_mut().zip(&self.col(k)[clo..chi]) {
-                    *yi += coef * si;
-                }
+                crate::kernels::axpy_unrolled4(coef, &self.col(k)[clo..chi], d);
             }
         });
     }
@@ -211,9 +206,7 @@ impl MultiVector {
                 if coef == 0.0 {
                     continue;
                 }
-                for (yi, si) in d.iter_mut().zip(&self.col(k)[clo..chi]) {
-                    *yi -= coef * si;
-                }
+                crate::kernels::axmy_unrolled4(coef, &self.col(k)[clo..chi], d);
             }
         });
     }
@@ -261,9 +254,7 @@ impl MultiVector {
                     if coef == 0.0 {
                         continue;
                     }
-                    for (di, si) in d.iter_mut().zip(&prev.col(k)[clo..chi]) {
-                        *di += coef * si;
-                    }
+                    crate::kernels::axpy_unrolled4(coef, &prev.col(k)[clo..chi], d);
                 }
             }
         });
@@ -293,9 +284,7 @@ impl MultiVector {
                 if coef == 0.0 {
                     continue;
                 }
-                for (yi, si) in d.iter_mut().zip(&self.col(k)[clo..chi]) {
-                    *yi -= coef * si;
-                }
+                crate::kernels::axmy_unrolled4(coef, &self.col(k)[clo..chi], d);
             }
         });
     }

@@ -45,6 +45,25 @@ pub trait Operator {
     fn name(&self) -> &str {
         "operator"
     }
+
+    /// Attempts to demote the operator's internal apply precision to fp32,
+    /// returning `true` when subsequent [`Operator::apply`] calls run in
+    /// reduced precision (with inputs/outputs still fp64 at the interface).
+    /// The default refuses: operators without a reduced-precision path are
+    /// always full fp64. Demotion is a *bandwidth* policy, not an accuracy
+    /// claim — callers gate it behind the true-residual drift probe and
+    /// must [`Operator::promote_precision`] when the probe objects.
+    fn demote_precision(&mut self) -> bool {
+        false
+    }
+
+    /// Restores the full-precision fp64 apply (no-op when never demoted).
+    fn promote_precision(&mut self) {}
+
+    /// True while the operator applies in reduced (fp32) precision.
+    fn is_demoted(&self) -> bool {
+        false
+    }
 }
 
 /// The identity operator — used as the "no preconditioner" (`PCNONE`) slot.
