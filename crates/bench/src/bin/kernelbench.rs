@@ -43,14 +43,15 @@ use std::fmt::Write as _;
 
 use pipescg::autotune::KernelTuning;
 use pscg_bench::microbench::{gflops_per_sec, Group};
+use pscg_bench::perf_report::spmv_model_bytes_per_nnz;
 use pscg_obs::SpanKind;
 use pscg_par::{knobs, stats::PoolStats, Pool};
 use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
 use pscg_sparse::{set_spmv_format, CsrMatrix, MultiVector, SpmvFormat};
 
-/// One measured (kernel, format, thread-count) cell. `format` and
-/// `bytes_per_nnz` are populated for SpMV cells only — the Gram and fused
-/// sweeps are format-independent.
+/// One measured (kernel, format, thread-count) cell. `format`,
+/// `bytes_per_nnz` and `model_bytes_per_nnz` are populated for SpMV cells
+/// only — the Gram and fused sweeps are format-independent.
 struct Cell {
     kernel: &'static str,
     format: Option<SpmvFormat>,
@@ -58,6 +59,9 @@ struct Cell {
     median_secs: f64,
     gflops: f64,
     bytes_per_nnz: Option<f64>,
+    /// Cost-model traffic for this format (DESIGN.md §13): what the
+    /// roofline attribution will assume per nonzero.
+    model_bytes_per_nnz: Option<f64>,
 }
 
 struct Config {
@@ -203,6 +207,11 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
                 median_secs: m,
                 gflops: gflops_per_sec(spmv_fl, m),
                 bytes_per_nnz: Some(a.spmv_traffic_bytes(fmt) / a.nnz() as f64),
+                model_bytes_per_nnz: Some(spmv_model_bytes_per_nnz(
+                    fmt,
+                    a.nnz() as f64,
+                    n as f64,
+                )),
             });
         }
         set_spmv_format(entry_format);
@@ -221,6 +230,7 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
             median_secs: m,
             gflops: gflops_per_sec(gram_fl, m),
             bytes_per_nnz: None,
+            model_bytes_per_nnz: None,
         });
 
         let fu_fl = fused_flops(n, s);
@@ -243,6 +253,7 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
             median_secs: m,
             gflops: gflops_per_sec(fu_fl, m),
             bytes_per_nnz: None,
+            model_bytes_per_nnz: None,
         });
     }
     cells
@@ -317,9 +328,12 @@ fn write_json(
             Some(f) => format!("\"format\": \"{f}\", "),
             None => String::new(),
         };
-        let traffic = match c.bytes_per_nnz {
-            Some(b) => format!(", \"bytes_per_nnz\": {b:.2}"),
-            None => String::new(),
+        let traffic = match (c.bytes_per_nnz, c.model_bytes_per_nnz) {
+            (Some(b), Some(m)) => {
+                format!(", \"bytes_per_nnz\": {b:.2}, \"model_bytes_per_nnz\": {m:.2}")
+            }
+            (Some(b), None) => format!(", \"bytes_per_nnz\": {b:.2}"),
+            _ => String::new(),
         };
         let _ = writeln!(
             out,
@@ -676,6 +690,19 @@ fn main() {
             spans.records.len()
         );
     }
+    // Measured vs cost-model SpMV traffic per format (traffic is
+    // thread-count independent, so one row per format suffices).
+    println!("\n| spmv format | measured B/nnz | model B/nnz | ratio |");
+    println!("|---|---|---|---|");
+    let t0 = cfg.threads[0];
+    for c in cells.iter().filter(|c| c.kernel == "spmv" && c.threads == t0) {
+        let (Some(f), Some(b), Some(m)) = (c.format, c.bytes_per_nnz, c.model_bytes_per_nnz)
+        else {
+            continue;
+        };
+        println!("| {f} | {b:.2} | {m:.2} | {:.2} |", b / m);
+    }
+
     let gate = evaluate_gate(&cfg, &cells);
     let baseline = cfg.baseline.as_deref().map(|p| compare_baseline(p, &cells));
     let json = write_json(&cfg, &a, &cells, &gate, baseline.as_ref());

@@ -47,10 +47,23 @@
 //! `results/overlap.csv`; any mismatch aborts with exit 1. With no
 //! experiments named, the flag runs the telemetry pass alone.
 //!
+//! `--telemetry-mode full|aggregate` selects how `--telemetry` retains
+//! spans: `full` (default) keeps every span for the Chrome trace;
+//! `aggregate` folds spans into O(1)-memory log-binned histograms as they
+//! retire and writes `DIR/<method>.agg.json` instead of a trace
+//! (the metrics stream and its bitwise residual check are unchanged).
+//!
+//! `--perf-report` runs every method once with telemetry enabled and joins
+//! the recorded spans with the cost model and the IR's static schedule
+//! (DESIGN.md §13), writing `results/perf_report.json` +
+//! `results/perf_report.md` — the input to `perf-report --check`.
+//!
 //! `--fault-plan FILE` (or `PSCG_FAULTS=FILE`) runs a fault-injection
 //! campaign instead: the plan (see `pscg-fault` for the text format) is
 //! armed in a fresh simulator for every method and the solve goes through
-//! the resilient supervisor. A method passes when it either converges with
+//! the resilient supervisor. The flight recorder is armed for the
+//! campaign, so any non-recovered fault leaves a post-mortem ring dump at
+//! `results/flight.json`. A method passes when it either converges with
 //! a recomputed residual that confirms the tolerance, or reports an
 //! explicit error — a *silent* wrong answer (claimed convergence
 //! contradicted by `‖b − A x‖`) aborts with exit 1. With no experiments
@@ -360,11 +373,12 @@ fn method_slug(method: MethodKind) -> String {
 }
 
 /// Runs every method once on the scale's Poisson problem with telemetry
-/// enabled, writes `DIR/<method>.trace.json` + `DIR/<method>.metrics.jsonl`,
+/// enabled, writes `DIR/<method>.trace.json` + `DIR/<method>.metrics.jsonl`
+/// (in aggregate mode, `DIR/<method>.agg.json` instead of the trace),
 /// validates both outputs, cross-checks the telemetry residual stream
 /// bit-for-bit against the solver history, and records the achieved-overlap
 /// ratios in `results/overlap.csv`. Returns false on any failure.
-fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
+fn run_telemetry(scale: &Scale, dir: &Path, results: &Path, aggregate: bool) -> bool {
     let p = problems::poisson125(scale);
     let b = p.rhs();
     let s = 4;
@@ -380,9 +394,14 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
     );
     let mut ok = true;
     pscg_obs::set_enabled(true);
+    if aggregate {
+        pscg_obs::set_mode(pscg_obs::TelemetryMode::Aggregate);
+    }
     for method in ALL_METHODS {
-        // Clear spans left over from a previous method (or a failed run).
+        // Clear spans/aggregates left over from a previous method (or a
+        // failed run).
         pscg_obs::span::drain();
+        pscg_obs::agg::drain();
         let mut ctx = SimCtx::serial(&p.a, Box::new(Jacobi::new(&p.a)));
         let opts = SolveOptions {
             rtol: p.rtol,
@@ -392,6 +411,7 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
         };
         let res = method.solve(&mut ctx, &b, None, &opts);
         let spans = pscg_obs::span::drain();
+        let agg = pscg_obs::agg::drain();
         let Some(tel) = pscg_obs::metrics::take_last() else {
             eprintln!("[telemetry] {}: no stream collected", method.name());
             ok = false;
@@ -419,28 +439,62 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
         }
 
         let slug = method_slug(method);
-        let trace = pscg_obs::export::chrome_trace(&spans);
         let jsonl = pscg_obs::export::metrics_jsonl(&tel);
-        let trace_path = dir.join(format!("{slug}.trace.json"));
         let jsonl_path = dir.join(format!("{slug}.metrics.jsonl"));
-        if let Err(e) = std::fs::write(&trace_path, &trace) {
-            eprintln!("[telemetry] write {}: {e}", trace_path.display());
-            ok = false;
-        }
         if let Err(e) = std::fs::write(&jsonl_path, &jsonl) {
             eprintln!("[telemetry] write {}: {e}", jsonl_path.display());
             ok = false;
         }
-        match pscg_obs::export::validate_chrome_trace(&trace) {
-            Ok(check) => {
-                if check.events == 0 {
-                    eprintln!("[telemetry] {}: empty trace", method.name());
+        let span_count;
+        if aggregate {
+            // Aggregate mode retains no raw spans: the histograms are the
+            // artifact. The span recorder must have stayed empty.
+            span_count = agg.kinds.iter().map(|k| k.hist.count as usize).sum();
+            if !spans.records.is_empty() {
+                eprintln!(
+                    "[telemetry] {}: {} raw spans retained in aggregate mode",
+                    method.name(),
+                    spans.records.len()
+                );
+                ok = false;
+            }
+            let agg_text = pscg_obs::export::aggregate_json(&agg);
+            let agg_path = dir.join(format!("{slug}.agg.json"));
+            if let Err(e) = std::fs::write(&agg_path, &agg_text) {
+                eprintln!("[telemetry] write {}: {e}", agg_path.display());
+                ok = false;
+            }
+            match pscg_obs::export::validate_aggregate_json(&agg_text) {
+                Ok(check) => {
+                    if check.spans == 0 {
+                        eprintln!("[telemetry] {}: empty aggregate", method.name());
+                        ok = false;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[telemetry] {}: invalid aggregate: {e}", method.name());
                     ok = false;
                 }
             }
-            Err(e) => {
-                eprintln!("[telemetry] {}: invalid Chrome trace: {e}", method.name());
+        } else {
+            span_count = spans.records.len();
+            let trace = pscg_obs::export::chrome_trace(&spans);
+            let trace_path = dir.join(format!("{slug}.trace.json"));
+            if let Err(e) = std::fs::write(&trace_path, &trace) {
+                eprintln!("[telemetry] write {}: {e}", trace_path.display());
                 ok = false;
+            }
+            match pscg_obs::export::validate_chrome_trace(&trace) {
+                Ok(check) => {
+                    if check.events == 0 {
+                        eprintln!("[telemetry] {}: empty trace", method.name());
+                        ok = false;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[telemetry] {}: invalid Chrome trace: {e}", method.name());
+                    ok = false;
+                }
             }
         }
         match pscg_obs::export::validate_metrics_jsonl(&jsonl) {
@@ -478,7 +532,7 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
             res.iterations,
             res.final_relres,
             overlap_str,
-            spans.records.len(),
+            span_count,
             tel.finish.stop
         );
         csv.push_str(&format!(
@@ -497,6 +551,7 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
         ));
     }
     pscg_obs::set_enabled(false);
+    pscg_obs::set_mode(pscg_obs::TelemetryMode::Full);
     let _ = std::fs::create_dir_all(results);
     let csv_path = results.join("overlap.csv");
     if let Err(e) = std::fs::write(&csv_path, &csv) {
@@ -504,11 +559,76 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
         ok = false;
     } else {
         println!(
-            "\nwrote {} and {}/*.trace.json",
+            "\nwrote {} and {}/*.{}",
             csv_path.display(),
-            dir.display()
+            dir.display(),
+            if aggregate { "agg.json" } else { "trace.json" }
         );
     }
+    ok
+}
+
+/// Runs every method once with telemetry enabled and joins the recorded
+/// spans with the cost model and the IR's static schedule (DESIGN.md §13):
+/// per-kernel achieved GFLOP/s / GB/s under the model's traffic
+/// assumption, plus achieved overlap against the IR's capacity report.
+/// Writes `results/perf_report.json` + `results/perf_report.md`. Returns
+/// false on any failure.
+fn run_perf_report(scale: &Scale, results: &Path) -> bool {
+    let p = problems::poisson125(scale);
+    let b = p.rhs();
+    let s = 4;
+    println!("\n## Perf report ({}, s = {s})\n", p.name);
+    let mut report = pscg_bench::perf_report::PerfReport::default();
+    let mut ok = true;
+    pscg_obs::set_enabled(true);
+    for method in ALL_METHODS {
+        pscg_obs::span::drain();
+        let mut ctx = SimCtx::serial(&p.a, Box::new(Jacobi::new(&p.a)));
+        let opts = SolveOptions {
+            rtol: p.rtol,
+            s,
+            max_iters: scale.max_iters,
+            ..Default::default()
+        };
+        method.solve(&mut ctx, &b, None, &opts);
+        let spans = pscg_obs::span::drain();
+        let Some(tel) = pscg_obs::metrics::take_last() else {
+            eprintln!("[perf-report] {}: no stream collected", method.name());
+            ok = false;
+            continue;
+        };
+        report
+            .methods
+            .push(pscg_bench::perf_report::method_perf(method, &spans, &tel));
+    }
+    pscg_obs::set_enabled(false);
+    if report.methods.is_empty() {
+        return false;
+    }
+    print!("{}", pscg_bench::perf_report::render_md(&report));
+    let _ = std::fs::create_dir_all(results);
+    let json_path = results.join("perf_report.json");
+    let md_path = results.join("perf_report.md");
+    let json = pscg_bench::perf_report::render_json(&report);
+    if let Err(e) = pscg_bench::perf_report::parse_report(&json) {
+        eprintln!("[perf-report] rendered report does not reparse: {e}");
+        ok = false;
+    }
+    for (path, text) in [
+        (&json_path, json),
+        (&md_path, pscg_bench::perf_report::render_md(&report)),
+    ] {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("[perf-report] write {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    println!(
+        "\nwrote {} and {}",
+        json_path.display(),
+        md_path.display()
+    );
     ok
 }
 
@@ -517,7 +637,13 @@ fn run_telemetry(scale: &Scale, dir: &Path, results: &Path) -> bool {
 /// wrong answer — claimed convergence whose recomputed residual `‖b − A x‖`
 /// contradicts the tolerance. Clean convergence (possibly after recovery)
 /// and explicit errors both pass: the contract is "never hang, never lie".
-fn run_fault_campaign(scale: &Scale, plan: &FaultPlan) -> bool {
+///
+/// The flight recorder is armed for the whole campaign with its dump bound
+/// to `results/flight.json`: the resilient supervisor dumps the final
+/// iterations' ring there whenever an attempt breaks down or the recovery
+/// ladder is exhausted, so a non-recovered fault always leaves a
+/// post-mortem artifact.
+fn run_fault_campaign(scale: &Scale, plan: &FaultPlan, results: &Path) -> bool {
     let p = problems::poisson125(scale);
     let b = p.rhs();
     let s = 4;
@@ -530,6 +656,9 @@ fn run_fault_campaign(scale: &Scale, plan: &FaultPlan) -> bool {
     println!("| method | outcome | iters | true relres | faults hit |");
     println!("|---|---|---|---|---|");
     let mut ok = true;
+    let flight_path = results.join("flight.json");
+    pscg_obs::set_enabled(true);
+    pscg_obs::flight::configure(16, Some(flight_path.clone()));
     for method in ALL_METHODS {
         let mut ctx = SimCtx::serial(&p.a, Box::new(Jacobi::new(&p.a)));
         ctx.arm_faults(plan.clone());
@@ -567,11 +696,32 @@ fn run_fault_campaign(scale: &Scale, plan: &FaultPlan) -> bool {
             }
             Err(e) => {
                 // An explicit error is an acceptable outcome: the solver
-                // refused to report a solution it could not vouch for.
+                // refused to report a solution it could not vouch for. The
+                // supervisor left a flight dump for the failure.
                 println!("| {} | {e} | — | — | {hits} |", method.name());
+                match pscg_obs::flight::validate_flight_file(&flight_path) {
+                    Ok(check) => eprintln!(
+                        "[fault-plan] {}: flight dump at {} ({}, {} frame(s), {} span(s))",
+                        method.name(),
+                        flight_path.display(),
+                        check.reason,
+                        check.iters,
+                        check.spans
+                    ),
+                    Err(err) => {
+                        eprintln!(
+                            "[fault-plan] {}: missing/invalid flight dump at {}: {err}",
+                            method.name(),
+                            flight_path.display()
+                        );
+                        ok = false;
+                    }
+                }
             }
         }
     }
+    pscg_obs::flight::configure(0, None);
+    pscg_obs::set_enabled(false);
     ok
 }
 
@@ -585,6 +735,8 @@ fn main() {
     let mut strict_probes = false;
     let mut telemetry: Option<PathBuf> = std::env::var_os("PSCG_TELEMETRY").map(PathBuf::from);
     let mut fault_plan: Option<PathBuf> = std::env::var_os("PSCG_FAULTS").map(PathBuf::from);
+    let mut aggregate = false;
+    let mut perf_report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -606,6 +758,18 @@ fn main() {
                 };
                 telemetry = Some(PathBuf::from(dir));
             }
+            "--telemetry-mode" => {
+                let mode = args.next().unwrap_or_default();
+                aggregate = match mode.as_str() {
+                    "full" => false,
+                    "aggregate" => true,
+                    other => {
+                        eprintln!("unknown telemetry mode '{other}' (full|aggregate)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--perf-report" => perf_report = true,
             "--fault-plan" => {
                 let Some(file) = args.next() else {
                     eprintln!("--fault-plan needs a file");
@@ -630,7 +794,8 @@ fn main() {
                     "usage: repro [--scale ci|small|paper] [--verify-schedule] \
                      [--verify-concurrency] [--verify-ir] [--ir-broken MODE|all] \
                      [--strict-probes] \
-                     [--telemetry DIR] [--fault-plan FILE] <experiment>...\n\
+                     [--telemetry DIR] [--telemetry-mode full|aggregate] \
+                     [--perf-report] [--fault-plan FILE] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
                 );
@@ -643,6 +808,7 @@ fn main() {
         && !verify_schedule
         && !verify_conc
         && !verify_ir_flag
+        && !perf_report
         && ir_broken.is_none()
         && telemetry.is_none()
         && fault_plan.is_none()
@@ -713,8 +879,14 @@ fn main() {
         }
     }
     if let Some(dir) = &telemetry {
-        if !run_telemetry(&scale, dir, &results) {
+        if !run_telemetry(&scale, dir, &results, aggregate) {
             eprintln!("[repro] telemetry capture FAILED");
+            std::process::exit(1);
+        }
+    }
+    if perf_report {
+        if !run_perf_report(&scale, &results) {
+            eprintln!("[repro] perf report FAILED");
             std::process::exit(1);
         }
     }
@@ -733,7 +905,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        if !run_fault_campaign(&scale, &plan) {
+        if !run_fault_campaign(&scale, &plan, &results) {
             eprintln!("[repro] fault campaign FAILED");
             std::process::exit(1);
         }

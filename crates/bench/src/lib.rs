@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod perf_report;
 pub mod problems;
 pub mod report;
 pub mod scale;

@@ -156,10 +156,18 @@ pub fn kernel_times(
 /// only the upper triangle — half the entry traffic — at the price of a
 /// second streamed pass over `y`.
 pub fn spmv_model_bytes(format: pscg_sparse::SpmvFormat, nnz: f64, rows: f64) -> f64 {
+    let (per_nnz, per_row) = spmv_model_rates(format);
+    per_nnz * nnz + per_row * rows
+}
+
+/// The `(bytes/nnz, bytes/row)` coefficients behind [`spmv_model_bytes`],
+/// exposed so the observatory tier (perf-report, kernelbench) can report
+/// the model alongside measured traffic without re-deriving it.
+pub fn spmv_model_rates(format: pscg_sparse::SpmvFormat) -> (f64, f64) {
     use pscg_sparse::SpmvFormat as F;
     match format {
-        F::Csr | F::CsrUnrolled4 | F::CsrUnrolled8 | F::SellCSigma => 12.0 * nnz + 16.0 * rows,
-        F::SymCsr => 6.0 * nnz + 24.0 * rows,
+        F::Csr | F::CsrUnrolled4 | F::CsrUnrolled8 | F::SellCSigma => (12.0, 16.0),
+        F::SymCsr => (6.0, 24.0),
     }
 }
 

@@ -291,6 +291,11 @@ pub fn solve_resilient<C: Context>(
         }
         history.extend(res.history.iter().copied());
         last = Some(res.stop);
+        // Post-mortem snapshot of the failing attempt before recovery
+        // mutates any state (no-op unless the flight recorder is armed).
+        if res.stop == StopReason::Breakdown {
+            pscg_obs::flight::dump_to_path("Breakdown");
+        }
         // fp64 fallback: a demoted preconditioner is the first suspect of
         // a failed attempt — promote before burning a restart on it.
         if ctx.pc_demoted() {
@@ -324,6 +329,9 @@ pub fn solve_resilient<C: Context>(
         return Ok(merged(res, total_iters, history, *ctx.counters()));
     }
     let best_true = best.map(|(_, bt)| bt).unwrap_or(t);
+    // The ladder is out of options: leave the flight recording of the
+    // final (PCG-restart) attempt for post-mortem analysis.
+    pscg_obs::flight::dump_to_path("RecoveryExhausted");
     Err(SolveError::RecoveryExhausted {
         last_stop: last.unwrap_or(res.stop),
         best_true_relres: best_true.min(t),

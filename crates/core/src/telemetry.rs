@@ -46,6 +46,14 @@ pub(crate) fn begin<C: Context>(method: &'static str, ctx: &C, opts: &SolveOptio
     if !active_rank(ctx) {
         return false;
     }
+    let (nrows, nnz) = (ctx.nrows(), ctx.matrix_nnz());
+    let fmt = pscg_sparse::spmv_format();
+    let spmv_model_bytes_per_nnz = if nnz > 0 {
+        crate::costmodel::spmv_model_bytes(fmt, nnz as f64, nrows as f64) / nnz as f64
+    } else {
+        0.0
+    };
+    let (pc_flops_per_row, pc_bytes_per_row) = ctx.pc_cost_rates();
     metrics::begin_solve(
         SolveMeta {
             method,
@@ -54,6 +62,12 @@ pub(crate) fn begin<C: Context>(method: &'static str, ctx: &C, opts: &SolveOptio
             rtol: opts.rtol,
             threads: pscg_par::global_threads(),
             stagnation: None,
+            nrows,
+            nnz,
+            spmv_format: fmt.as_str(),
+            spmv_model_bytes_per_nnz,
+            pc_flops_per_row,
+            pc_bytes_per_row,
         },
         pool_counters(),
     )

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod conform;
+pub mod costs;
 pub mod dataflow;
 pub mod methods;
 pub mod node;

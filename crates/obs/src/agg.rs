@@ -1,0 +1,368 @@
+//! Streaming aggregation: O(1)-memory per-kind duration histograms.
+//!
+//! Full-trace mode retains every span, which is the right tool for a
+//! Chrome-trace deep dive but not for replay campaigns at 10⁵+ modeled
+//! ranks. In [`crate::TelemetryMode::Aggregate`] each span folds into a
+//! fixed-size [`LogHistogram`] per [`SpanKind`] per thread — recording
+//! stays contention-free exactly like the span rings — and [`drain`]
+//! merges the per-thread tables into one [`AggregateReport`].
+//!
+//! # Bin scheme (deterministic, merge-associative)
+//!
+//! Quarter-octave log bins: a duration `v` ns lands in bin
+//! `4·lg + sub` where `lg = floor(log2 v)` and `sub` is the two bits
+//! below the leading bit (so each octave splits into 4 sub-bins, ~19%
+//! relative width). 64 octaves × 4 sub-bins = 256 bins cover the full
+//! `u64` range with no saturation. Bin edges are pure integer functions
+//! of the index — independent of recording order, thread count, or merge
+//! order — and merging is element-wise integer addition, hence
+//! associative and commutative. Percentiles return the **lower edge** of
+//! the bin holding rank `ceil(q·count)`, so p50/p95/p99 are identical
+//! for any partition of the same multiset of durations
+//! (`tests` property-checks this; `tests/observatory_inert.rs` checks it
+//! end to end across thread counts).
+
+use crate::span::{SpanKind, SpanRecord};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram bins: 64 octaves × 4 quarter-octave sub-bins.
+pub const BINS: usize = 256;
+
+/// A fixed-size log-binned histogram of span durations (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Per-bin counts, indexed by [`LogHistogram::bin_index`].
+    pub counts: [u64; BINS],
+    /// Total recorded durations.
+    pub count: u64,
+    /// Exact sum of recorded durations (u128: no overflow at any scale).
+    pub sum_ns: u128,
+    /// Smallest recorded duration (`u64::MAX` when empty).
+    pub min_ns: u64,
+    /// Largest recorded duration (0 when empty).
+    pub max_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; BINS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// The bin a duration falls into. `0` shares the first bin with `1`.
+    pub fn bin_index(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let lg = 63 - v.leading_zeros() as usize;
+        let sub = if lg >= 2 {
+            ((v >> (lg - 2)) & 3) as usize
+        } else {
+            ((v << (2 - lg)) & 3) as usize
+        };
+        lg * 4 + sub
+    }
+
+    /// Lower edge (inclusive) of bin `idx` in nanoseconds. Pure in `idx`:
+    /// the edge grid is a process-independent constant.
+    pub fn bin_lower_edge(idx: usize) -> u64 {
+        let (lg, sub) = (idx / 4, (idx % 4) as u64);
+        if lg < 2 {
+            ((4 + sub) << lg) >> 2
+        } else {
+            (4 + sub) << (lg - 2)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, dur_ns: u64) {
+        self.counts[Self::bin_index(dur_ns)] += 1;
+        self.count += 1;
+        self.sum_ns += dur_ns as u128;
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+
+    /// Folds `other` into `self`. Element-wise integer addition plus
+    /// min/max/sum combination: associative and commutative, so any merge
+    /// tree over the same spans yields bitwise-identical state.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The lower bin edge of the value at rank `ceil(q·count)` (0 when
+    /// empty). Deterministic: depends only on the merged bin counts.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bin_lower_edge(idx);
+            }
+        }
+        Self::bin_lower_edge(BINS - 1)
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated state for one span kind.
+#[derive(Debug, Clone)]
+pub struct KindAggregate {
+    /// The span kind.
+    pub kind: SpanKind,
+    /// Duration histogram of every span of this kind.
+    pub hist: LogHistogram,
+}
+
+/// The merged aggregate over every recording thread since the last drain.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateReport {
+    /// One entry per kind that recorded at least one span, in
+    /// [`SpanKind::index`] order.
+    pub kinds: Vec<KindAggregate>,
+}
+
+impl AggregateReport {
+    /// The aggregate for `kind`, if any span of it was recorded.
+    pub fn get(&self, kind: SpanKind) -> Option<&KindAggregate> {
+        self.kinds.iter().find(|k| k.kind == kind)
+    }
+
+    /// Total duration of spans of `kind` (0 when none). Mirror of
+    /// [`crate::SpanSet::total_ns`] so attribution can consume either.
+    pub fn total_ns(&self, kind: SpanKind) -> u64 {
+        self.get(kind).map_or(0, |k| k.hist.sum_ns as u64)
+    }
+
+    /// Number of spans of `kind`. Mirror of [`crate::SpanSet::count`].
+    pub fn count(&self, kind: SpanKind) -> usize {
+        self.get(kind).map_or(0, |k| k.hist.count as usize)
+    }
+}
+
+/// Per-thread aggregate table, registered globally on first use (same
+/// shape as the span rings: the only cross-thread lock is the registry
+/// push, once per thread lifetime).
+struct ThreadAgg {
+    inner: Mutex<Vec<LogHistogram>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadAgg>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadAgg>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<ThreadAgg> = {
+        let agg = Arc::new(ThreadAgg {
+            inner: Mutex::new(vec![LogHistogram::default(); SpanKind::ALL.len()]),
+        });
+        registry().lock().unwrap().push(Arc::clone(&agg));
+        agg
+    };
+}
+
+/// Folds one span into this thread's table (called by the span recorder
+/// when the mode is [`crate::TelemetryMode::Aggregate`]).
+pub(crate) fn note(rec: &SpanRecord) {
+    LOCAL.with(|agg| {
+        agg.inner.lock().unwrap()[rec.kind.index()].record(rec.dur_ns);
+    });
+}
+
+/// Merges and clears every thread's aggregate table.
+pub fn drain() -> AggregateReport {
+    let aggs: Vec<Arc<ThreadAgg>> = registry().lock().unwrap().clone();
+    let mut merged = vec![LogHistogram::default(); SpanKind::ALL.len()];
+    for agg in aggs {
+        let mut inner = agg.inner.lock().unwrap();
+        for (m, h) in merged.iter_mut().zip(inner.iter()) {
+            m.merge(h);
+        }
+        for h in inner.iter_mut() {
+            *h = LogHistogram::default();
+        }
+    }
+    AggregateReport {
+        kinds: SpanKind::ALL
+            .iter()
+            .zip(merged)
+            .filter(|(_, h)| h.count > 0)
+            .map(|(&kind, hist)| KindAggregate { kind, hist })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic xorshift stream for property inputs (no external
+    /// RNG crates under the offline-build policy).
+    fn xorshift_durations(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Mix magnitudes: spread across ~20 octaves.
+                state >> (state % 44)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bin_index_is_monotone_and_edges_bracket() {
+        let mut prev_idx = 0;
+        for v in 0..100_000u64 {
+            let idx = LogHistogram::bin_index(v);
+            assert!(idx >= prev_idx, "bin index regressed at {v}");
+            prev_idx = idx;
+            assert!(
+                LogHistogram::bin_lower_edge(idx) <= v.max(1),
+                "edge above value {v} (bin {idx})"
+            );
+        }
+        // Quarter-octave spot checks: [48,56) and [56,64) are distinct bins
+        // whose lower edges are exact.
+        assert_eq!(LogHistogram::bin_index(56), LogHistogram::bin_index(63));
+        assert_ne!(LogHistogram::bin_index(55), LogHistogram::bin_index(56));
+        assert_eq!(
+            LogHistogram::bin_lower_edge(LogHistogram::bin_index(56)),
+            56
+        );
+        assert_eq!(
+            LogHistogram::bin_lower_edge(LogHistogram::bin_index(48)),
+            48
+        );
+        // Extremes stay in range.
+        assert!(LogHistogram::bin_index(u64::MAX) < BINS);
+        assert_eq!(LogHistogram::bin_index(1), 0);
+    }
+
+    #[test]
+    fn edges_are_monotone_nondecreasing() {
+        let mut prev = 0;
+        for idx in 0..BINS {
+            let e = LogHistogram::bin_lower_edge(idx);
+            assert!(e >= prev, "edge regression at bin {idx}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let durations = xorshift_durations(0x5eed, 3000);
+        // Partition three ways; fold in different orders / groupings.
+        let mut parts = [
+            LogHistogram::default(),
+            LogHistogram::default(),
+            LogHistogram::default(),
+        ];
+        for (i, &d) in durations.iter().enumerate() {
+            parts[i % 3].record(d);
+        }
+        // (a ⊕ b) ⊕ c
+        let mut ab_c = parts[0].clone();
+        ab_c.merge(&parts[1]);
+        ab_c.merge(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut a_bc = parts[0].clone();
+        a_bc.merge(&bc);
+        // c ⊕ b ⊕ a
+        let mut cba = parts[2].clone();
+        cba.merge(&parts[1]);
+        cba.merge(&parts[0]);
+        // Sequential reference.
+        let mut seq = LogHistogram::default();
+        for &d in &durations {
+            seq.record(d);
+        }
+        for other in [&ab_c, &a_bc, &cba] {
+            assert_eq!(seq.counts, other.counts);
+            assert_eq!(seq.count, other.count);
+            assert_eq!(seq.sum_ns, other.sum_ns);
+            assert_eq!(seq.min_ns, other.min_ns);
+            assert_eq!(seq.max_ns, other.max_ns);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(seq.percentile_ns(q), ab_c.percentile_ns(q));
+            assert_eq!(seq.percentile_ns(q), cba.percentile_ns(q));
+        }
+    }
+
+    #[test]
+    fn percentiles_return_lower_edges_and_bracket_exact_ranks() {
+        let mut h = LogHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile_ns(0.5);
+        let p99 = h.percentile_ns(0.99);
+        // Lower edge of the bin holding the exact rank: within one
+        // quarter-octave (~19%) below the exact order statistic.
+        assert!(p50 <= 500 && p50 as f64 >= 500.0 / 1.26, "p50={p50}");
+        assert!(p99 <= 990 && p99 as f64 >= 990.0 / 1.26, "p99={p99}");
+        assert!(h.percentile_ns(0.0) >= 1);
+        assert_eq!(h.min_ns, 1);
+        assert_eq!(h.max_ns, 1000);
+        assert_eq!(h.mean_ns(), 500.5);
+        let empty = LogHistogram::default();
+        assert_eq!(empty.percentile_ns(0.5), 0);
+        assert_eq!(empty.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_mode_routes_spans_into_histograms() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        crate::set_mode(crate::TelemetryMode::Aggregate);
+        crate::span::drain(); // clear full-trace leftovers from other tests
+        drain(); // clear aggregate leftovers
+        for _ in 0..5 {
+            drop(crate::span(SpanKind::Spmv));
+        }
+        drop(crate::span(SpanKind::Dot));
+        let rings = crate::span::drain();
+        let report = drain();
+        crate::set_mode(crate::TelemetryMode::Full);
+        crate::set_enabled(false);
+        assert!(
+            rings.records.is_empty(),
+            "aggregate mode must not retain raw spans"
+        );
+        assert_eq!(report.count(SpanKind::Spmv), 5);
+        assert_eq!(report.count(SpanKind::Dot), 1);
+        assert_eq!(report.count(SpanKind::Pc), 0);
+        // Drained: a second drain is empty.
+        assert!(drain().kinds.is_empty());
+    }
+}

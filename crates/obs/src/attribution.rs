@@ -1,0 +1,273 @@
+//! Roofline attribution: joining measured spans with modelled kernel
+//! costs.
+//!
+//! This module is deliberately *numeric*: it knows span kinds, durations
+//! and plain per-call FLOP/byte figures, nothing about where those figures
+//! come from. The dependency DAG forces this — `pipescg` (which owns the
+//! cost model) depends on this crate, so the glue that derives
+//! [`KernelModel`]s from `pscg-ir` node metadata and
+//! `costmodel::spmv_model_bytes` lives downstream in `pscg-bench`'s
+//! `perf_report` module. The join semantics (DESIGN.md §13): each model
+//! carries the *per-invocation* cost of its span kind; attribution
+//! multiplies by the measured invocation count and divides by measured
+//! time, giving achieved GFLOP/s and GB/s **under the model's traffic
+//! assumption** — the roofline convention, where "achieved bandwidth"
+//! means model bytes over measured seconds.
+
+use crate::agg::AggregateReport;
+use crate::span::{SpanKind, SpanRecord, SpanSet};
+
+/// Modelled per-invocation cost of one span kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelModel {
+    /// The span kind this model prices.
+    pub kind: SpanKind,
+    /// FLOPs one invocation performs under the model.
+    pub flops_per_call: f64,
+    /// Bytes one invocation moves under the model.
+    pub bytes_per_call: f64,
+}
+
+/// One row of the attribution join: measured time × modelled work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelAttribution {
+    /// The span kind.
+    pub kind: SpanKind,
+    /// Measured invocations.
+    pub count: usize,
+    /// Measured total duration (ns).
+    pub total_ns: u64,
+    /// `count × flops_per_call`.
+    pub model_flops: f64,
+    /// `count × bytes_per_call`.
+    pub model_bytes: f64,
+}
+
+impl KernelAttribution {
+    /// Achieved GFLOP/s: model FLOPs over measured time. (FLOPs per
+    /// nanosecond *is* GFLOP/s.)
+    pub fn achieved_gflops(&self) -> f64 {
+        self.model_flops / self.total_ns as f64
+    }
+
+    /// Achieved GB/s under the model's traffic assumption: model bytes
+    /// over measured time. (Bytes per nanosecond *is* GB/s.)
+    pub fn achieved_gbps(&self) -> f64 {
+        self.model_bytes / self.total_ns as f64
+    }
+
+    /// Mean invocation duration (ns).
+    pub fn mean_ns(&self) -> f64 {
+        self.total_ns as f64 / self.count as f64
+    }
+}
+
+fn join(models: &[KernelModel], measure: impl Fn(SpanKind) -> (usize, u64)) -> Vec<KernelAttribution> {
+    models
+        .iter()
+        .filter_map(|m| {
+            let (count, total_ns) = measure(m.kind);
+            (count > 0).then_some(KernelAttribution {
+                kind: m.kind,
+                count,
+                total_ns,
+                model_flops: count as f64 * m.flops_per_call,
+                model_bytes: count as f64 * m.bytes_per_call,
+            })
+        })
+        .collect()
+}
+
+/// Joins a full-trace [`SpanSet`] with per-kind models. Kinds with no
+/// recorded spans are omitted (no time to attribute against).
+pub fn attribute(set: &SpanSet, models: &[KernelModel]) -> Vec<KernelAttribution> {
+    join(models, |kind| (set.count(kind), set.total_ns(kind)))
+}
+
+/// The same join over an [`AggregateReport`] — attribution works
+/// identically in aggregate mode because it only needs per-kind counts
+/// and total durations, both of which the histograms preserve exactly.
+pub fn attribute_agg(report: &AggregateReport, models: &[KernelModel]) -> Vec<KernelAttribution> {
+    join(models, |kind| (report.count(kind), report.total_ns(kind)))
+}
+
+/// Per-window overlap quality over a full trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Post→wait windows observed.
+    pub windows: usize,
+    /// Total window duration (ns).
+    pub window_ns: u64,
+    /// Total kernel time inside windows (ns), attributed per thread by
+    /// span start (exact on the engines — see `span` module docs).
+    pub kernel_in_window_ns: u64,
+    /// The worst single window's kernel-fill ratio.
+    pub min_ratio: f64,
+    /// Unweighted mean of per-window kernel-fill ratios.
+    pub mean_ratio: f64,
+}
+
+impl WindowStats {
+    /// Time-weighted achieved-overlap ratio (total kernel-in-window over
+    /// total window time).
+    pub fn achieved_overlap(&self) -> f64 {
+        self.kernel_in_window_ns as f64 / self.window_ns as f64
+    }
+}
+
+/// Computes per-window overlap statistics from a full trace: for each
+/// `ArWindow` span, the kernel spans on the *same thread* whose start
+/// falls inside the window count toward its fill (the same attribution
+/// rule as the live `KERNEL_IN_WINDOW_NS` counter, reconstructed per
+/// window). `None` when the trace has no windows — e.g. any
+/// non-pipelined method.
+pub fn window_stats(set: &SpanSet) -> Option<WindowStats> {
+    let windows: Vec<&SpanRecord> = set
+        .records
+        .iter()
+        .filter(|r| r.kind == SpanKind::ArWindow)
+        .collect();
+    if windows.is_empty() {
+        return None;
+    }
+    let mut stats = WindowStats {
+        windows: windows.len(),
+        window_ns: 0,
+        kernel_in_window_ns: 0,
+        min_ratio: f64::INFINITY,
+        mean_ratio: 0.0,
+    };
+    for w in &windows {
+        let filled: u64 = set
+            .records
+            .iter()
+            .filter(|r| {
+                r.kind.is_kernel()
+                    && r.tid == w.tid
+                    && r.start_ns >= w.start_ns
+                    && r.start_ns < w.end_ns()
+            })
+            .map(|r| r.dur_ns)
+            .sum();
+        stats.window_ns += w.dur_ns;
+        stats.kernel_in_window_ns += filled;
+        let ratio = if w.dur_ns == 0 {
+            // A zero-length window can hold no kernels; count it as fully
+            // overlapped rather than poisoning min/mean with NaN.
+            1.0
+        } else {
+            filled as f64 / w.dur_ns as f64
+        };
+        stats.min_ratio = stats.min_ratio.min(ratio);
+        stats.mean_ratio += ratio;
+    }
+    stats.mean_ratio /= windows.len() as f64;
+    Some(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: SpanKind, start_ns: u64, dur_ns: u64, tid: u64) -> SpanRecord {
+        SpanRecord {
+            kind,
+            arg: 0,
+            start_ns,
+            dur_ns,
+            tid,
+        }
+    }
+
+    #[test]
+    fn attribution_join_multiplies_counts_and_divides_time() {
+        let set = SpanSet {
+            records: vec![
+                rec(SpanKind::Spmv, 0, 100, 0),
+                rec(SpanKind::Spmv, 200, 300, 0),
+                rec(SpanKind::Pc, 600, 50, 0),
+            ],
+            dropped: 0,
+        };
+        let models = [
+            KernelModel {
+                kind: SpanKind::Spmv,
+                flops_per_call: 2000.0,
+                bytes_per_call: 12000.0,
+            },
+            KernelModel {
+                kind: SpanKind::Pc,
+                flops_per_call: 500.0,
+                bytes_per_call: 8000.0,
+            },
+            KernelModel {
+                kind: SpanKind::Mpk,
+                flops_per_call: 1.0,
+                bytes_per_call: 1.0,
+            },
+        ];
+        let rows = attribute(&set, &models);
+        assert_eq!(rows.len(), 2, "unmeasured kinds are omitted");
+        let spmv = rows.iter().find(|r| r.kind == SpanKind::Spmv).unwrap();
+        assert_eq!(spmv.count, 2);
+        assert_eq!(spmv.total_ns, 400);
+        assert_eq!(spmv.model_flops, 4000.0);
+        assert_eq!(spmv.achieved_gflops(), 10.0, "4000 flops / 400 ns");
+        assert_eq!(spmv.achieved_gbps(), 60.0, "24000 B / 400 ns");
+        assert_eq!(spmv.mean_ns(), 200.0);
+
+        // The aggregate-mode join sees the identical numbers.
+        let mut report = AggregateReport::default();
+        for r in &set.records {
+            let idx = report.kinds.iter().position(|k| k.kind == r.kind);
+            let k = match idx {
+                Some(i) => &mut report.kinds[i],
+                None => {
+                    report.kinds.push(crate::agg::KindAggregate {
+                        kind: r.kind,
+                        hist: crate::agg::LogHistogram::default(),
+                    });
+                    report.kinds.last_mut().unwrap()
+                }
+            };
+            k.hist.record(r.dur_ns);
+        }
+        let agg_rows = attribute_agg(&report, &models);
+        assert_eq!(rows, agg_rows, "full-trace and aggregate joins agree");
+    }
+
+    #[test]
+    fn window_stats_attributes_by_thread_and_start() {
+        let set = SpanSet {
+            records: vec![
+                // Window on tid 0: [100, 1100), 60% filled.
+                rec(SpanKind::ArWindow, 100, 1000, 0),
+                rec(SpanKind::Spmv, 150, 400, 0),
+                rec(SpanKind::Pc, 600, 200, 0),
+                // A kernel on ANOTHER thread inside the time range: no
+                // credit (per-thread attribution).
+                rec(SpanKind::Gram, 200, 500, 1),
+                // A kernel on tid 0 starting after the window: no credit.
+                rec(SpanKind::Dot, 1200, 100, 0),
+                // Comm inside the window: never credited.
+                rec(SpanKind::Allreduce, 300, 100, 0),
+                // Second window on tid 1: [2000, 2100), empty.
+                rec(SpanKind::ArWindow, 2000, 100, 1),
+            ],
+            dropped: 0,
+        };
+        let stats = window_stats(&set).expect("windows present");
+        assert_eq!(stats.windows, 2);
+        assert_eq!(stats.window_ns, 1100);
+        assert_eq!(stats.kernel_in_window_ns, 600);
+        assert_eq!(stats.min_ratio, 0.0, "the empty window");
+        assert_eq!(stats.mean_ratio, 0.3, "(0.6 + 0.0) / 2");
+        assert!((stats.achieved_overlap() - 600.0 / 1100.0).abs() < 1e-12);
+
+        let no_windows = SpanSet {
+            records: vec![rec(SpanKind::Spmv, 0, 10, 0)],
+            dropped: 0,
+        };
+        assert!(window_stats(&no_windows).is_none());
+    }
+}

@@ -6,20 +6,27 @@
 //! solver computed — `repro` relies on this to check the exported residual
 //! stream against the solver's convergence history exactly. Each exporter
 //! is paired with a validator ([`validate_chrome_trace`],
-//! [`validate_metrics_jsonl`]) built on a minimal private JSON parser; the
-//! validators back the schema unit tests and the CI artifact check.
+//! [`validate_metrics_jsonl`], [`validate_aggregate_json`]) built on the
+//! minimal JSON parser in [`crate::json`]; the validators back the schema
+//! unit tests and the CI artifact check.
 
 use std::fmt::Write as _;
 
+use crate::agg::AggregateReport;
+use crate::json::{parse as parse_json, Json};
 use crate::metrics::{FinishRecord, IterRecord, MetricsSink, SolveMeta, SolveTelemetry};
-use crate::span::{SpanRecord, SpanSet};
+use crate::span::{SpanKind, SpanRecord, SpanSet};
 
 // ---------------------------------------------------------------------------
 // JSON writing helpers
 // ---------------------------------------------------------------------------
 
-/// Writes a JSON string literal (with escapes) into `out`.
-fn push_jstr(out: &mut String, s: &str) {
+/// Writes a JSON string literal into `out`. Output is pure ASCII: quotes,
+/// backslashes, control characters (including DEL) and every non-ASCII
+/// character are escaped, supplementary-plane characters as surrogate
+/// pairs — so a trace is byte-identical under any downstream transcoding
+/// and survives consumers that mishandle raw UTF-8.
+pub(crate) fn push_jstr(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -28,8 +35,11 @@ fn push_jstr(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if (c as u32) < 0x20 || (c as u32) >= 0x7f => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{:04x}", unit);
+                }
             }
             c => out.push(c),
         }
@@ -40,7 +50,7 @@ fn push_jstr(out: &mut String, s: &str) {
 /// Writes an f64 as a JSON value: shortest-roundtrip decimal for finite
 /// values (reparsing yields the identical bits), `null` for NaN/±inf
 /// (which JSON cannot represent).
-fn push_jnum(out: &mut String, v: f64) {
+pub(crate) fn push_jnum(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v:?}");
     } else {
@@ -144,6 +154,18 @@ impl MetricsSink for JsonlSink {
             }
             None => out.push_str("null"),
         }
+        let _ = write!(
+            out,
+            ",\"nrows\":{},\"nnz\":{},\"spmv_format\":",
+            meta.nrows, meta.nnz
+        );
+        push_jstr(out, meta.spmv_format);
+        out.push_str(",\"spmv_model_bytes_per_nnz\":");
+        push_jnum(out, meta.spmv_model_bytes_per_nnz);
+        out.push_str(",\"pc_flops_per_row\":");
+        push_jnum(out, meta.pc_flops_per_row);
+        out.push_str(",\"pc_bytes_per_row\":");
+        push_jnum(out, meta.pc_bytes_per_row);
         out.push_str("}\n");
     }
 
@@ -236,249 +258,122 @@ pub fn metrics_jsonl(t: &SolveTelemetry) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON parser (private; powers the validators)
+// Aggregate export
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+/// Renders an [`AggregateReport`] as a single JSON object: one entry per
+/// span kind with count/sum/min/max/p50/p95/p99 plus the sparse non-zero
+/// bins (`[index, count]` pairs; edges are implied by the fixed bin grid,
+/// see DESIGN.md §13).
+pub fn aggregate_json(report: &AggregateReport) -> String {
+    let mut out = String::with_capacity(128 + report.kinds.len() * 256);
+    out.push_str("{\"type\":\"aggregate\",\"bins\":");
+    let _ = write!(out, "{}", crate::agg::BINS);
+    out.push_str(",\"kinds\":[");
+    for (i, k) in report.kinds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let h = &k.hist;
+        out.push_str("{\"kind\":");
+        push_jstr(&mut out, k.kind.name());
+        let _ = write!(
+            out,
+            ",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+            h.count,
+            h.sum_ns,
+            if h.count == 0 { 0 } else { h.min_ns },
+            h.max_ns
+        );
+        let _ = write!(
+            out,
+            ",\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}",
+            h.percentile_ns(0.50),
+            h.percentile_ns(0.95),
+            h.percentile_ns(0.99)
+        );
+        out.push_str(",\"hist\":[");
+        let mut first = true;
+        for (idx, &c) in h.counts.iter().enumerate() {
+            if c > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{idx},{c}]");
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
 }
 
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
+/// Summary returned by [`validate_aggregate_json`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AggregateCheck {
+    /// Span kinds present.
+    pub kinds: usize,
+    /// Total spans across all kinds.
+    pub spans: u64,
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
+/// Structurally validates an aggregate document: known span kinds, each
+/// with `count`/`sum_ns`/percentiles, whose sparse bins sum to `count`.
+pub fn validate_aggregate_json(text: &str) -> Result<AggregateCheck, String> {
+    let doc = parse_json(text)?;
+    if doc.get("type").and_then(Json::as_str) != Some("aggregate") {
+        return Err("type is not 'aggregate'".into());
+    }
+    let kinds = doc
+        .get("kinds")
+        .and_then(Json::as_arr)
+        .ok_or("missing kinds array")?;
+    let mut check = AggregateCheck {
+        kinds: kinds.len(),
+        spans: 0,
+    };
+    for (i, k) in kinds.iter().enumerate() {
+        let name = k
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(format!("kind {i}: missing kind name"))?;
+        if SpanKind::parse(name).is_none() {
+            return Err(format!("kind {i}: unknown span kind '{name}'"));
         }
-    }
-
-    fn err(&self, msg: &str) -> String {
-        format!("json parse error at byte {}: {msg}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
+        let count = k
+            .get("count")
+            .and_then(Json::as_f64)
+            .ok_or(format!("kind {i}: missing count"))? as u64;
+        for key in ["sum_ns", "min_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns"] {
+            if k.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("kind {i}: missing {key}"));
             }
         }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn eat_lit(&mut self, lit: &str, val: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(val)
-        } else {
-            Err(self.err(&format!("expected '{lit}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.eat_lit("true", Json::Bool(true)),
-            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
-            Some(b'n') => self.eat_lit("null", Json::Null),
-            Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
+        let hist = k
+            .get("hist")
+            .and_then(Json::as_arr)
+            .ok_or(format!("kind {i}: missing hist"))?;
+        let mut binned = 0u64;
+        for (j, pair) in hist.iter().enumerate() {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or(format!("kind {i}: hist entry {j} is not [index,count]"))?;
+            let idx = pair[0].as_f64().unwrap_or(-1.0);
+            if !(0.0..crate::agg::BINS as f64).contains(&idx) {
+                return Err(format!("kind {i}: hist entry {j} index out of range"));
             }
+            binned += pair[1].as_f64().unwrap_or(0.0) as u64;
         }
+        if binned != count {
+            return Err(format!(
+                "kind {i}: bins sum to {binned}, count says {count}"
+            ));
+        }
+        check.spans += count;
     }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
-                    let c = rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing garbage"));
-    }
-    Ok(v)
+    Ok(check)
 }
 
 // ---------------------------------------------------------------------------
@@ -622,7 +517,17 @@ pub fn validate_metrics_jsonl(text: &str) -> Result<JsonlCheck, String> {
                 if lineno != 0 {
                     return Err(format!("line {}: meta is not first", lineno + 1));
                 }
-                for key in ["method", "s", "norm", "rtol", "threads"] {
+                for key in [
+                    "method",
+                    "s",
+                    "norm",
+                    "rtol",
+                    "threads",
+                    "nrows",
+                    "nnz",
+                    "spmv_format",
+                    "spmv_model_bytes_per_nnz",
+                ] {
                     if doc.get(key).is_none() {
                         return Err(format!("line {}: meta without {key}", lineno + 1));
                     }
@@ -740,6 +645,12 @@ mod tests {
                 window: 6,
                 min_ratio: 0.98,
             }),
+            nrows: 512,
+            nnz: 3392,
+            spmv_format: "sym-csr",
+            spmv_model_bytes_per_nnz: 9.62,
+            pc_flops_per_row: 1.0,
+            pc_bytes_per_row: 24.0,
         };
         let iter = |seq: usize, iter: usize, relres: f64, spmv: u64| IterRecord {
             seq,
@@ -879,6 +790,75 @@ mod tests {
             let check = validate_metrics_jsonl(&text).expect("valid");
             assert_eq!(check.relres[i % 2].to_bits(), v.to_bits(), "value {v:e}");
         }
+    }
+
+    #[test]
+    fn jstr_escapes_control_and_non_ascii_to_pure_ascii_roundtrip() {
+        // Control chars (incl. DEL), BMP non-ASCII, supplementary-plane
+        // emoji, quotes and backslashes — everything must escape to pure
+        // ASCII and decode back to the identical string.
+        let awkward = "naïve κ∇·u \u{1}\u{7f}\u{9f} 𝒮 😀 \"q\\b\"\n\t\r";
+        let mut out = String::new();
+        push_jstr(&mut out, awkward);
+        assert!(out.is_ascii(), "escaped JSON must be pure ASCII: {out}");
+        let back = parse_json(&out).expect("escaped string reparses");
+        assert_eq!(back.as_str(), Some(awkward), "round-trip identity");
+    }
+
+    #[test]
+    fn meta_with_non_ascii_method_name_roundtrips_through_jsonl() {
+        let mut stream = sample_stream();
+        stream.meta.method = "PIPE-PsCG·κ 😀\u{7}";
+        let text = metrics_jsonl(&stream);
+        assert!(text.is_ascii(), "exported JSONL must be pure ASCII");
+        validate_metrics_jsonl(&text).expect("valid jsonl");
+        let meta_line = text.lines().next().unwrap();
+        let doc = parse_json(meta_line).unwrap();
+        assert_eq!(
+            doc.get("method").and_then(Json::as_str),
+            Some("PIPE-PsCG·κ 😀\u{7}")
+        );
+        assert_eq!(doc.get("spmv_format").and_then(Json::as_str), Some("sym-csr"));
+        assert_eq!(doc.get("nnz").and_then(Json::as_f64), Some(3392.0));
+    }
+
+    #[test]
+    fn aggregate_json_roundtrips_and_validates() {
+        use crate::agg::{AggregateReport, KindAggregate, LogHistogram};
+        let mut h = LogHistogram::default();
+        for v in [10u64, 20, 30, 1000, 5000] {
+            h.record(v);
+        }
+        let mut h2 = LogHistogram::default();
+        h2.record(7);
+        let report = AggregateReport {
+            kinds: vec![
+                KindAggregate {
+                    kind: SpanKind::Spmv,
+                    hist: h.clone(),
+                },
+                KindAggregate {
+                    kind: SpanKind::Allreduce,
+                    hist: h2,
+                },
+            ],
+        };
+        let text = aggregate_json(&report);
+        let check = validate_aggregate_json(&text).expect("valid aggregate");
+        assert_eq!(check.kinds, 2);
+        assert_eq!(check.spans, 6);
+        // Percentiles in the document match the in-memory histogram.
+        let doc = parse_json(text.trim()).unwrap();
+        let spmv = &doc.get("kinds").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            spmv.get("p50_ns").and_then(Json::as_f64),
+            Some(h.percentile_ns(0.5) as f64)
+        );
+        assert_eq!(spmv.get("count").and_then(Json::as_f64), Some(5.0));
+        // A corrupted count is rejected (bins no longer sum to it).
+        let broken = text.replace("\"count\":5", "\"count\":9");
+        assert!(validate_aggregate_json(&broken).is_err());
+        assert!(validate_aggregate_json("{\"type\":\"aggregate\"}").is_err());
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! A minimal JSON parser (std only, offline-build policy).
+//!
+//! This started as the private engine behind the exporter validators in
+//! [`crate::export`]; the observatory tier made it public so downstream
+//! analyzers (the `perf-report` binary in `crates/bench`) can re-ingest the
+//! artifacts this crate writes — `trace.json`, `metrics.jsonl`,
+//! `flight.json`, aggregate summaries — without a serde dependency.
+//!
+//! Numbers are parsed as `f64` with Rust's shortest-roundtrip semantics, so
+//! a value written by [`crate::export`] reparses to the identical bits.
+//! String escapes follow RFC 8259, including surrogate-pair `\uXXXX\uXXXX`
+//! decoding for characters outside the Basic Multilingual Plane; a lone
+//! surrogate is rejected rather than silently replaced.
+
+/// A parsed JSON value. Object fields keep document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document field order (duplicate keys are kept).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Field `key` of an object (`None` for other variants or a missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    /// Reads 4 hex digits starting at byte offset `at`.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+            16,
+        )
+        .map_err(|_| self.err("bad \\u escape"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            // self.pos is at the 'u'; hex digits follow.
+                            let unit = self.hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            match unit {
+                                // High surrogate: a low surrogate escape
+                                // must follow immediately (RFC 8259 §7).
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                    {
+                                        return Err(self.err("lone high surrogate"));
+                                    }
+                                    let lo = self.hex4(self.pos + 3)?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code =
+                                        0x10000 + ((unit - 0xD800) << 10) + (lo - 0xDC00);
+                                    s.push(char::from_u32(code).expect("valid supplementary"));
+                                    self.pos += 6;
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("lone low surrogate"));
+                                }
+                                _ => s.push(char::from_u32(unit).expect("valid BMP scalar")),
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        let doc = parse(r#"{"a":[1,2],"b":{"c":"d"}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("d")
+        );
+        assert!(parse("{}x").is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn decodes_escapes_including_surrogate_pairs() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\b""#).unwrap().as_str(),
+            Some("a\n\t\"\\b")
+        );
+        // BMP escape.
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+        // Supplementary plane: surrogate pair combines to one scalar.
+        assert_eq!(parse(r#""𝒮""#).unwrap().as_str(), Some("𝒮"));
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        // Lone surrogates are rejected, not replaced.
+        assert!(parse(r#""\ud835""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ud835x""#).is_err(), "high surrogate + text");
+        assert!(parse(r#""\udcae""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud835A""#).is_err(), "bad pair");
+    }
+
+    #[test]
+    fn raw_utf8_passes_through() {
+        assert_eq!(parse("\"héllo 😀\"").unwrap().as_str(), Some("héllo 😀"));
+    }
+}

@@ -38,20 +38,65 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod agg;
+pub mod attribution;
 pub mod export;
+pub mod flight;
+pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod stagnation;
 
+pub use agg::{AggregateReport, KindAggregate, LogHistogram};
 pub use span::{span, span_arg, SpanGuard, SpanKind, SpanRecord, SpanSet};
 pub use stagnation::{StagnationConfig, StagnationDetector};
 
 /// The process-global telemetry switch. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// What the span recorder retains while telemetry is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// Every span is retained in the per-thread rings (bounded by the ring
+    /// capacity) for [`span::drain`] — the Chrome-trace workflow.
+    #[default]
+    Full,
+    /// Spans fold into O(1)-memory per-kind [`LogHistogram`]s and
+    /// counters; [`agg::drain`] yields the merged [`AggregateReport`].
+    /// Window/overlap totals and the metrics stream are unchanged — only
+    /// span *retention* differs. Built for replay campaigns whose full
+    /// traces would not fit in memory.
+    Aggregate,
+}
+
+/// The process-global [`TelemetryMode`]. `Full` by default.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects what the span recorder retains (irrelevant while telemetry is
+/// disabled). Switching modes does not move spans already recorded.
+pub fn set_mode(mode: TelemetryMode) {
+    MODE.store(
+        match mode {
+            TelemetryMode::Full => 0,
+            TelemetryMode::Aggregate => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current [`TelemetryMode`].
+#[inline]
+pub fn mode() -> TelemetryMode {
+    if MODE.load(Ordering::Relaxed) == 0 {
+        TelemetryMode::Full
+    } else {
+        TelemetryMode::Aggregate
+    }
+}
 
 /// Turns telemetry recording on or off for the whole process.
 ///

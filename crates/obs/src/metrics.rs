@@ -101,6 +101,20 @@ pub struct SolveMeta {
     /// Stagnation-detector configuration, when the method armed one — this
     /// records the switchover threshold in the emitted stream.
     pub stagnation: Option<StagnationConfig>,
+    /// Matrix rows (0 when the driver did not supply problem geometry).
+    pub nrows: usize,
+    /// Matrix non-zeros (0 when unknown).
+    pub nnz: usize,
+    /// Active SpMV storage format (`SpmvFormat::as_str` spelling) — makes
+    /// traces captured under `PSCG_SPMV_FORMAT` self-describing.
+    pub spmv_format: &'static str,
+    /// Modelled SpMV traffic in bytes per non-zero for that format on this
+    /// matrix (`costmodel::spmv_model_bytes / nnz`; 0 when unknown).
+    pub spmv_model_bytes_per_nnz: f64,
+    /// Preconditioner FLOPs per row from its declared `ApplyCost`.
+    pub pc_flops_per_row: f64,
+    /// Preconditioner bytes per row from its declared `ApplyCost`.
+    pub pc_bytes_per_row: f64,
 }
 
 /// What a solver's inner loop reports at one convergence check.
@@ -263,6 +277,7 @@ pub fn begin_solve(meta: SolveMeta, pool_base: PoolCounters) -> bool {
     if active.is_some() {
         return false;
     }
+    crate::flight::note_begin(&meta);
     let now = crate::now_ns();
     *active = Some(ActiveSolve {
         meta,
@@ -348,6 +363,7 @@ pub fn record_iter(sample: IterSample, kernels: KernelCounts) {
     a.last_t_ns = now;
     a.last_kernels = kernels;
     a.last_overlap = overlap;
+    crate::flight::note_iter(&rec);
     a.iters.push(rec);
 }
 
@@ -525,6 +541,12 @@ mod tests {
             rtol: 1e-5,
             threads: 1,
             stagnation: None,
+            nrows: 512,
+            nnz: 3392,
+            spmv_format: "csr",
+            spmv_model_bytes_per_nnz: 14.4,
+            pc_flops_per_row: 1.0,
+            pc_bytes_per_row: 24.0,
         }
     }
 }

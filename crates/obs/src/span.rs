@@ -57,6 +57,46 @@ pub enum SpanKind {
 }
 
 impl SpanKind {
+    /// Every kind, in [`SpanKind::index`] order.
+    pub const ALL: [SpanKind; 12] = [
+        SpanKind::Spmv,
+        SpanKind::Mpk,
+        SpanKind::Pc,
+        SpanKind::Gram,
+        SpanKind::Dot,
+        SpanKind::Combine,
+        SpanKind::Allreduce,
+        SpanKind::ArWindow,
+        SpanKind::Iter,
+        SpanKind::Bench,
+        SpanKind::Fault,
+        SpanKind::Recovery,
+    ];
+
+    /// Dense index into [`SpanKind::ALL`] (used by the aggregate tables).
+    pub fn index(self) -> usize {
+        match self {
+            SpanKind::Spmv => 0,
+            SpanKind::Mpk => 1,
+            SpanKind::Pc => 2,
+            SpanKind::Gram => 3,
+            SpanKind::Dot => 4,
+            SpanKind::Combine => 5,
+            SpanKind::Allreduce => 6,
+            SpanKind::ArWindow => 7,
+            SpanKind::Iter => 8,
+            SpanKind::Bench => 9,
+            SpanKind::Fault => 10,
+            SpanKind::Recovery => 11,
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`] (used when re-ingesting exported
+    /// traces and aggregate files).
+    pub fn parse(name: &str) -> Option<SpanKind> {
+        SpanKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     /// Display name (also the Chrome trace event name).
     pub fn name(self) -> &'static str {
         match self {
@@ -161,6 +201,16 @@ thread_local! {
 }
 
 fn push_record(rec: SpanRecord) {
+    // The flight recorder sees every span regardless of telemetry mode;
+    // its own ACTIVE flag is the fast-path gate.
+    crate::flight::note_span(&rec);
+    if crate::mode() == crate::TelemetryMode::Aggregate {
+        // Aggregate mode folds the span into O(1) per-kind state instead
+        // of retaining it. Window/overlap totals are untouched — they were
+        // already charged before this call.
+        crate::agg::note(&rec);
+        return;
+    }
     LOCAL.with(|ring| {
         let mut inner = ring.inner.lock().unwrap();
         if inner.records.len() >= RING_CAP {

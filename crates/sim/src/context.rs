@@ -118,6 +118,18 @@ pub trait Context {
         false
     }
 
+    /// Non-zeros of the operator matrix, for the self-describing telemetry
+    /// header and roofline attribution. Engines that do not know return 0
+    /// (the default), and attribution degrades to time-only rows.
+    fn matrix_nnz(&self) -> usize {
+        0
+    }
+    /// The preconditioner's declared `(flops_per_row, bytes_per_row)`
+    /// apply cost, zeros when unknown (the default).
+    fn pc_cost_rates(&self) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
     /// Blocking sum-allreduce of `vals`.
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64>;
     /// Posts a non-blocking sum-allreduce of `vals`.
@@ -602,8 +614,22 @@ impl Context for SimCtx<'_> {
         1
     }
 
+    fn matrix_nnz(&self) -> usize {
+        self.a.nnz()
+    }
+
+    fn pc_cost_rates(&self) -> (f64, f64) {
+        let c = self.pc.cost();
+        (c.flops_per_row, c.bytes_per_row)
+    }
+
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
-        let _sp = obs::span(SpanKind::Spmv);
+        // The span arg carries the active format's code, so traces are
+        // self-describing about which kernel body ran.
+        let _sp = obs::span_arg(
+            SpanKind::Spmv,
+            pscg_sparse::spmv_format().to_code() as u64,
+        );
         self.a.spmv(x, y);
         self.inject_data(FaultSite::Spmv, y);
         self.counters.spmv += 1;
@@ -622,7 +648,10 @@ impl Context for SimCtx<'_> {
         // The constituent products below call `a.spmv` directly (no trait
         // dispatch), so this is the only span recorded — no nested Spmv
         // spans that would double-count overlap credit.
-        let _sp = obs::span(SpanKind::Mpk);
+        let _sp = obs::span_arg(
+            SpanKind::Mpk,
+            pscg_sparse::spmv_format().to_code() as u64,
+        );
         for j in from + 1..=to {
             {
                 let (src, dst) = pow.col_pair_mut(j - 1, j);

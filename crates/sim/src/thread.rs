@@ -349,8 +349,23 @@ impl Context for RankCtx<'_, '_> {
         self.ep.nranks()
     }
 
+    fn matrix_nnz(&self) -> usize {
+        self.a.nnz()
+    }
+
+    fn pc_cost_rates(&self) -> (f64, f64) {
+        match &self.pc {
+            LocalPc::None => (0.0, 0.0),
+            // The Jacobi apply's declared cost (see `pscg_precond::Jacobi`).
+            LocalPc::Jacobi(_) => (1.0, 24.0),
+        }
+    }
+
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
-        let _sp = obs::span(SpanKind::Spmv);
+        let _sp = obs::span_arg(
+            SpanKind::Spmv,
+            pscg_sparse::spmv_format().to_code() as u64,
+        );
         assert_eq!(x.len(), self.vec_len());
         assert_eq!(y.len(), self.vec_len());
         // Halo exchange: push our values that neighbours need, pull ghosts.

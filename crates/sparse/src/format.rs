@@ -71,7 +71,10 @@ impl SpmvFormat {
         }
     }
 
-    fn to_code(self) -> u8 {
+    /// Stable numeric code (1-based), carried as the `arg` of SpMV/MPK
+    /// telemetry spans so traces are self-describing about which kernel
+    /// body ran.
+    pub fn to_code(self) -> u8 {
         match self {
             SpmvFormat::Csr => 1,
             SpmvFormat::CsrUnrolled4 => 2,
@@ -81,7 +84,8 @@ impl SpmvFormat {
         }
     }
 
-    fn from_code(code: u8) -> Option<SpmvFormat> {
+    /// Inverse of [`SpmvFormat::to_code`].
+    pub fn from_code(code: u8) -> Option<SpmvFormat> {
         match code {
             1 => Some(SpmvFormat::Csr),
             2 => Some(SpmvFormat::CsrUnrolled4),

@@ -1,0 +1,70 @@
+//! Flight-recorder post-mortem contract (DESIGN.md §13).
+//!
+//! Arms the bounded flight recorder, drives a resilient solve through a
+//! fault flood no recovery rung can survive (every allreduce returns NaN,
+//! which also forces the supervisor's own true-residual verification to
+//! reject every attempt), and checks that:
+//!
+//!   * the supervisor reports `SolveError::RecoveryExhausted` rather than
+//!     hanging or claiming convergence, and
+//!   * the dump it leaves behind is schema-valid, carries the
+//!     `RecoveryExhausted` reason, and respects the configured frame bound.
+//!
+//! One `#[test]` only: the recorder is process-global state.
+
+use pipescg::{MethodKind, SolveError, SolveOptions};
+use pscg_fault::{FaultAction, FaultPlan, FaultSite};
+use pscg_precond::Jacobi;
+use pscg_sim::SimCtx;
+use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+
+#[test]
+fn exhausted_recovery_leaves_a_valid_flight_dump() {
+    let g = Grid3::cube(6);
+    let a = poisson3d_7pt(g, None);
+    let n = a.nrows();
+    let xstar: Vec<f64> = (0..n).map(|i| (0.31 * i as f64).sin()).collect();
+    let b = a.mul_vec(&xstar);
+
+    let dump = std::env::temp_dir().join(format!("pscg-flight-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+
+    const FRAMES: usize = 12;
+    pscg_obs::set_enabled(true);
+    pscg_obs::flight::configure(FRAMES, Some(dump.clone()));
+
+    // Every reduction in the solve — including the supervisor's
+    // verification norms — comes back NaN, so no attempt can be accepted.
+    let mut plan = FaultPlan::new(29);
+    for nth in 0..20_000 {
+        plan = plan.with(FaultSite::Reduce, nth, FaultAction::Nan);
+    }
+
+    let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+    ctx.arm_faults(plan);
+    let opts = SolveOptions::with_rtol(1e-8).with_s(3);
+    let outcome = MethodKind::PipePscg.solve_resilient(&mut ctx, &b, None, &opts);
+
+    pscg_obs::flight::configure(0, None);
+    pscg_obs::set_enabled(false);
+
+    match outcome {
+        Err(SolveError::RecoveryExhausted { .. }) => {}
+        other => panic!("expected RecoveryExhausted, got {other:?}"),
+    }
+
+    let check = pscg_obs::flight::validate_flight_file(&dump)
+        .unwrap_or_else(|e| panic!("flight dump invalid: {e}"));
+    assert_eq!(check.reason, "RecoveryExhausted");
+    // The ladder's final rung is a PCG restart, so the post-mortem frames
+    // cover that last attempt, not the method the caller asked for.
+    assert_eq!(check.method, MethodKind::Pcg.name());
+    assert!(
+        check.iters >= 1 && check.iters <= FRAMES,
+        "iteration frames {} outside bound 1..={FRAMES}",
+        check.iters
+    );
+    assert!(check.spans >= 1, "dump carries no kernel spans");
+
+    let _ = std::fs::remove_file(&dump);
+}
