@@ -15,6 +15,7 @@
 //! | 14 | [`FindingClass::Model`]     | model checker found a protocol violation |
 //! | 15 | [`FindingClass::Race`]      | race detector found unordered accesses |
 //! | 16 | [`FindingClass::Ir`]        | method IR failed static verification or trace conformance |
+//! | 18 | [`FindingClass::Chaos`]     | chaos campaign violation (hang or silent-wrong answer) |
 //!
 //! Codes 1 (generic failure) and 2 (usage error) keep their conventional
 //! meanings. When a run produces several classes, the process exits with
@@ -44,12 +45,15 @@ pub enum FindingClass {
     /// A method's declarative IR failed static verification (dataflow,
     /// structure derivation) or trace conformance (`pscg-ir`).
     Ir,
+    /// The chaos campaign (`repro --chaos`) observed a resilience-contract
+    /// violation: a hung method or a silently wrong accepted answer.
+    Chaos,
 }
 
 impl FindingClass {
     /// Every finding class, in severity order (matching the doc table
     /// above; `doc_lint::check_exit_codes` keeps the two in sync).
-    pub const ALL: [FindingClass; 7] = [
+    pub const ALL: [FindingClass; 8] = [
         FindingClass::Hazard,
         FindingClass::Structure,
         FindingClass::Probe,
@@ -57,6 +61,7 @@ impl FindingClass {
         FindingClass::Model,
         FindingClass::Race,
         FindingClass::Ir,
+        FindingClass::Chaos,
     ];
 
     /// The reserved process exit code of this class.
@@ -69,6 +74,8 @@ impl FindingClass {
             FindingClass::Model => 14,
             FindingClass::Race => 15,
             FindingClass::Ir => 16,
+            // 17 is reserved by the perf-report analyzer binary.
+            FindingClass::Chaos => 18,
         }
     }
 }
@@ -83,6 +90,7 @@ impl fmt::Display for FindingClass {
             FindingClass::Model => "model",
             FindingClass::Race => "race",
             FindingClass::Ir => "ir",
+            FindingClass::Chaos => "chaos",
         };
         write!(f, "{name}")
     }
@@ -107,7 +115,9 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), all.len(), "codes collide: {codes:?}");
         // Stay clear of the conventional 0/1/2 and of the shell's 126+.
-        assert!(codes.iter().all(|&c| (10..=16).contains(&c)));
+        assert!(codes.iter().all(|&c| (10..=18).contains(&c)));
+        // 17 belongs to the perf-report binary, not a finding class.
+        assert!(!codes.contains(&17));
     }
 
     #[test]

@@ -207,11 +207,7 @@ fn bench_all(cfg: &Config, a: &CsrMatrix) -> Vec<Cell> {
                 median_secs: m,
                 gflops: gflops_per_sec(spmv_fl, m),
                 bytes_per_nnz: Some(a.spmv_traffic_bytes(fmt) / a.nnz() as f64),
-                model_bytes_per_nnz: Some(spmv_model_bytes_per_nnz(
-                    fmt,
-                    a.nnz() as f64,
-                    n as f64,
-                )),
+                model_bytes_per_nnz: Some(spmv_model_bytes_per_nnz(fmt, a.nnz() as f64, n as f64)),
             });
         }
         set_spmv_format(entry_format);
@@ -695,9 +691,11 @@ fn main() {
     println!("\n| spmv format | measured B/nnz | model B/nnz | ratio |");
     println!("|---|---|---|---|");
     let t0 = cfg.threads[0];
-    for c in cells.iter().filter(|c| c.kernel == "spmv" && c.threads == t0) {
-        let (Some(f), Some(b), Some(m)) = (c.format, c.bytes_per_nnz, c.model_bytes_per_nnz)
-        else {
+    for c in cells
+        .iter()
+        .filter(|c| c.kernel == "spmv" && c.threads == t0)
+    {
+        let (Some(f), Some(b), Some(m)) = (c.format, c.bytes_per_nnz, c.model_bytes_per_nnz) else {
             continue;
         };
         println!("| {f} | {b:.2} | {m:.2} | {:.2} |", b / m);

@@ -62,7 +62,10 @@ fn report_kernels(path: &PathBuf) {
     let Some(results) = doc.get("results").and_then(Json::as_arr) else {
         fail(&format!("{}: no results array", path.display()));
     };
-    println!("\n## Kernelbench SpMV traffic vs model ({})\n", path.display());
+    println!(
+        "\n## Kernelbench SpMV traffic vs model ({})\n",
+        path.display()
+    );
     println!("| format | threads | measured B/nnz | model B/nnz | ratio |");
     println!("|---|---|---|---|---|");
     for r in results {

@@ -68,18 +68,39 @@
 //! explicit error — a *silent* wrong answer (claimed convergence
 //! contradicted by `‖b − A x‖`) aborts with exit 1. With no experiments
 //! named, the flag runs the campaign alone.
+//!
+//! `--chaos N [--chaos-seed S]` runs N seeded chaos campaigns: each
+//! campaign generates a random fault plan (data faults, completion faults
+//! and rank death/straggler events — `pscg_fault::chaos`) and runs it
+//! through the resilient supervisor for all 11 methods under a wall-clock
+//! watchdog. The contract is *recover or error explicitly, never hang,
+//! never lie*: every accepted answer's true residual is recomputed, a
+//! solve that produces nothing within the deadline counts as a hang, and
+//! either violation is minimized with the automatic plan shrinker
+//! (`pscg_fault::shrink`), dumped next to a flight-recorder post-mortem,
+//! and exits with code 18. The outcome histogram is written to
+//! `results/chaos.json`.
+//!
+//! `--chaos-plant` (requires building with `--features broken-resilience`)
+//! runs the chaos classifier against a known-bad plan on a deliberately
+//! sabotaged supervisor and exits 18 only when the harness both catches
+//! the planted silent-wrong answer *and* shrinks the plan to its killer
+//! line — the non-vacuousness gate for the chaos machinery itself.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pipescg::methods::MethodKind;
-use pipescg::solver::SolveOptions;
+use pipescg::solver::{SolveError, SolveOptions};
 use pscg_analysis::FindingClass;
 use pscg_bench::problems;
 use pscg_bench::{experiments, Scale};
-use pscg_fault::FaultPlan;
+use pscg_fault::{chaos, shrink, ChaosConfig, FaultPlan};
 use pscg_precond::Jacobi;
 use pscg_sim::{Machine, SimCtx};
+use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
+use pscg_sparse::CsrMatrix;
 
 /// Every method the drivers sweep, in the paper's presentation order.
 const ALL_METHODS: [MethodKind; 11] = [
@@ -624,11 +645,7 @@ fn run_perf_report(scale: &Scale, results: &Path) -> bool {
             ok = false;
         }
     }
-    println!(
-        "\nwrote {} and {}",
-        json_path.display(),
-        md_path.display()
-    );
+    println!("\nwrote {} and {}", json_path.display(), md_path.display());
     ok
 }
 
@@ -725,6 +742,347 @@ fn run_fault_campaign(scale: &Scale, plan: &FaultPlan, results: &Path) -> bool {
     ok
 }
 
+/// The fixed small Poisson problem every chaos solve runs on: large enough
+/// for the s-step methods to take several outer iterations, small enough
+/// that hundreds of campaigns finish in CI time.
+fn chaos_problem() -> (CsrMatrix, Vec<f64>) {
+    let g = Grid3::cube(6);
+    let a = poisson3d_7pt(g, None);
+    let n = a.nrows();
+    let xstar: Vec<f64> = (0..n).map(|i| (0.31 * i as f64).sin()).collect();
+    let b = a.mul_vec(&xstar);
+    (a, b)
+}
+
+/// Tolerance of every chaos solve; an accepted answer must verify to
+/// within 100x of it on the recomputed residual.
+const CHAOS_RTOL: f64 = 1e-6;
+
+/// What one (method, plan) chaos solve did, classified against the
+/// resilience contract.
+struct ChaosOutcome {
+    /// Histogram key: `clean`, `recovered`, `explicit-error`, `rank-lost`,
+    /// `silent-wrong` or `hang`.
+    class: &'static str,
+    /// True for the contract violations (`silent-wrong`, `hang`).
+    violation: bool,
+    /// Human-readable context for the campaign log.
+    detail: String,
+    /// The engine's deterministic recovery-code log for the solve.
+    recovery: Vec<u64>,
+}
+
+/// Arms `plan` in a fresh simulator, solves through the resilient
+/// supervisor and classifies the outcome. Hang detection is the caller's
+/// job ([`chaos_solve_watched`]).
+fn chaos_classify(a: &CsrMatrix, b: &[f64], method: MethodKind, plan: &FaultPlan) -> ChaosOutcome {
+    let mut ctx = SimCtx::serial(a, Box::new(Jacobi::new(a)));
+    ctx.arm_faults(plan.clone());
+    let opts = SolveOptions {
+        rtol: CHAOS_RTOL,
+        s: 3,
+        max_iters: 400,
+        ..Default::default()
+    };
+    let outcome = method.solve_resilient(&mut ctx, b, None, &opts);
+    let recovery = ctx.take_recovery_log();
+    match outcome {
+        Ok(res) if res.converged() => {
+            let t = res.true_relres(a, b);
+            if t.is_finite() && t <= CHAOS_RTOL * 100.0 {
+                let (class, detail) = if recovery.is_empty() {
+                    ("clean", String::new())
+                } else {
+                    ("recovered", format!("codes {recovery:?}"))
+                };
+                ChaosOutcome {
+                    class,
+                    violation: false,
+                    detail,
+                    recovery,
+                }
+            } else {
+                ChaosOutcome {
+                    class: "silent-wrong",
+                    violation: true,
+                    detail: format!(
+                        "reported {:?} at relres {:.3e} but true relres is {:.3e}",
+                        res.stop, res.final_relres, t
+                    ),
+                    recovery,
+                }
+            }
+        }
+        Ok(res) => ChaosOutcome {
+            class: "explicit-error",
+            violation: false,
+            detail: format!("{:?} after {} iter(s)", res.stop, res.iterations),
+            recovery,
+        },
+        Err(SolveError::RankLost { rank, iterations }) => ChaosOutcome {
+            class: "rank-lost",
+            violation: false,
+            detail: format!("rank {rank} unrecoverable after {iterations} step(s)"),
+            recovery,
+        },
+        Err(e) => ChaosOutcome {
+            class: "explicit-error",
+            violation: false,
+            detail: e.to_string(),
+            recovery,
+        },
+    }
+}
+
+/// Runs [`chaos_classify`] on a worker thread under a wall-clock deadline.
+/// A solve that neither returns nor errors within `deadline` is the
+/// contract violation `hang`; the stuck worker is abandoned (the process
+/// exits with the campaign).
+fn chaos_solve_watched(
+    a: &CsrMatrix,
+    b: &[f64],
+    method: MethodKind,
+    plan: &FaultPlan,
+    deadline: Duration,
+) -> ChaosOutcome {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (a2, b2, plan2) = (a.clone(), b.to_vec(), plan.clone());
+    std::thread::spawn(move || {
+        let _ = tx.send(chaos_classify(&a2, &b2, method, &plan2));
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(out) => out,
+        Err(_) => ChaosOutcome {
+            class: "hang",
+            violation: true,
+            detail: format!("no outcome within {deadline:.0?}"),
+            recovery: Vec::new(),
+        },
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled `chaos.json`.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shrinks the plan behind a contract violation to a 1-minimal
+/// reproduction (same method, same outcome class), writes it next to a
+/// flight-recorder post-mortem, and returns the shrunk plan.
+fn chaos_shrink_violation(
+    a: &CsrMatrix,
+    b: &[f64],
+    method: MethodKind,
+    plan: &FaultPlan,
+    class: &'static str,
+    results: &Path,
+    tag: &str,
+) -> FaultPlan {
+    // Re-running a hang costs the full deadline per probe, so the shrinker
+    // gets a shorter one; outcome classes are deterministic per plan.
+    let deadline = Duration::from_secs(if class == "hang" { 10 } else { 30 });
+    let shrunk = shrink::shrink(plan, |cand| {
+        chaos_solve_watched(a, b, method, cand, deadline).class == class
+    });
+    let plan_path = results.join(format!("chaos_{tag}_{}.plan", method_slug(method)));
+    if let Err(e) = std::fs::write(&plan_path, shrunk.to_text()) {
+        eprintln!("[chaos] write {}: {e}", plan_path.display());
+    } else {
+        eprintln!(
+            "[chaos] {}: shrunk {class} reproduction written to {}:\n{}",
+            method.name(),
+            plan_path.display(),
+            shrunk.to_text()
+        );
+    }
+    if let Some(p) = pscg_obs::flight::dump_to_path(&format!("chaos:{class}")) {
+        eprintln!("[chaos] flight post-mortem at {}", p.display());
+    }
+    shrunk
+}
+
+/// Runs `n` seeded chaos campaigns across every method and enforces the
+/// resilience contract: *recover or error explicitly, never hang, never
+/// lie*. Writes the outcome histogram to `results/chaos.json`; every
+/// violation is shrunk to a minimal plan and contributes
+/// [`FindingClass::Chaos`].
+fn run_chaos(n: usize, seed: u64, results: &Path) -> Vec<FindingClass> {
+    let (a, b) = chaos_problem();
+    println!(
+        "\n## Chaos campaign ({n} plan(s), base seed {seed}, {} rows, rtol {CHAOS_RTOL:.0e})\n",
+        a.nrows()
+    );
+    println!("| campaign | plan | outcomes |");
+    println!("|---|---|---|");
+    let mut hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut code_hist: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut violations: Vec<(usize, MethodKind, &'static str, String, FaultPlan)> = Vec::new();
+    let _ = std::fs::create_dir_all(results);
+    pscg_obs::set_enabled(true);
+    pscg_obs::flight::configure(16, Some(results.join("flight.json")));
+    for k in 0..n {
+        let plan = chaos::generate(seed.wrapping_add(k as u64), &ChaosConfig::default());
+        let mut classes: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for method in ALL_METHODS {
+            let out = chaos_solve_watched(&a, &b, method, &plan, Duration::from_secs(30));
+            *hist.entry(out.class).or_insert(0) += 1;
+            *classes.entry(out.class).or_insert(0) += 1;
+            for &c in &out.recovery {
+                *code_hist.entry(c).or_insert(0) += 1;
+            }
+            if out.violation {
+                eprintln!(
+                    "[chaos] campaign {k}: {}: {} — {}\nplan:\n{}",
+                    method.name(),
+                    out.class.to_ascii_uppercase(),
+                    out.detail,
+                    plan.to_text()
+                );
+                violations.push((k, method, out.class, out.detail, plan.clone()));
+            }
+        }
+        let summary = classes
+            .iter()
+            .map(|(c, cnt)| format!("{c} x{cnt}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "| {k} | {} event(s), {} rank event(s) | {summary} |",
+            plan.events.len(),
+            plan.rank_events.len()
+        );
+    }
+    for (k, method, class, _, plan) in &violations {
+        chaos_shrink_violation(&a, &b, *method, plan, class, results, &format!("c{k}"));
+    }
+    pscg_obs::flight::configure(0, None);
+    pscg_obs::set_enabled(false);
+
+    let mut json = format!(
+        "{{\n  \"seed\": {seed},\n  \"campaigns\": {n},\n  \"methods\": {},\n  \"solves\": {},\n",
+        ALL_METHODS.len(),
+        n * ALL_METHODS.len()
+    );
+    json.push_str("  \"outcomes\": {");
+    json.push_str(
+        &hist
+            .iter()
+            .map(|(c, cnt)| format!("\"{c}\": {cnt}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("},\n  \"recovery_codes\": {");
+    json.push_str(
+        &code_hist
+            .iter()
+            .map(|(c, cnt)| format!("\"{c}\": {cnt}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("},\n  \"violations\": [");
+    json.push_str(
+        &violations
+            .iter()
+            .map(|(k, m, class, detail, plan)| {
+                format!(
+                    "{{\"campaign\": {k}, \"method\": \"{}\", \"class\": \"{class}\", \
+                     \"detail\": \"{}\", \"plan\": \"{}\"}}",
+                    m.name(),
+                    json_escape(detail),
+                    json_escape(&plan.to_text())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("]\n}\n");
+    let json_path = results.join("chaos.json");
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("[chaos] write {}: {e}", json_path.display());
+    } else {
+        println!("\nwrote {}", json_path.display());
+    }
+
+    let total: usize = hist.values().sum();
+    println!(
+        "\n{} solve(s): {}",
+        total,
+        hist.iter()
+            .map(|(c, cnt)| format!("{cnt} {c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if violations.is_empty() {
+        Vec::new()
+    } else {
+        vec![FindingClass::Chaos]
+    }
+}
+
+/// The chaos-harness non-vacuousness gate: classifies a known-bad plan on
+/// the deliberately sabotaged supervisor (`broken-resilience`), requiring
+/// the harness to flag the silent-wrong answer and shrink the plan to its
+/// single killer line. Exits 18 when both happen, 1 otherwise.
+#[cfg(feature = "broken-resilience")]
+fn run_chaos_plant(results: &Path) -> ! {
+    // One killer (an early large SpMV bit flip the sabotaged supervisor
+    // accepts) buried under three decoys the shrinker must strip.
+    let text = "seed 99\n\
+                at spmv 1 bitflip 51\n\
+                at pc 7 perturb 1e-12\n\
+                at wait 9 delay 1\n\
+                rank_slow 3 2.0 5\n";
+    let plan = FaultPlan::parse(text).expect("plant plan parses");
+    let (a, b) = chaos_problem();
+    let _ = std::fs::create_dir_all(results);
+    pscg_obs::set_enabled(true);
+    pscg_obs::flight::configure(16, Some(results.join("flight.json")));
+    let mut caught = None;
+    for method in ALL_METHODS {
+        let out = chaos_solve_watched(&a, &b, method, &plan, Duration::from_secs(30));
+        eprintln!(
+            "[chaos-plant] {}: {} {}",
+            method.name(),
+            out.class,
+            out.detail
+        );
+        if out.violation {
+            caught = Some((method, out.class));
+            break;
+        }
+    }
+    let Some((method, class)) = caught else {
+        eprintln!(
+            "[chaos-plant] NOT caught — the chaos harness is vacuous for the \
+             sabotaged supervisor"
+        );
+        std::process::exit(1);
+    };
+    let shrunk = chaos_shrink_violation(&a, &b, method, &plan, class, results, "plant");
+    pscg_obs::flight::configure(0, None);
+    pscg_obs::set_enabled(false);
+    let lines = shrunk.events.len() + shrunk.rank_events.len();
+    if lines > 3 {
+        eprintln!("[chaos-plant] shrinker left {lines} line(s) (expected <= 3)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[chaos-plant] caught as {class} on {} and shrunk to {lines} line(s)",
+        method.name()
+    );
+    std::process::exit(FindingClass::Chaos.exit_code());
+}
+
 fn main() {
     let mut scale = Scale::from_env();
     let mut wanted: Vec<String> = Vec::new();
@@ -737,6 +1095,9 @@ fn main() {
     let mut fault_plan: Option<PathBuf> = std::env::var_os("PSCG_FAULTS").map(PathBuf::from);
     let mut aggregate = false;
     let mut perf_report = false;
+    let mut chaos_n: Option<usize> = None;
+    let mut chaos_seed: u64 = 2024;
+    let mut chaos_plant = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -777,6 +1138,21 @@ fn main() {
                 };
                 fault_plan = Some(PathBuf::from(file));
             }
+            "--chaos" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--chaos needs a campaign count");
+                    std::process::exit(2);
+                };
+                chaos_n = Some(n);
+            }
+            "--chaos-seed" => {
+                let Some(s) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--chaos-seed needs an integer seed");
+                    std::process::exit(2);
+                };
+                chaos_seed = s;
+            }
+            "--chaos-plant" => chaos_plant = true,
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = match v.as_str() {
@@ -795,7 +1171,8 @@ fn main() {
                      [--verify-concurrency] [--verify-ir] [--ir-broken MODE|all] \
                      [--strict-probes] \
                      [--telemetry DIR] [--telemetry-mode full|aggregate] \
-                     [--perf-report] [--fault-plan FILE] <experiment>...\n\
+                     [--perf-report] [--fault-plan FILE] \
+                     [--chaos N] [--chaos-seed S] [--chaos-plant] <experiment>...\n\
                      experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 \
                      ablation-progress crossover mpk all"
                 );
@@ -812,6 +1189,8 @@ fn main() {
         && ir_broken.is_none()
         && telemetry.is_none()
         && fault_plan.is_none()
+        && chaos_n.is_none()
+        && !chaos_plant
     {
         wanted.push("all".to_string());
     }
@@ -884,11 +1263,9 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if perf_report {
-        if !run_perf_report(&scale, &results) {
-            eprintln!("[repro] perf report FAILED");
-            std::process::exit(1);
-        }
+    if perf_report && !run_perf_report(&scale, &results) {
+        eprintln!("[repro] perf report FAILED");
+        std::process::exit(1);
     }
     if let Some(file) = &fault_plan {
         let text = match std::fs::read_to_string(file) {
@@ -908,6 +1285,25 @@ fn main() {
         if !run_fault_campaign(&scale, &plan, &results) {
             eprintln!("[repro] fault campaign FAILED");
             std::process::exit(1);
+        }
+    }
+    if chaos_plant {
+        #[cfg(feature = "broken-resilience")]
+        run_chaos_plant(&results);
+        #[cfg(not(feature = "broken-resilience"))]
+        {
+            eprintln!(
+                "--chaos-plant requires building with --features broken-resilience \
+                 (the sabotaged supervisor is gated out of normal builds)"
+            );
+            std::process::exit(2);
+        }
+    }
+    if let Some(n) = chaos_n {
+        let found = run_chaos(n, chaos_seed, &results);
+        if let Some(worst) = pscg_analysis::exit_codes::most_severe(&found) {
+            eprintln!("[repro] chaos campaign FAILED ({worst})");
+            std::process::exit(worst.exit_code());
         }
     }
     if want("table1") {

@@ -334,8 +334,7 @@ fn parse_stream(text: &str) -> Result<StreamSummary, String> {
                         .map(str::to_string)
                         .ok_or(format!("meta without {key}"))
                 };
-                let num_of =
-                    |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                let num_of = |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(0.0);
                 meta = Some(StreamSummary {
                     method: str_of("method")?,
                     s: num_of("s") as u64,
@@ -363,8 +362,7 @@ fn parse_stream(text: &str) -> Result<StreamSummary, String> {
 /// Builds a report from a telemetry directory: every `<slug>.metrics.jsonl`
 /// with a sibling `<slug>.trace.json` contributes one method entry.
 pub fn from_dir(dir: &Path) -> Result<PerfReport, String> {
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
     let mut stems: Vec<String> = entries
         .filter_map(|e| e.ok())
         .filter_map(|e| {
@@ -384,12 +382,14 @@ pub fn from_dir(dir: &Path) -> Result<PerfReport, String> {
             .map_err(|e| format!("read {}: {e}", jsonl_path.display()))?;
         let trace = std::fs::read_to_string(&trace_path)
             .map_err(|e| format!("read {}: {e}", trace_path.display()))?;
-        let stream =
-            parse_stream(&jsonl).map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+        let stream = parse_stream(&jsonl).map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
         let spans =
             spans_from_trace(&trace).map_err(|e| format!("{}: {e}", trace_path.display()))?;
-        let method = method_by_name(&stream.method)
-            .ok_or(format!("{}: unknown method '{}'", jsonl_path.display(), stream.method))?;
+        let method = method_by_name(&stream.method).ok_or(format!(
+            "{}: unknown method '{}'",
+            jsonl_path.display(),
+            stream.method
+        ))?;
         let format = SpmvFormat::parse(&stream.spmv_format).unwrap_or(SpmvFormat::Csr);
         let models = models_for(
             method,
@@ -586,8 +586,14 @@ pub fn parse_report(text: &str) -> Result<PerfReport, String> {
                     .get("kernel_in_window_ns")
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0) as u64,
-                min_ratio: o.get("min_ratio").and_then(Json::as_f64).unwrap_or(f64::NAN),
-                mean_ratio: o.get("mean_ratio").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                min_ratio: o
+                    .get("min_ratio")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                mean_ratio: o
+                    .get("mean_ratio")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
                 capacity: o
                     .get("capacity")
                     .and_then(Json::as_arr)
@@ -790,7 +796,11 @@ mod tests {
 
         // Overlap degradation alone is also caught.
         let mut unhidden = base.clone();
-        unhidden.methods[0].overlap.as_mut().unwrap().kernel_in_window_ns = 100_000;
+        unhidden.methods[0]
+            .overlap
+            .as_mut()
+            .unwrap()
+            .kernel_in_window_ns = 100_000;
         let failures = check(&unhidden, &base, 0.2);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("achieved overlap regressed"));
@@ -807,15 +817,7 @@ mod tests {
 
     #[test]
     fn models_price_the_spmv_and_pc_from_the_meta() {
-        let models = models_for(
-            MethodKind::Pcg,
-            1,
-            SpmvFormat::Csr,
-            1000,
-            6400,
-            1.0,
-            24.0,
-        );
+        let models = models_for(MethodKind::Pcg, 1, SpmvFormat::Csr, 1000, 6400, 1.0, 24.0);
         let spmv = models.iter().find(|m| m.kind == SpanKind::Spmv).unwrap();
         assert_eq!(spmv.flops_per_call, 2.0 * 6400.0);
         assert_eq!(spmv.bytes_per_call, 12.0 * 6400.0 + 16.0 * 1000.0);

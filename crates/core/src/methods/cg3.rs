@@ -59,7 +59,16 @@ pub fn solve<C: Context>(
         let red = ctx.allreduce(&[lmu, lnu, lrr, luu]);
         let (mu, nu, rr, uu) = (red[0], red[1], red[2], red[3]);
 
-        let relres = opts.norm.pick_sq(rr, uu, mu).max(0.0).sqrt() / bnorm;
+        // A dead peer poisons the reduction: the check must precede the
+        // relres computation, whose `.max(0.0)` would clamp a NaN norm
+        // into a fake zero-residual convergence. The supervisor owns the
+        // buddy rebuild.
+        if ctx.rank_failure().is_some() {
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::RankFailed;
+            break;
+        }
+        let relres = crate::methods::relres_from_sq(opts.norm.pick_sq(rr, uu, mu), bnorm);
         history.push(relres);
         ctx.note_residual(relres);
         crate::telemetry::note_iter(ctx, iters, relres, [rr, uu, mu], &[], &[], mu);
@@ -79,10 +88,13 @@ pub fn solve<C: Context>(
             stop = StopReason::Breakdown;
             break;
         }
-        if resil.on_check(ctx, b, &x, relres) {
-            resil.rollback(ctx, &mut x);
-            stop = StopReason::Breakdown;
-            break;
+        match resil.on_check(ctx, b, &x, relres) {
+            crate::resilience::CheckVerdict::Continue => {}
+            verdict => {
+                resil.rollback(ctx, &mut x);
+                stop = verdict.stop();
+                break;
+            }
         }
 
         let gamma = mu / nu;

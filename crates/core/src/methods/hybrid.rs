@@ -38,10 +38,15 @@ pub fn solve<C: Context>(
     let phase1 = pipe_pscg::solve_with(ctx, b, x0, opts, cfg);
 
     match phase1.stop {
-        // A CommFault passes through: reduction retries are already
-        // exhausted, and phase 2 is pipelined too — recovery belongs to
-        // the resilient supervisor, not the stagnation handoff.
-        StopReason::Converged | StopReason::MaxIterations | StopReason::CommFault => SolveResult {
+        // A CommFault, stall or rank death passes through: reduction
+        // retries are already exhausted, and phase 2 is pipelined too —
+        // recovery belongs to the resilient supervisor, not the
+        // stagnation handoff.
+        StopReason::Converged
+        | StopReason::MaxIterations
+        | StopReason::CommFault
+        | StopReason::Stalled
+        | StopReason::RankFailed => SolveResult {
             method: "Hybrid-pipelined",
             ..phase1
         },

@@ -165,6 +165,21 @@ pub(crate) fn init_residual<C: Context>(
     (x, r)
 }
 
+/// Relative residual from a reduced squared norm, preserving a non-finite
+/// input as NaN. The bare `.max(0.0).sqrt()` idiom (which exists to clamp
+/// tiny negative rounding) would silently map a *poisoned* NaN reduction
+/// to a zero residual — instant fake convergence. A NaN result instead
+/// fails every `< threshold` comparison and trips the methods'
+/// `!relres.is_finite()` breakdown guards.
+#[inline]
+pub(crate) fn relres_from_sq(norm_sq: f64, bnorm: f64) -> f64 {
+    if norm_sq.is_finite() {
+        norm_sq.max(0.0).sqrt() / bnorm
+    } else {
+        f64::NAN
+    }
+}
+
 /// The convergence-test reference norm of `b` in the norm the test uses:
 /// `‖b‖`, `‖M⁻¹b‖` or `√(b, M⁻¹b)` — matching the residual norm on the
 /// other side of `‖·‖ < rtol·ref` (the PETSc convention; the paper's §VI-E

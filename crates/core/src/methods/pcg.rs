@@ -31,7 +31,7 @@ pub fn solve<C: Context>(
     let ln = norm_dot(ctx, opts.norm, &r, &u, gamma);
     let norm0_sq = ctx.allreduce(&[ln])[0];
 
-    let mut history = vec![norm0_sq.max(0.0).sqrt() / bnorm];
+    let mut history = vec![crate::methods::relres_from_sq(norm0_sq, bnorm)];
     ctx.note_residual(history[0]);
     crate::telemetry::note_iter(
         ctx,
@@ -53,7 +53,13 @@ pub fn solve<C: Context>(
         method: "PCG",
     };
 
-    if norm0_sq.max(0.0).sqrt() < threshold {
+    // The failure check must precede any convergence interpretation: a
+    // poisoned NaN norm would be clamped to zero by `.max(0.0)` and read
+    // as instant convergence.
+    if ctx.rank_failure().is_some() {
+        return result(ctx, x, 0, StopReason::RankFailed, history);
+    }
+    if norm0_sq.is_finite() && norm0_sq.max(0.0).sqrt() < threshold {
         return result(ctx, x, 0, StopReason::Converged, history);
     }
 
@@ -70,6 +76,12 @@ pub fn solve<C: Context>(
         // Lines 11–12: δ = (s, p) — blocking — and α = γ/δ.
         let ld = ctx.local_dot(&s, &p);
         let delta = ctx.allreduce(&[ld])[0];
+        // A dead peer poisons the reduction: report the typed failure, not
+        // a breakdown — the supervisor owns buddy reconstruction.
+        if ctx.rank_failure().is_some() {
+            resil.rollback(ctx, &mut x);
+            return result(ctx, x, i, StopReason::RankFailed, history);
+        }
         if delta <= 0.0 || delta.is_nan() {
             resil.rollback(ctx, &mut x);
             return result(ctx, x, i, StopReason::Breakdown, history);
@@ -86,7 +98,13 @@ pub fn solve<C: Context>(
         let ln = norm_dot(ctx, opts.norm, &r, &u, gamma_new);
         let norm_sq = ctx.allreduce(&[ln])[0];
 
-        let relres = norm_sq.max(0.0).sqrt() / bnorm;
+        // Checked before `.max(0.0)` can clamp a poisoned NaN norm into a
+        // fake zero-residual convergence.
+        if ctx.rank_failure().is_some() {
+            resil.rollback(ctx, &mut x);
+            return result(ctx, x, i + 1, StopReason::RankFailed, history);
+        }
+        let relres = crate::methods::relres_from_sq(norm_sq, bnorm);
         history.push(relres);
         ctx.note_residual(relres);
         crate::telemetry::note_iter(
@@ -111,9 +129,12 @@ pub fn solve<C: Context>(
             resil.rollback(ctx, &mut x);
             return result(ctx, x, i + 1, StopReason::Breakdown, history);
         }
-        if resil.on_check(ctx, b, &x, relres) {
-            resil.rollback(ctx, &mut x);
-            return result(ctx, x, i + 1, StopReason::Breakdown, history);
+        match resil.on_check(ctx, b, &x, relres) {
+            crate::resilience::CheckVerdict::Continue => {}
+            verdict => {
+                resil.rollback(ctx, &mut x);
+                return result(ctx, x, i + 1, verdict.stop(), history);
+            }
         }
     }
     let iters = opts.max_iters;

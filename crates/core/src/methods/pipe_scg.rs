@@ -108,20 +108,21 @@ fn solve_inner<C: Context>(
             opts.resilience.reduce_retries,
         ) {
             Ok(v) => v,
-            Err(_) => {
+            Err(e) => {
+                // Timeout -> CommFault; rank death -> RankFailed (the
+                // handle is already retired; the supervisor owns the
+                // buddy rebuild).
                 resil.rollback(ctx, &mut x);
-                stop = StopReason::CommFault;
+                stop = crate::resilience::comm_stop(&e);
                 break;
             }
         };
         let pkt = GramPacket::unpack(s, &red);
 
-        let relres = opts
-            .norm
-            .pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2])
-            .max(0.0)
-            .sqrt()
-            / bnorm;
+        let relres = crate::methods::relres_from_sq(
+            opts.norm.pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2]),
+            bnorm,
+        );
         history.push(relres);
         ctx.note_residual(relres);
         crate::telemetry::note_iter(
@@ -149,10 +150,13 @@ fn solve_inner<C: Context>(
             stop = StopReason::Breakdown;
             break;
         }
-        if resil.on_check(ctx, b, &x, relres) {
-            resil.rollback(ctx, &mut x);
-            stop = StopReason::Breakdown;
-            break;
+        match resil.on_check(ctx, b, &x, relres) {
+            crate::resilience::CheckVerdict::Continue => {}
+            verdict => {
+                resil.rollback(ctx, &mut x);
+                stop = verdict.stop();
+                break;
+            }
         }
         // Line 12: Scalar Work.
         if scalar.step(ctx, &pkt).is_err() {
@@ -305,12 +309,10 @@ pub mod broken {
             };
             let pkt = GramPacket::unpack(s, &red);
 
-            let relres = opts
-                .norm
-                .pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2])
-                .max(0.0)
-                .sqrt()
-                / bnorm;
+            let relres = crate::methods::relres_from_sq(
+                opts.norm.pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2]),
+                bnorm,
+            );
             history.push(relres);
             ctx.note_residual(relres);
             if relres * bnorm < threshold {

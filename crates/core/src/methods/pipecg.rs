@@ -61,15 +61,18 @@ pub fn solve<C: Context>(
             opts.resilience.reduce_retries,
         ) {
             Ok(v) => v,
-            Err(_) => {
+            Err(e) => {
+                // Timeout -> CommFault; rank death -> RankFailed (the
+                // handle is already retired; the supervisor owns the
+                // buddy rebuild).
                 resil.rollback(ctx, &mut x);
-                stop = StopReason::CommFault;
+                stop = crate::resilience::comm_stop(&e);
                 break;
             }
         };
         let (gamma, delta, rr, uu) = (red[0], red[1], red[2], red[3]);
 
-        let relres = opts.norm.pick_sq(rr, uu, gamma).max(0.0).sqrt() / bnorm;
+        let relres = crate::methods::relres_from_sq(opts.norm.pick_sq(rr, uu, gamma), bnorm);
         history.push(relres);
         ctx.note_residual(relres);
         crate::telemetry::note_iter(ctx, iters, relres, [rr, uu, gamma], &[], &[], gamma);
@@ -87,10 +90,13 @@ pub fn solve<C: Context>(
             stop = StopReason::Breakdown;
             break;
         }
-        if resil.on_check(ctx, b, &x, relres) {
-            resil.rollback(ctx, &mut x);
-            stop = StopReason::Breakdown;
-            break;
+        match resil.on_check(ctx, b, &x, relres) {
+            crate::resilience::CheckVerdict::Continue => {}
+            verdict => {
+                resil.rollback(ctx, &mut x);
+                stop = verdict.stop();
+                break;
+            }
         }
 
         let (beta, alpha) = if iters == 0 {

@@ -53,13 +53,20 @@ pub fn solve<C: Context>(
         let pkt = GramPacket::assemble(ctx, s, &pow, &pow, &dirs);
         let red = ctx.allreduce(&pkt.pack());
         let pkt = GramPacket::unpack(s, &red);
+        // A dead peer poisons the reduction: the check must precede the
+        // relres computation, whose `.max(0.0)` would clamp a NaN norm
+        // into a fake zero-residual convergence. The supervisor owns the
+        // buddy rebuild.
+        if ctx.rank_failure().is_some() {
+            resil.rollback(ctx, &mut x);
+            stop = StopReason::RankFailed;
+            break;
+        }
 
-        let relres = opts
-            .norm
-            .pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2])
-            .max(0.0)
-            .sqrt()
-            / bnorm;
+        let relres = crate::methods::relres_from_sq(
+            opts.norm.pick_sq(pkt.norms[0], pkt.norms[1], pkt.norms[2]),
+            bnorm,
+        );
         history.push(relres);
         ctx.note_residual(relres);
         crate::telemetry::note_iter(
@@ -87,10 +94,13 @@ pub fn solve<C: Context>(
             stop = StopReason::Breakdown;
             break;
         }
-        if resil.on_check(ctx, b, &x, relres) {
-            resil.rollback(ctx, &mut x);
-            stop = StopReason::Breakdown;
-            break;
+        match resil.on_check(ctx, b, &x, relres) {
+            crate::resilience::CheckVerdict::Continue => {}
+            verdict => {
+                resil.rollback(ctx, &mut x);
+                stop = verdict.stop();
+                break;
+            }
         }
         // Line 7: Scalar Work (two s×s LU solves).
         if scalar.step(ctx, &pkt).is_err() {

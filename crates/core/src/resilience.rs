@@ -10,7 +10,19 @@
 //!   the last-good iterate and rollback to it when the loop aborts.
 //! * [`wait_reduction`] — bounded retry of a timed-out non-blocking
 //!   reduction completion, re-posting the local contribution when the
-//!   completion was dropped outright.
+//!   completion was dropped outright; a rank failure surfaces as a typed
+//!   [`CommError::RankFailed`] instead of a value.
+//! * **Buddy checkpointing + rank rebuild** — on the checkpoint cadence
+//!   each rank also ships its iterate partition to a neighbor
+//!   (`Context::buddy_put`); when a rank dies mid-solve the supervisor
+//!   reconstructs the lost partition from the buddy copy
+//!   (`Context::buddy_recover`), shrinks the communicator to the
+//!   survivors and resumes — escalating to [`SolveError::RankLost`] only
+//!   when the buddy is gone too.
+//! * **Progress watchdog** — a wall-clock and/or check-count deadline on
+//!   residual improvement ([`Resilience::stall_timeout_secs`] /
+//!   [`Resilience::stall_checks`]) converts any would-be hang into an
+//!   explicit [`StopReason::Stalled`].
 //! * [`solve_resilient`] — the supervisor implementing the recovery ladder:
 //!   run the method; verify the result against the true residual; on
 //!   breakdown, communication fault or silent drift, perform a
@@ -26,7 +38,7 @@
 //! extra kernels, and on a fault-free run `try_wait` completes first try so
 //! the retry loop never re-posts.
 
-use pscg_sim::{Context, ReduceHandle, ReduceTimeout, WaitOutcome};
+use pscg_sim::{BuddyRecovery, CommError, Context, ReduceHandle, WaitOutcome};
 
 use crate::methods::MethodKind;
 use crate::solver::{NormType, Resilience, SolveError, SolveOptions, SolveResult, StopReason};
@@ -53,6 +65,11 @@ pub mod code {
     /// The fp32 preconditioner apply was promoted back to fp64 after an
     /// attempt failed — the drift-probe-gated mixed-precision fallback.
     pub const PC_PROMOTE: u64 = 8;
+    /// A dead rank's partition was rebuilt from its buddy's in-memory
+    /// checkpoint and the solve resumed on the survivor communicator.
+    pub const RANK_REBUILD: u64 = 9;
+    /// The progress watchdog converted a stall into an explicit stop.
+    pub const STALL_ABORT: u64 = 10;
 }
 
 /// True relative residual `‖b − A x‖ / refn` recomputed from scratch in the
@@ -86,6 +103,12 @@ pub(crate) fn true_relres<C: Context + ?Sized>(
             norm.pick_sq(f64::NAN, red[0], red[1])
         }
     };
+    // Preserve a non-finite squared norm: `.max(0.0)` alone would clamp a
+    // poisoned NaN into a fake zero residual, and this probe is the last
+    // line of defence against accepting a corrupted iterate.
+    if !sq.is_finite() {
+        return f64::NAN;
+    }
     sq.max(0.0).sqrt() / refn.max(f64::MIN_POSITIVE)
 }
 
@@ -102,13 +125,46 @@ struct Checkpoint {
     relres: f64,
 }
 
-/// Per-solve in-loop resilience state: drift probe + checkpoint/rollback.
+/// Verdict of one in-loop resilience check (see
+/// [`ResilienceState::on_check`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CheckVerdict {
+    /// Nothing suspicious: keep iterating.
+    Continue,
+    /// The drift probe caught the recurrence residual lying — roll back
+    /// and abort the attempt ([`StopReason::Breakdown`]).
+    Drift,
+    /// The progress watchdog fired: no residual improvement within the
+    /// configured deadline — abort with [`StopReason::Stalled`].
+    Stalled,
+}
+
+impl CheckVerdict {
+    /// Loop-level stop reason for a non-`Continue` verdict.
+    pub(crate) fn stop(self) -> StopReason {
+        match self {
+            CheckVerdict::Continue => unreachable!("Continue does not stop the loop"),
+            CheckVerdict::Drift => StopReason::Breakdown,
+            CheckVerdict::Stalled => StopReason::Stalled,
+        }
+    }
+}
+
+/// Per-solve in-loop resilience state: drift probe, checkpoint/rollback,
+/// buddy checkpointing and the no-progress watchdog.
 pub(crate) struct ResilienceState {
     cfg: Resilience,
     norm: NormType,
     refn: f64,
     checks: usize,
     ckpt: Option<Checkpoint>,
+    /// Best (smallest) residual seen — "progress" means improving on it.
+    best: f64,
+    /// Consecutive checks without progress (the deterministic watchdog).
+    stale: usize,
+    /// Wall-clock instant of the last progress (the wall-clock watchdog);
+    /// lazily initialized so passive configurations never read the clock.
+    last_progress: Option<std::time::Instant>,
 }
 
 impl ResilienceState {
@@ -119,23 +175,25 @@ impl ResilienceState {
             refn,
             checks: 0,
             ckpt: None,
+            best: f64::INFINITY,
+            stale: 0,
+            last_progress: None,
         }
     }
 
     /// Called at every convergence check (after the check decided to keep
-    /// iterating). Takes a checkpoint and/or runs the drift probe on their
-    /// configured cadences. Returns true when the probe found the
-    /// recurrence residual lying — the loop should roll back and abort.
-    /// With a passive configuration this is a single integer compare.
+    /// iterating). Takes local and buddy checkpoints and/or runs the drift
+    /// probe on their configured cadences, and advances the no-progress
+    /// watchdog. With a passive configuration this is a single branch.
     pub(crate) fn on_check<C: Context + ?Sized>(
         &mut self,
         ctx: &mut C,
         b: &[f64],
         x: &[f64],
         relres: f64,
-    ) -> bool {
+    ) -> CheckVerdict {
         if self.cfg.passive() {
-            return false;
+            return CheckVerdict::Continue;
         }
         self.checks += 1;
         if self.cfg.checkpoint_every > 0
@@ -147,6 +205,9 @@ impl ResilienceState {
                 x: x.to_vec(),
                 relres,
             });
+            // The same cadence ships the iterate to the buddy rank, so a
+            // single rank death stays repairable in memory.
+            ctx.buddy_put(x);
         }
         if self.cfg.drift_check_every > 0 && self.checks.is_multiple_of(self.cfg.drift_check_every)
         {
@@ -154,15 +215,49 @@ impl ResilienceState {
             let lying = !relres.is_finite()
                 || !t.is_finite()
                 || t > self.cfg.drift_tol * relres.max(f64::MIN_POSITIVE);
-            if lying {
-                return true;
+            // `broken-resilience` plants a blinded drift probe so the
+            // chaos gate can prove it catches a sabotaged ladder.
+            if lying && cfg!(not(feature = "broken-resilience")) {
+                return CheckVerdict::Drift;
             }
         }
-        false
+        self.watchdog(relres)
+    }
+
+    /// The no-progress watchdog: progress (an improved finite residual)
+    /// resets both deadlines; a check without progress advances them.
+    fn watchdog(&mut self, relres: f64) -> CheckVerdict {
+        let wall = self.cfg.stall_timeout_secs > 0.0;
+        let count = self.cfg.stall_checks > 0;
+        if !wall && !count {
+            return CheckVerdict::Continue;
+        }
+        if relres.is_finite() && relres < self.best {
+            self.best = relres;
+            self.stale = 0;
+            if wall {
+                self.last_progress = Some(std::time::Instant::now());
+            }
+            return CheckVerdict::Continue;
+        }
+        self.stale += 1;
+        if count && self.stale >= self.cfg.stall_checks {
+            return CheckVerdict::Stalled;
+        }
+        if wall {
+            let since = self
+                .last_progress
+                .get_or_insert_with(std::time::Instant::now)
+                .elapsed();
+            if since.as_secs_f64() > self.cfg.stall_timeout_secs {
+                return CheckVerdict::Stalled;
+            }
+        }
+        CheckVerdict::Continue
     }
 
     /// Rolls `x` back to the last-good checkpoint; true when one existed.
-    pub(crate) fn rollback<C: Context + ?Sized>(&mut self, ctx: &C, x: &mut [f64]) -> bool {
+    pub(crate) fn rollback<C: Context + ?Sized>(&mut self, ctx: &mut C, x: &mut [f64]) -> bool {
         match self.ckpt.take() {
             Some(c) => {
                 x.copy_from_slice(&c.x);
@@ -176,18 +271,21 @@ impl ResilienceState {
 
 /// Completes a posted reduction with bounded retry-with-backoff: a delayed
 /// completion is waited on again (up to `retries` times, each attempt a
-/// backoff tick), a dropped one is re-posted from `local`. On a clean run
-/// the first `try_wait` succeeds and this is exactly [`Context::wait`].
+/// backoff tick), a dropped one is re-posted from `local`. A rank failure
+/// is not retriable — the handle is already retired and the typed error
+/// goes straight to the supervisor. On a clean run the first `try_wait`
+/// succeeds and this is exactly [`Context::wait`].
 pub(crate) fn wait_reduction<C: Context + ?Sized>(
     ctx: &mut C,
     mut h: ReduceHandle,
     local: &[f64],
     retries: u32,
-) -> Result<Vec<f64>, ReduceTimeout> {
+) -> Result<Vec<f64>, CommError> {
     let mut attempt = 0u32;
     loop {
         match ctx.try_wait(h) {
             WaitOutcome::Done(v) => return Ok(v),
+            WaitOutcome::RankFailed(failure) => return Err(CommError::RankFailed(failure)),
             WaitOutcome::TimedOut { handle, fault } => {
                 if attempt >= retries {
                     // Collective discipline: never abandon an in-flight
@@ -199,7 +297,7 @@ pub(crate) fn wait_reduction<C: Context + ?Sized>(
                         telemetry::note_recovery(ctx, code::REDUCE_DRAIN);
                         let _ = ctx.wait(h);
                     }
-                    return Err(fault);
+                    return Err(CommError::Timeout(fault));
                 }
                 attempt += 1;
                 h = match handle {
@@ -214,6 +312,14 @@ pub(crate) fn wait_reduction<C: Context + ?Sized>(
                 };
             }
         }
+    }
+}
+
+/// Maps a terminal communication error to its loop-level stop reason.
+pub(crate) fn comm_stop(err: &CommError) -> StopReason {
+    match err {
+        CommError::Timeout(_) => StopReason::CommFault,
+        CommError::RankFailed(_) => StopReason::RankFailed,
     }
 }
 
@@ -239,11 +345,18 @@ pub fn solve_resilient<C: Context>(
     if opts.pc_fp32 && ctx.pc_demote() {
         telemetry::note_recovery(ctx, code::PC_DEMOTE);
     }
-    let refn = crate::methods::global_ref_norm(ctx, b, &opts);
+    // `refn` is recomputed after a buddy rebuild (the survivor
+    // communicator must agree on the reference norm), so the acceptance
+    // check takes it as a parameter instead of capturing it.
+    let mut refn = crate::methods::global_ref_norm(ctx, b, &opts);
     // A result is accepted only when the *recomputed* residual agrees that
     // the tolerance was met (small slack for the recurrence-vs-true gap a
-    // healthy solve accumulates).
-    let accept = |t: f64| {
+    // healthy solve accumulates). The `broken-resilience` plant accepts
+    // any finite residual — the sabotage the chaos gate must catch.
+    let accept = |t: f64, refn: f64| {
+        if cfg!(feature = "broken-resilience") {
+            return t.is_finite();
+        }
         t.is_finite() && t <= opts.rtol.max(opts.atol / refn.max(f64::MIN_POSITIVE)) * 10.0
     };
 
@@ -272,11 +385,39 @@ pub fn solve_resilient<C: Context>(
     for attempt in 0..=opts.resilience.max_replacements {
         let res = method.solve(ctx, b, start.as_deref(), &opts);
         total_iters += res.iterations;
+        if res.stop == StopReason::RankFailed {
+            // The communicator is poisoned: repair it *before* issuing any
+            // further collectives (the true-residual probe reduces).
+            match ctx.buddy_recover() {
+                BuddyRecovery::Lost { rank, .. } => {
+                    pscg_obs::flight::dump_to_path("RankLost");
+                    return Err(SolveError::RankLost {
+                        rank,
+                        iterations: total_iters,
+                    });
+                }
+                BuddyRecovery::Restored { x, .. } => {
+                    telemetry::note_recovery(ctx, code::RANK_REBUILD);
+                    history.extend(res.history.iter().copied());
+                    last = Some(res.stop);
+                    // Resume from the buddy-checkpointed iterate; a death
+                    // before the first checkpoint restarts from scratch.
+                    // The failing attempt's iterate is poisoned — unusable.
+                    start = x;
+                    refn = crate::methods::global_ref_norm(ctx, b, &opts);
+                    continue;
+                }
+                // An engine reporting RankFailed without an active failure
+                // has already healed (e.g. a transient); fall through to
+                // the ordinary replacement path.
+                BuddyRecovery::NoFailure => {}
+            }
+        }
         let t = true_relres(ctx, b, &res.x, opts.norm, refn);
         if t.is_finite() && best.as_ref().is_none_or(|(_, bt)| t < *bt) {
             best = Some((res.x.clone(), t));
         }
-        if res.converged() && accept(t) {
+        if res.converged() && accept(t, refn) {
             ctx.pc_promote();
             return Ok(merged(res, total_iters, history, *ctx.counters()));
         }
@@ -293,8 +434,11 @@ pub fn solve_resilient<C: Context>(
         last = Some(res.stop);
         // Post-mortem snapshot of the failing attempt before recovery
         // mutates any state (no-op unless the flight recorder is armed).
-        if res.stop == StopReason::Breakdown {
-            pscg_obs::flight::dump_to_path("Breakdown");
+        if matches!(res.stop, StopReason::Breakdown | StopReason::Stalled) {
+            pscg_obs::flight::dump_to_path(res.stop.name());
+        }
+        if res.stop == StopReason::Stalled {
+            telemetry::note_recovery(ctx, code::STALL_ABORT);
         }
         // fp64 fallback: a demoted preconditioner is the first suspect of
         // a failed attempt — promote before burning a restart on it.
@@ -325,7 +469,7 @@ pub fn solve_resilient<C: Context>(
     let res = MethodKind::Pcg.solve(ctx, b, from.as_deref(), &opts);
     total_iters += res.iterations;
     let t = true_relres(ctx, b, &res.x, opts.norm, refn);
-    if res.converged() && accept(t) {
+    if res.converged() && accept(t, refn) {
         return Ok(merged(res, total_iters, history, *ctx.counters()));
     }
     let best_true = best.map(|(_, bt)| bt).unwrap_or(t);

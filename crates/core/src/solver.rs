@@ -84,6 +84,17 @@ pub struct Resilience {
     /// Residual-replacement restarts the supervisor attempts before
     /// degrading to a clean PCG restart from the last-good iterate.
     pub max_replacements: u32,
+    /// Iteration-progress deadline: the loop declares
+    /// [`StopReason::Stalled`] when this much wall-clock time passes
+    /// between convergence checks that improve the residual (0.0 = no
+    /// watchdog). Converts any would-be hang into an explicit stop; costs
+    /// one monotonic-clock read per check, no kernels, no communication.
+    pub stall_timeout_secs: f64,
+    /// Progress-count deadline: the loop declares [`StopReason::Stalled`]
+    /// after this many *consecutive* convergence checks without residual
+    /// improvement (0 = no watchdog). Deterministic companion to the
+    /// wall-clock deadline — replayable test suites use this one.
+    pub stall_checks: usize,
 }
 
 impl Default for Resilience {
@@ -94,6 +105,8 @@ impl Default for Resilience {
             checkpoint_every: 0,
             reduce_retries: 2,
             max_replacements: 2,
+            stall_timeout_secs: 0.0,
+            stall_checks: 0,
         }
     }
 }
@@ -101,7 +114,8 @@ impl Default for Resilience {
 impl Resilience {
     /// The active configuration used by the resilient supervisor: drift
     /// probe every 16 checks at a 100× gap, checkpoints every 8 checks,
-    /// 2 reduction retries, 2 replacement restarts.
+    /// 2 reduction retries, 2 replacement restarts, and a 300 s
+    /// no-progress wall-clock watchdog.
     pub fn armed() -> Self {
         Resilience {
             drift_check_every: 16,
@@ -109,13 +123,19 @@ impl Resilience {
             checkpoint_every: 8,
             reduce_retries: 2,
             max_replacements: 2,
+            stall_timeout_secs: 300.0,
+            stall_checks: 0,
         }
     }
 
-    /// True when neither probes nor checkpoints are enabled (the in-loop
-    /// state machine then never issues an extra operation).
+    /// True when probes, checkpoints and stall watchdogs are all disabled
+    /// (the in-loop state machine then never issues an extra operation —
+    /// not even a clock read).
     pub fn passive(&self) -> bool {
-        self.drift_check_every == 0 && self.checkpoint_every == 0
+        self.drift_check_every == 0
+            && self.checkpoint_every == 0
+            && self.stall_timeout_secs == 0.0
+            && self.stall_checks == 0
     }
 }
 
@@ -202,6 +222,14 @@ pub enum StopReason {
     /// A non-blocking reduction completion kept timing out after the
     /// configured retries (injected communication fault).
     CommFault,
+    /// The progress watchdog fired: no residual improvement within the
+    /// configured wall-clock or check-count deadline
+    /// ([`Resilience::stall_timeout_secs`] / [`Resilience::stall_checks`]).
+    Stalled,
+    /// A peer rank died mid-solve (the communicator reported a process
+    /// failure); the supervisor decides between buddy reconstruction and
+    /// [`SolveError::RankLost`].
+    RankFailed,
 }
 
 /// Terminal failure of a resilient solve (`MethodKind::solve_resilient`):
@@ -218,6 +246,14 @@ pub enum SolveError {
         /// Total CG steps spent across all attempts.
         iterations: usize,
     },
+    /// A rank died and its partition could not be reconstructed: the buddy
+    /// holding the only in-memory checkpoint copy was dead too.
+    RankLost {
+        /// The rank whose partition is gone.
+        rank: u32,
+        /// Total CG steps spent before the loss.
+        iterations: usize,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -231,6 +267,11 @@ impl std::fmt::Display for SolveError {
                 f,
                 "recovery ladder exhausted after {iterations} steps \
                  (last stop {last_stop:?}, best true relres {best_true_relres:.3e})"
+            ),
+            SolveError::RankLost { rank, iterations } => write!(
+                f,
+                "rank {rank} lost with its buddy checkpoint after {iterations} steps \
+                 (partition unrecoverable)"
             ),
         }
     }

@@ -132,9 +132,13 @@ pub(crate) fn note_stagnation_fired<C: Context>(ctx: &C) {
     }
 }
 
-/// Notes one recovery action (reduction retry, rollback, replacement or
-/// restart) into the active stream and the span recorder.
-pub(crate) fn note_recovery<C: Context + ?Sized>(ctx: &C, code: u64) {
+/// Notes one recovery action (reduction retry, rollback, replacement,
+/// rank rebuild or restart) into the active stream, the span recorder and
+/// the engine's deterministic recovery log.
+pub(crate) fn note_recovery<C: Context + ?Sized>(ctx: &mut C, code: u64) {
+    // The engine-side log is unconditional: recovery *decisions* are part
+    // of the deterministic outcome regardless of telemetry state.
+    ctx.note_recovery_code(code);
     if active_rank(ctx) {
         metrics::note_recovery();
         pscg_obs::span::record_span(pscg_obs::SpanKind::Recovery, code, pscg_obs::now_ns(), 0);
@@ -163,6 +167,8 @@ impl StopReason {
             StopReason::Breakdown => "Breakdown",
             StopReason::Stagnated => "Stagnated",
             StopReason::CommFault => "CommFault",
+            StopReason::Stalled => "Stalled",
+            StopReason::RankFailed => "RankFailed",
         }
     }
 }

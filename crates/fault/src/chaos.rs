@@ -1,0 +1,172 @@
+//! Seeded chaos-plan generator: one SplitMix64 seed → one random mix of
+//! data faults, completion faults and rank-level machine events.
+//!
+//! The generator is the front end of the chaos campaign (`repro --chaos N`):
+//! instead of hand-writing fault plans, a campaign draws N plans from
+//! consecutive seeds and asserts the single invariant *recover-or-explicit-
+//! error, never hang, never silent-wrong* over every method. Determinism is
+//! absolute — the same `(seed, config)` pair always yields the same plan, so
+//! any violating campaign is reproducible from its seed alone (and then
+//! minimized by [`crate::shrink`]).
+
+use pscg_sparse::rng::SplitMix64;
+
+use crate::plan::{FaultAction, FaultPlan, FaultSite};
+
+/// Bounds on what one generated plan may schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Maximum data-corrupting events (`spmv`/`mpk`/`pc`/`reduce` sites).
+    pub max_data_faults: usize,
+    /// Maximum completion events (`wait` site: drop/delay/duplicate).
+    pub max_completion_faults: usize,
+    /// Maximum rank-level events (death / straggler).
+    pub max_rank_events: usize,
+    /// Invocation indices are drawn from `0..max_nth` — early enough that
+    /// short CI-scale solves actually reach them.
+    pub max_nth: u64,
+    /// Modeled world size written into the plan (rank events target
+    /// `1..ranks`).
+    pub ranks: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            max_data_faults: 3,
+            max_completion_faults: 2,
+            max_rank_events: 1,
+            max_nth: 12,
+            ranks: 8,
+        }
+    }
+}
+
+/// Generates one fault plan from `seed`. Every draw comes from a single
+/// SplitMix64 stream, so the mapping `(seed, cfg) → plan` is a pure
+/// function; the plan's own element-picking seed is derived from the same
+/// stream.
+pub fn generate(seed: u64, cfg: &ChaosConfig) -> FaultPlan {
+    let mut rng = SplitMix64::new(seed);
+    let mut plan = FaultPlan::new(rng.next_u64()).with_ranks(cfg.ranks.max(2));
+
+    let data_sites = [
+        FaultSite::Spmv,
+        FaultSite::Mpk,
+        FaultSite::Pc,
+        FaultSite::Reduce,
+    ];
+    let n_data = rng.below(cfg.max_data_faults + 1);
+    for _ in 0..n_data {
+        let site = data_sites[rng.below(data_sites.len())];
+        let nth = rng.below(cfg.max_nth.max(1) as usize) as u64;
+        let action = match rng.below(4) {
+            0 => FaultAction::BitFlip {
+                bit: rng.below(52) as u32,
+            },
+            1 => FaultAction::Nan,
+            2 => FaultAction::Inf,
+            _ => FaultAction::Perturb {
+                // Log-uniform in [1e-6, 1e-1].
+                eps: 10f64.powf(rng.uniform(-6.0, -1.0)),
+            },
+        };
+        plan = plan.with(site, nth, action);
+    }
+
+    let n_compl = rng.below(cfg.max_completion_faults + 1);
+    for _ in 0..n_compl {
+        let nth = rng.below(cfg.max_nth.max(1) as usize) as u64;
+        let action = match rng.below(3) {
+            0 => FaultAction::Drop,
+            1 => FaultAction::Delay {
+                ticks: 1 + rng.below(3) as u32,
+            },
+            _ => FaultAction::Duplicate,
+        };
+        plan = plan.with(FaultSite::Wait, nth, action);
+    }
+
+    let n_rank = rng.below(cfg.max_rank_events + 1);
+    for _ in 0..n_rank {
+        let rank = 1 + rng.below((plan.ranks - 1) as usize) as u32;
+        let nth = rng.below(cfg.max_nth.max(1) as usize) as u64;
+        plan = if rng.below(2) == 0 {
+            plan.with_rank_dead(rank, nth)
+        } else {
+            let factor = [1.5, 2.0, 4.0, 8.0][rng.below(4)];
+            plan.with_rank_slow(rank, factor, nth)
+        };
+    }
+
+    debug_assert!(plan.validate().is_ok(), "generator produced invalid plan");
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..64u64 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let cfg = ChaosConfig::default();
+        let distinct: std::collections::HashSet<String> =
+            (0..32u64).map(|s| generate(s, &cfg).to_text()).collect();
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct plans",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn generated_plans_validate_and_round_trip() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..128u64 {
+            let plan = generate(seed, &cfg);
+            plan.validate().unwrap();
+            assert_eq!(FaultPlan::parse(&plan.to_text()).unwrap(), plan);
+        }
+    }
+
+    #[test]
+    fn zero_bounds_yield_an_empty_inert_plan() {
+        let cfg = ChaosConfig {
+            max_data_faults: 0,
+            max_completion_faults: 0,
+            max_rank_events: 0,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..16u64 {
+            assert!(generate(seed, &cfg).is_empty());
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..256u64 {
+            let plan = generate(seed, &cfg);
+            let compl = plan
+                .events
+                .iter()
+                .filter(|e| e.action.is_completion_fault())
+                .count();
+            let data = plan.events.len() - compl;
+            assert!(data <= cfg.max_data_faults);
+            assert!(compl <= cfg.max_completion_faults);
+            assert!(plan.rank_events.len() <= cfg.max_rank_events);
+            for ev in &plan.events {
+                assert!(ev.nth < cfg.max_nth);
+            }
+        }
+    }
+}

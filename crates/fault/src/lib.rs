@@ -16,6 +16,14 @@
 //!   relative perturbation, dropped/delayed/duplicated reduction
 //!   completions) and keeps a [`FaultRecord`] log of everything it did.
 //!
+//! Plans may also schedule *rank-level* machine events ([`RankEvent`]):
+//! rank death (collectives involving the dead rank fail with a typed
+//! error) and stragglers (collective completions stretched by a factor) —
+//! the failure modes of the distributed machine itself rather than of the
+//! data. On top of hand-written plans, [`chaos::generate`] draws a whole
+//! plan from one seed, and [`shrink::shrink`] delta-debugs any
+//! invariant-violating plan down to a minimal reproduction.
+//!
 //! Randomness (the corrupted element index within a vector) comes from the
 //! in-tree [`pscg_sparse::rng::SplitMix64`] seeded from the plan, so a
 //! campaign is reproducible bit-for-bit. The *detection and recovery* half
@@ -24,8 +32,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod chaos;
 pub mod inject;
 pub mod plan;
+pub mod shrink;
 
+pub use chaos::ChaosConfig;
 pub use inject::{CompletionFault, FaultRecord, Injector};
-pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSite, PlanParseError};
+pub use plan::{
+    FaultAction, FaultEvent, FaultPlan, FaultSite, PlanError, PlanParseError, RankEvent, RankFault,
+};

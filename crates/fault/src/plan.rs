@@ -4,12 +4,15 @@
 //! (0-based, counted per engine lifetime) of a [`FaultSite`]. Data sites
 //! (`spmv`, `mpk`, `pc`, `reduce`) take value-corrupting actions; the
 //! completion site (`wait`) takes scheduling actions (drop / delay /
-//! duplicate). [`FaultPlan::parse`] and [`FaultPlan::to_text`] round-trip
-//! the text format:
+//! duplicate). A plan may also carry [`RankEvent`]s — machine-level rank
+//! death and straggler events counted in global collectives (one blocking
+//! allreduce or one non-blocking post each). [`FaultPlan::parse`] and
+//! [`FaultPlan::to_text`] round-trip the text format:
 //!
 //! ```text
 //! # seeded fault campaign
 //! seed 42
+//! ranks 8                    # modeled world size for rank events
 //! at spmv 17 bitflip 12      # flip mantissa bit 12 of one output element
 //! at pc 5 nan                # poison one preconditioner output element
 //! at mpk 2 inf
@@ -17,6 +20,8 @@
 //! at wait 4 drop             # lose a reduction completion (surfaces as timeout)
 //! at wait 6 delay 2          # completion times out twice before arriving
 //! at wait 8 duplicate        # completion delivers the previous reduction's payload
+//! rank_dead 3 5              # rank 3 dies at the 5th collective
+//! rank_slow 2 4.0 1          # rank 2 turns a 4x straggler at the 1st collective
 //! ```
 
 use std::fmt;
@@ -146,6 +151,43 @@ pub struct FaultEvent {
     pub action: FaultAction,
 }
 
+/// What a rank-level machine event does to its rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankFault {
+    /// The rank dies: from the activating collective on, every collective
+    /// involving it fails with a typed rank failure instead of a value.
+    Dead,
+    /// The rank turns straggler: from the activating collective on, every
+    /// collective completion is stretched by `factor`.
+    Slow {
+        /// Completion-time multiplier (finite, ≥ 1).
+        factor: f64,
+    },
+}
+
+impl fmt::Display for RankFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankFault::Dead => write!(f, "dead"),
+            RankFault::Slow { factor } => write!(f, "slow {factor}"),
+        }
+    }
+}
+
+/// One scheduled rank-level machine event: activates at the `nth` global
+/// collective (0-based; blocking allreduces and non-blocking posts count
+/// alike) and stays in effect from then on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankEvent {
+    /// The modeled rank affected. Rank 0 hosts the root partition the
+    /// engine executes, so only ranks ≥ 1 can be targeted.
+    pub rank: u32,
+    /// 0-based global collective index at which the event activates.
+    pub nth: u64,
+    /// What happens to the rank.
+    pub kind: RankFault,
+}
+
 /// A deterministic, seeded fault campaign.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
@@ -153,6 +195,86 @@ pub struct FaultPlan {
     pub seed: u64,
     /// The scheduled faults (order irrelevant; all matching events fire).
     pub events: Vec<FaultEvent>,
+    /// Scheduled rank-level machine events (death / straggler).
+    pub rank_events: Vec<RankEvent>,
+    /// Modeled world size the rank events act in (0 = engine default).
+    pub ranks: u32,
+}
+
+/// Typed reason a fault plan was rejected (the `kind` of a
+/// [`PlanParseError`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// `at <site> …` named a site outside [`FaultSite::ALL`].
+    UnknownSite(String),
+    /// The action keyword of an `at` line is not recognised.
+    UnknownAction(String),
+    /// The first token of a line is not a known directive.
+    UnknownDirective(String),
+    /// A numeric field failed to parse; `what` names the field.
+    BadValue {
+        /// Which field (e.g. `"seed"`, `"invocation index"`).
+        what: &'static str,
+        /// The offending token.
+        got: String,
+    },
+    /// An action that takes an argument was given none.
+    MissingArgument(String),
+    /// A directive was given the wrong number of tokens; the payload is
+    /// the full usage message.
+    Arity(&'static str),
+    /// `bitflip` targeted a bit outside the f64 mantissa.
+    BitOutOfRange(u32),
+    /// `perturb` magnitude was not finite.
+    MagnitudeNotFinite(f64),
+    /// A data action targeted the completion site or vice versa.
+    IncompatibleAction {
+        /// The offending action.
+        action: FaultAction,
+        /// The site it cannot target.
+        site: FaultSite,
+    },
+    /// A straggler factor was not a finite value ≥ 1.
+    BadSlowFactor(f64),
+    /// A rank event targeted a rank outside the failable range.
+    BadRank {
+        /// The offending rank.
+        rank: u32,
+        /// The modeled world size (0 = engine default).
+        ranks: u32,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownSite(s) => write!(f, "unknown site '{s}'"),
+            PlanError::UnknownAction(s) => write!(f, "unknown action '{s}'"),
+            PlanError::UnknownDirective(s) => write!(f, "unknown directive '{s}'"),
+            PlanError::BadValue { what, got } => write!(f, "bad {what} '{got}'"),
+            PlanError::MissingArgument(a) => write!(f, "action '{a}' needs an argument"),
+            PlanError::Arity(usage) => f.write_str(usage),
+            PlanError::BitOutOfRange(bit) => {
+                write!(f, "bitflip bit {bit} outside the mantissa (0..52)")
+            }
+            PlanError::MagnitudeNotFinite(eps) => {
+                write!(f, "perturb magnitude {eps} is not finite")
+            }
+            PlanError::IncompatibleAction { action, site } => {
+                write!(f, "action '{action}' cannot target site '{site}'")
+            }
+            PlanError::BadSlowFactor(factor) => {
+                write!(f, "rank_slow factor {factor} must be finite and >= 1")
+            }
+            PlanError::BadRank { rank, ranks } => {
+                if *rank == 0 {
+                    write!(f, "rank 0 hosts the root partition and cannot be targeted")
+                } else {
+                    write!(f, "rank {rank} outside the failable range (1..{ranks})")
+                }
+            }
+        }
+    }
 }
 
 /// A syntactically or semantically invalid plan.
@@ -160,16 +282,16 @@ pub struct FaultPlan {
 pub struct PlanParseError {
     /// 1-based line number (0 for whole-plan validation errors).
     pub line: usize,
-    /// Human-readable description.
-    pub msg: String,
+    /// The typed rejection reason.
+    pub kind: PlanError,
 }
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
-            write!(f, "invalid fault plan: {}", self.msg)
+            write!(f, "invalid fault plan: {}", self.kind)
         } else {
-            write!(f, "invalid fault plan (line {}): {}", self.line, self.msg)
+            write!(f, "invalid fault plan (line {}): {}", self.line, self.kind)
         }
     }
 }
@@ -179,11 +301,13 @@ impl std::error::Error for PlanParseError {}
 impl FaultPlan {
     /// An empty plan with the given seed. An *armed but empty* plan must be
     /// behaviorally inert: the injector draws no random numbers and touches
-    /// no data.
+    /// no data, and the engine schedules no rank events.
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
             events: Vec::new(),
+            rank_events: Vec::new(),
+            ranks: 0,
         }
     }
 
@@ -193,27 +317,70 @@ impl FaultPlan {
         self
     }
 
+    /// Builder-style modeled world size.
+    pub fn with_ranks(mut self, ranks: u32) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Builder-style rank death at the `nth` global collective.
+    pub fn with_rank_dead(mut self, rank: u32, nth: u64) -> Self {
+        self.rank_events.push(RankEvent {
+            rank,
+            nth,
+            kind: RankFault::Dead,
+        });
+        self
+    }
+
+    /// Builder-style straggler event at the `nth` global collective.
+    pub fn with_rank_slow(mut self, rank: u32, factor: f64, nth: u64) -> Self {
+        self.rank_events.push(RankEvent {
+            rank,
+            nth,
+            kind: RankFault::Slow { factor },
+        });
+        self
+    }
+
+    /// True when the plan schedules nothing at all — the armed-but-empty
+    /// case the inertness guarantee covers.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.rank_events.is_empty()
+    }
+
     /// Checks site/action compatibility and parameter ranges.
     pub fn validate(&self) -> Result<(), PlanParseError> {
+        let err = |kind: PlanError| PlanParseError { line: 0, kind };
         for ev in &self.events {
-            let err = |msg: String| PlanParseError { line: 0, msg };
             match ev.action {
                 FaultAction::BitFlip { bit } if bit >= 52 => {
-                    return Err(err(format!(
-                        "bitflip bit {bit} outside the mantissa (0..52)"
-                    )));
+                    return Err(err(PlanError::BitOutOfRange(bit)));
                 }
                 FaultAction::Perturb { eps } if !eps.is_finite() => {
-                    return Err(err(format!("perturb magnitude {eps} is not finite")));
+                    return Err(err(PlanError::MagnitudeNotFinite(eps)));
                 }
                 _ => {}
             }
             let completion_site = ev.site == FaultSite::Wait;
             if completion_site != ev.action.is_completion_fault() {
-                return Err(err(format!(
-                    "action '{}' cannot target site '{}'",
-                    ev.action, ev.site
-                )));
+                return Err(err(PlanError::IncompatibleAction {
+                    action: ev.action,
+                    site: ev.site,
+                }));
+            }
+        }
+        for rv in &self.rank_events {
+            if let RankFault::Slow { factor } = rv.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(err(PlanError::BadSlowFactor(factor)));
+                }
+            }
+            if rv.rank == 0 || (self.ranks != 0 && rv.rank >= self.ranks) {
+                return Err(err(PlanError::BadRank {
+                    rank: rv.rank,
+                    ranks: self.ranks,
+                }));
             }
         }
         Ok(())
@@ -225,60 +392,101 @@ impl FaultPlan {
         let mut plan = FaultPlan::new(0);
         for (i, raw) in text.lines().enumerate() {
             let lineno = i + 1;
-            let err = |msg: String| PlanParseError { line: lineno, msg };
+            let err = |kind: PlanError| PlanParseError { line: lineno, kind };
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let tok: Vec<&str> = line.split_whitespace().collect();
+            let num = |what: &'static str, s: &str| -> Result<u64, PlanParseError> {
+                s.parse().map_err(|_| {
+                    err(PlanError::BadValue {
+                        what,
+                        got: s.into(),
+                    })
+                })
+            };
             match tok[0] {
                 "seed" => {
                     if tok.len() != 2 {
-                        return Err(err("'seed' takes exactly one value".into()));
+                        return Err(err(PlanError::Arity("'seed' takes exactly one value")));
                     }
-                    plan.seed = tok[1]
-                        .parse()
-                        .map_err(|_| err(format!("bad seed '{}'", tok[1])))?;
+                    plan.seed = num("seed", tok[1])?;
+                }
+                "ranks" => {
+                    if tok.len() != 2 {
+                        return Err(err(PlanError::Arity("'ranks' takes exactly one value")));
+                    }
+                    plan.ranks = num("rank count", tok[1])? as u32;
+                }
+                "rank_dead" => {
+                    if tok.len() != 3 {
+                        return Err(err(PlanError::Arity(
+                            "'rank_dead' needs: rank_dead <rank> <nth>",
+                        )));
+                    }
+                    plan.rank_events.push(RankEvent {
+                        rank: num("rank", tok[1])? as u32,
+                        nth: num("collective index", tok[2])?,
+                        kind: RankFault::Dead,
+                    });
+                }
+                "rank_slow" => {
+                    if tok.len() != 4 {
+                        return Err(err(PlanError::Arity(
+                            "'rank_slow' needs: rank_slow <rank> <factor> <nth>",
+                        )));
+                    }
+                    let factor: f64 = tok[2].parse().map_err(|_| {
+                        err(PlanError::BadValue {
+                            what: "straggler factor",
+                            got: tok[2].into(),
+                        })
+                    })?;
+                    plan.rank_events.push(RankEvent {
+                        rank: num("rank", tok[1])? as u32,
+                        nth: num("collective index", tok[3])?,
+                        kind: RankFault::Slow { factor },
+                    });
                 }
                 "at" => {
                     if tok.len() < 4 {
-                        return Err(err("'at' needs: at <site> <nth> <action> [arg]".into()));
+                        return Err(err(PlanError::Arity(
+                            "'at' needs: at <site> <nth> <action> [arg]",
+                        )));
                     }
                     let site = FaultSite::parse(tok[1])
-                        .ok_or_else(|| err(format!("unknown site '{}'", tok[1])))?;
-                    let nth: u64 = tok[2]
-                        .parse()
-                        .map_err(|_| err(format!("bad invocation index '{}'", tok[2])))?;
+                        .ok_or_else(|| err(PlanError::UnknownSite(tok[1].into())))?;
+                    let nth = num("invocation index", tok[2])?;
                     let arg = |n: usize| -> Result<&str, PlanParseError> {
                         tok.get(n)
                             .copied()
-                            .ok_or_else(|| err(format!("action '{}' needs an argument", tok[3])))
+                            .ok_or_else(|| err(PlanError::MissingArgument(tok[3].into())))
                     };
                     let action = match tok[3] {
                         "bitflip" => FaultAction::BitFlip {
-                            bit: arg(4)?
-                                .parse()
-                                .map_err(|_| err(format!("bad bit '{}'", tok[4])))?,
+                            bit: num("bit", arg(4)?)? as u32,
                         },
                         "nan" => FaultAction::Nan,
                         "inf" => FaultAction::Inf,
                         "perturb" => FaultAction::Perturb {
-                            eps: arg(4)?
-                                .parse()
-                                .map_err(|_| err(format!("bad magnitude '{}'", tok[4])))?,
+                            eps: arg(4)?.parse().map_err(|_| {
+                                err(PlanError::BadValue {
+                                    what: "magnitude",
+                                    got: tok[4].into(),
+                                })
+                            })?,
                         },
                         "drop" => FaultAction::Drop,
                         "delay" => FaultAction::Delay {
-                            ticks: arg(4)?
-                                .parse()
-                                .map_err(|_| err(format!("bad tick count '{}'", tok[4])))?,
+                            ticks: num("tick count", arg(4)?)? as u32,
                         },
                         "duplicate" => FaultAction::Duplicate,
-                        other => return Err(err(format!("unknown action '{other}'"))),
+                        other => return Err(err(PlanError::UnknownAction(other.into()))),
                     };
                     plan.events.push(FaultEvent { site, nth, action });
                 }
-                other => return Err(err(format!("unknown directive '{other}'"))),
+                other => return Err(err(PlanError::UnknownDirective(other.into()))),
             }
         }
         plan.validate()?;
@@ -288,8 +496,19 @@ impl FaultPlan {
     /// Serializes to the text format parsed by [`FaultPlan::parse`].
     pub fn to_text(&self) -> String {
         let mut out = format!("seed {}\n", self.seed);
+        if self.ranks != 0 {
+            out.push_str(&format!("ranks {}\n", self.ranks));
+        }
         for ev in &self.events {
             out.push_str(&format!("at {} {} {}\n", ev.site, ev.nth, ev.action));
+        }
+        for rv in &self.rank_events {
+            match rv.kind {
+                RankFault::Dead => out.push_str(&format!("rank_dead {} {}\n", rv.rank, rv.nth)),
+                RankFault::Slow { factor } => {
+                    out.push_str(&format!("rank_slow {} {} {}\n", rv.rank, factor, rv.nth))
+                }
+            }
         }
         out
     }
@@ -328,6 +547,36 @@ at wait 8 duplicate
     }
 
     #[test]
+    fn parse_round_trips_rank_events() {
+        let text = "\
+seed 9
+ranks 8
+at spmv 1 nan
+rank_dead 3 5
+rank_slow 2 4.5 1
+";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.ranks, 8);
+        assert_eq!(
+            plan.rank_events,
+            vec![
+                RankEvent {
+                    rank: 3,
+                    nth: 5,
+                    kind: RankFault::Dead
+                },
+                RankEvent {
+                    rank: 2,
+                    nth: 1,
+                    kind: RankFault::Slow { factor: 4.5 }
+                },
+            ]
+        );
+        let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
     fn rejects_malformed_plans() {
         for (text, needle) in [
             ("at spmv x bitflip 3", "bad invocation index"),
@@ -339,6 +588,14 @@ at wait 8 duplicate
             ("at spmv 1 bitflip 60", "outside the mantissa"),
             ("at spmv 1 drop", "cannot target site"),
             ("at wait 1 nan", "cannot target site"),
+            ("ranks", "exactly one value"),
+            ("rank_dead 3", "rank_dead <rank> <nth>"),
+            ("rank_slow 3 2.0", "rank_slow <rank> <factor> <nth>"),
+            ("rank_dead zero 1", "bad rank"),
+            ("rank_slow 3 fast 1", "bad straggler factor"),
+            ("rank_slow 3 0.5 1", "must be finite and >= 1"),
+            ("rank_dead 0 1", "cannot be targeted"),
+            ("ranks 4\nrank_dead 6 1", "outside the failable range"),
         ] {
             let e = FaultPlan::parse(text).unwrap_err();
             assert!(
@@ -349,9 +606,20 @@ at wait 8 duplicate
     }
 
     #[test]
+    fn typed_kind_survives_parse() {
+        let e = FaultPlan::parse("at nowhere 1 nan").unwrap_err();
+        assert_eq!(e.kind, PlanError::UnknownSite("nowhere".into()));
+        assert_eq!(e.line, 1);
+        let e = FaultPlan::parse("seed 1\nat spmv 1 bitflip 60").unwrap_err();
+        assert_eq!(e.kind, PlanError::BitOutOfRange(60));
+        assert_eq!(e.line, 0, "validation errors are whole-plan");
+    }
+
+    #[test]
     fn empty_plan_is_valid() {
         let plan = FaultPlan::parse("seed 7\n").unwrap();
         assert_eq!(plan, FaultPlan::new(7));
         assert!(plan.validate().is_ok());
+        assert!(plan.is_empty());
     }
 }

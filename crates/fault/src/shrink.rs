@@ -1,0 +1,246 @@
+//! Automatic fault-plan shrinking: minimize an invariant-violating plan to
+//! a smallest still-violating plan.
+//!
+//! Two passes, both driven by a caller-supplied oracle (`true` = the plan
+//! still reproduces the violation):
+//!
+//! 1. **Delta-debug over plan lines** (classic ddmin): repeatedly try to
+//!    delete chunks of event lines, halving the chunk size whenever a full
+//!    sweep removes nothing, until no single line can be deleted.
+//! 2. **Numeric shrink over counts**: for every surviving line, try to
+//!    drive its invocation index toward 0 (binary descent), a delay's tick
+//!    count toward 1, and a straggler factor toward 2 — smaller counts make
+//!    the reproduction fire earlier and read cleaner.
+//!
+//! The oracle must be deterministic (re-running the same plan yields the
+//! same verdict); chaos campaigns guarantee this by construction. The
+//! result is 1-minimal over lines: deleting any single remaining line no
+//! longer reproduces.
+
+use crate::plan::{FaultEvent, FaultPlan, RankEvent, RankFault};
+
+/// One shrinkable plan line: a data/completion event or a rank event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Line {
+    Event(FaultEvent),
+    Rank(RankEvent),
+}
+
+fn lines_of(plan: &FaultPlan) -> Vec<Line> {
+    plan.events
+        .iter()
+        .copied()
+        .map(Line::Event)
+        .chain(plan.rank_events.iter().copied().map(Line::Rank))
+        .collect()
+}
+
+fn rebuild(proto: &FaultPlan, lines: &[Line]) -> FaultPlan {
+    let mut plan = FaultPlan::new(proto.seed).with_ranks(proto.ranks);
+    for line in lines {
+        match line {
+            Line::Event(ev) => plan.events.push(*ev),
+            Line::Rank(rv) => plan.rank_events.push(*rv),
+        }
+    }
+    plan
+}
+
+/// Minimizes `plan` under `still_fails` (see module docs). The input plan
+/// is expected to violate (`still_fails(plan) == true`); if it does not,
+/// it is returned unchanged.
+pub fn shrink<F>(plan: &FaultPlan, mut still_fails: F) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    if !still_fails(plan) {
+        return plan.clone();
+    }
+    let mut lines = lines_of(plan);
+
+    // Pass 1: ddmin over lines.
+    let mut chunk = lines.len().max(1);
+    while chunk >= 1 {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < lines.len() {
+            let end = (i + chunk).min(lines.len());
+            let mut candidate = lines.clone();
+            candidate.drain(i..end);
+            if (!candidate.is_empty() || plan.ranks != 0) && still_fails(&rebuild(plan, &candidate))
+            {
+                lines = candidate;
+                removed_any = true;
+                continue; // same i: the next chunk slid into place
+            }
+            i = end;
+        }
+        if removed_any {
+            chunk = chunk.min(lines.len().max(1));
+        } else if chunk == 1 {
+            break;
+        } else {
+            chunk /= 2;
+        }
+    }
+
+    // Pass 2: numeric descent per line.
+    for idx in 0..lines.len() {
+        // Invocation / collective index toward 0.
+        loop {
+            let nth = match lines[idx] {
+                Line::Event(ev) => ev.nth,
+                Line::Rank(rv) => rv.nth,
+            };
+            if nth == 0 {
+                break;
+            }
+            let smaller = nth / 2;
+            let mut candidate = lines.clone();
+            match &mut candidate[idx] {
+                Line::Event(ev) => ev.nth = smaller,
+                Line::Rank(rv) => rv.nth = smaller,
+            }
+            if still_fails(&rebuild(plan, &candidate)) {
+                lines = candidate;
+            } else {
+                break;
+            }
+        }
+        // Delay ticks toward 1, straggler factor toward 2.
+        let simplified = match lines[idx] {
+            Line::Event(mut ev) => {
+                if let crate::plan::FaultAction::Delay { ticks } = &mut ev.action {
+                    if *ticks > 1 {
+                        *ticks = 1;
+                        Some(Line::Event(ev))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            }
+            Line::Rank(mut rv) => {
+                if let RankFault::Slow { factor } = &mut rv.kind {
+                    if *factor > 2.0 {
+                        *factor = 2.0;
+                        Some(Line::Rank(rv))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(line) = simplified {
+            let mut candidate = lines.clone();
+            candidate[idx] = line;
+            if still_fails(&rebuild(plan, &candidate)) {
+                lines = candidate;
+            }
+        }
+    }
+
+    rebuild(plan, &lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultAction, FaultSite};
+
+    fn decoyed_plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .with_ranks(8)
+            .with(FaultSite::Pc, 9, FaultAction::Nan)
+            .with(FaultSite::Spmv, 8, FaultAction::BitFlip { bit: 50 })
+            .with(FaultSite::Reduce, 3, FaultAction::Perturb { eps: 1e-4 })
+            .with(FaultSite::Wait, 5, FaultAction::Delay { ticks: 3 })
+            .with_rank_slow(3, 8.0, 6)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_line() {
+        // Oracle: "fails" iff the plan still contains a spmv bitflip.
+        let plan = decoyed_plan();
+        let shrunk = shrink(&plan, |p| {
+            p.events.iter().any(|e| {
+                e.site == FaultSite::Spmv && matches!(e.action, FaultAction::BitFlip { .. })
+            })
+        });
+        assert_eq!(shrunk.events.len(), 1);
+        assert!(shrunk.rank_events.is_empty());
+        assert_eq!(shrunk.events[0].site, FaultSite::Spmv);
+        assert_eq!(shrunk.events[0].nth, 0, "nth shrunk to 0");
+        assert_eq!(shrunk.seed, plan.seed, "seed preserved");
+    }
+
+    #[test]
+    fn shrinks_conjunction_to_both_culprits() {
+        // Oracle needs the bitflip AND the rank event together.
+        let plan = decoyed_plan();
+        let shrunk = shrink(&plan, |p| {
+            let flip = p
+                .events
+                .iter()
+                .any(|e| matches!(e.action, FaultAction::BitFlip { .. }));
+            flip && !p.rank_events.is_empty()
+        });
+        assert_eq!(shrunk.events.len() + shrunk.rank_events.len(), 2);
+        if let RankFault::Slow { factor } = shrunk.rank_events[0].kind {
+            assert_eq!(factor, 2.0, "straggler factor simplified");
+        } else {
+            panic!("rank event lost its kind");
+        }
+    }
+
+    #[test]
+    fn numeric_pass_simplifies_counts() {
+        let plan = FaultPlan::new(1).with(FaultSite::Wait, 9, FaultAction::Delay { ticks: 3 });
+        let shrunk = shrink(&plan, |p| {
+            p.events
+                .iter()
+                .any(|e| matches!(e.action, FaultAction::Delay { .. }))
+        });
+        assert_eq!(shrunk.events.len(), 1);
+        assert_eq!(shrunk.events[0].nth, 0);
+        assert_eq!(
+            shrunk.events[0].action,
+            FaultAction::Delay { ticks: 1 },
+            "ticks simplified to 1"
+        );
+    }
+
+    #[test]
+    fn non_failing_plan_is_returned_unchanged() {
+        let plan = decoyed_plan();
+        assert_eq!(shrink(&plan, |_| false), plan);
+    }
+
+    #[test]
+    fn result_is_one_minimal_over_lines() {
+        // Oracle: fails iff >= 2 data events survive (any two).
+        let plan = decoyed_plan();
+        let oracle = |p: &FaultPlan| {
+            p.events
+                .iter()
+                .filter(|e| !e.action.is_completion_fault())
+                .count()
+                >= 2
+        };
+        let shrunk = shrink(&plan, oracle);
+        assert!(oracle(&shrunk));
+        // Deleting any single line breaks the reproduction.
+        let lines = lines_of(&shrunk);
+        for i in 0..lines.len() {
+            let mut fewer = lines.clone();
+            fewer.remove(i);
+            assert!(
+                !oracle(&rebuild(&shrunk, &fewer)),
+                "line {i} was deletable — not 1-minimal"
+            );
+        }
+    }
+}

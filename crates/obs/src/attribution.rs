@@ -62,7 +62,10 @@ impl KernelAttribution {
     }
 }
 
-fn join(models: &[KernelModel], measure: impl Fn(SpanKind) -> (usize, u64)) -> Vec<KernelAttribution> {
+fn join(
+    models: &[KernelModel],
+    measure: impl Fn(SpanKind) -> (usize, u64),
+) -> Vec<KernelAttribution> {
     models
         .iter()
         .filter_map(|m| {

@@ -818,7 +818,10 @@ mod tests {
             doc.get("method").and_then(Json::as_str),
             Some("PIPE-PsCG·κ 😀\u{7}")
         );
-        assert_eq!(doc.get("spmv_format").and_then(Json::as_str), Some("sym-csr"));
+        assert_eq!(
+            doc.get("spmv_format").and_then(Json::as_str),
+            Some("sym-csr")
+        );
         assert_eq!(doc.get("nnz").and_then(Json::as_f64), Some(3392.0));
     }
 

@@ -230,10 +230,7 @@ pub fn validate_flight_json(text: &str) -> Result<FlightCheck, String> {
         .and_then(Json::as_arr)
         .ok_or("missing iters array")?;
     if iters.len() > capacity {
-        return Err(format!(
-            "{} iters exceed capacity {capacity}",
-            iters.len()
-        ));
+        return Err(format!("{} iters exceed capacity {capacity}", iters.len()));
     }
     let mut last_seq = -1i64;
     for (i, rec) in iters.iter().enumerate() {

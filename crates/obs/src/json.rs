@@ -234,8 +234,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..=0xDFFF).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((unit - 0xD800) << 10) + (lo - 0xDC00);
+                                    let code = 0x10000 + ((unit - 0xD800) << 10) + (lo - 0xDC00);
                                     s.push(char::from_u32(code).expect("valid supplementary"));
                                     self.pos += 6;
                                 }
@@ -314,10 +313,7 @@ mod tests {
         assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
         let doc = parse(r#"{"a":[1,2],"b":{"c":"d"}}"#).unwrap();
         assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 2);
-        assert_eq!(
-            doc.get("b").unwrap().get("c").unwrap().as_str(),
-            Some("d")
-        );
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
         assert!(parse("{}x").is_err(), "trailing garbage");
     }
 

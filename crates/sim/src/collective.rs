@@ -65,6 +65,54 @@ impl std::fmt::Display for ReduceTimeout {
 
 impl std::error::Error for ReduceTimeout {}
 
+/// A collective failed because a modeled peer rank died: the distributed
+/// equivalent of `MPI_ERR_PROC_FAILED` from a ULFM-style runtime. Unlike a
+/// [`ReduceTimeout`] the handle is gone for good — retrying or re-posting
+/// on the same communicator can never succeed; recovery means rebuilding
+/// the lost partition (buddy checkpoint) and resuming on the survivor
+/// communicator, or escalating a typed error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankFailure {
+    /// The dead rank.
+    pub rank: u32,
+    /// 0-based global collective index at which the death activated.
+    pub at_collective: u64,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} died at collective {}",
+            self.rank, self.at_collective
+        )
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+/// Why a fallible reduction completion did not deliver a value: a bounded
+/// timeout (retriable by the caller's retry budget) or a dead peer rank
+/// (never retriable on the same communicator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// The completion timed out (delayed or dropped); see [`ReduceTimeout`].
+    Timeout(ReduceTimeout),
+    /// A modeled peer rank died; see [`RankFailure`].
+    RankFailed(RankFailure),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout(t) => t.fmt(f),
+            CommError::RankFailed(r) => r.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
 /// Outcome of a fallible wait on a posted reduction
 /// ([`Context::try_wait`](crate::Context::try_wait)).
 #[derive(Debug)]
@@ -80,6 +128,9 @@ pub enum WaitOutcome {
         /// Why and whether retrying the same handle can succeed.
         fault: ReduceTimeout,
     },
+    /// The collective failed because a peer rank died. The handle has been
+    /// retired; no payload will ever arrive on this communicator.
+    RankFailed(RankFailure),
 }
 
 /// A violation of non-blocking collective discipline detected while feeding

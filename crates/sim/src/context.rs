@@ -27,9 +27,11 @@ use pscg_sparse::kernels;
 use pscg_sparse::op::Operator;
 use pscg_sparse::{CsrMatrix, MultiVector};
 
-use pscg_fault::{CompletionFault, FaultPlan, FaultRecord, FaultSite, Injector};
+use pscg_fault::{
+    CompletionFault, FaultPlan, FaultRecord, FaultSite, Injector, RankEvent, RankFault,
+};
 
-use crate::collective::{CommId, ReduceTimeout, WaitOutcome};
+use crate::collective::{CommId, RankFailure, ReduceTimeout, WaitOutcome};
 use crate::profile::MatrixProfile;
 use crate::trace::{BufId, LocalKind, Op, OpTrace};
 
@@ -70,6 +72,30 @@ impl OpCounters {
     pub fn allreduces(&self) -> u64 {
         self.blocking_allreduce + self.nonblocking_allreduce
     }
+}
+
+/// Outcome of a survivor-side buddy-recovery attempt
+/// (see [`Context::buddy_recover`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuddyRecovery {
+    /// No rank failure is active; there is nothing to recover.
+    NoFailure,
+    /// The failed rank's buddy is dead too: the partition is unrecoverable.
+    Lost {
+        /// The rank whose partition was lost.
+        rank: u32,
+        /// Its (also dead) buddy that held the only copy.
+        buddy: u32,
+    },
+    /// The failed rank's partition was rebuilt from its buddy's in-memory
+    /// checkpoint and the solve may resume on the survivor communicator.
+    Restored {
+        /// The rank that was rebuilt.
+        rank: u32,
+        /// The last buddy-checkpointed iterate, or `None` when the death
+        /// preceded the first checkpoint (restart from scratch).
+        x: Option<Vec<f64>>,
+    },
 }
 
 /// The SPMD execution context (see module docs).
@@ -153,6 +179,36 @@ pub trait Context {
     /// [`Op::RedRead`] so the static schedule analyzer can flag it. Correct
     /// solvers never call this.
     fn peek_pending(&mut self, h: &ReduceHandle) -> Vec<f64>;
+
+    /// The rank failure currently poisoning this communicator, if any.
+    ///
+    /// A **pure getter**: implementations must not record trace ops or
+    /// touch counters, so solver loops may poll it after every collective
+    /// and clean runs stay bitwise-identical. Engines without a
+    /// rank-failure model never fail (the default).
+    fn rank_failure(&self) -> Option<RankFailure> {
+        None
+    }
+
+    /// Stores a survivor-side in-memory buddy checkpoint of the iterate:
+    /// each rank ships its partition of `x` to a neighbor so a single rank
+    /// death can be repaired without touching a filesystem. Engines without
+    /// a rank-failure model discard it (the default).
+    fn buddy_put(&mut self, _x: &[f64]) {}
+
+    /// Attempts to repair an active rank failure from the buddy checkpoint,
+    /// shrinking the communicator to the survivors on success. Engines
+    /// without a rank-failure model report [`BuddyRecovery::NoFailure`]
+    /// (the default).
+    fn buddy_recover(&mut self) -> BuddyRecovery {
+        BuddyRecovery::NoFailure
+    }
+
+    /// Appends one recovery-ladder code (see the solver crate's
+    /// `resilience::code` table) to the engine's recovery log, making
+    /// recovery *decisions* part of the deterministic observable outcome.
+    /// No-op by default.
+    fn note_recovery_code(&mut self, _code: u64) {}
 
     /// Interns the identity of a rank-local vector for the trace.
     ///
@@ -418,6 +474,30 @@ pub struct SimCtx<'a> {
     /// Payload of the most recently completed reduction, kept only while a
     /// plan is armed — a duplicated completion delivers this stale value.
     last_completed: Option<Vec<f64>>,
+    /// Pending rank-level machine events from the armed plan (fired events
+    /// are removed; empty on clean runs, so every hook below early-returns).
+    rank_events: Vec<RankEvent>,
+    /// True iff the armed plan scheduled any rank events — persists after
+    /// the events fire (unlike `rank_events`), gating the buddy-checkpoint
+    /// cost on clean runs.
+    rank_events_armed: bool,
+    /// World size the rank events are modeled against.
+    modeled_ranks: u32,
+    /// Global collective counter (blocking allreduces + non-blocking posts)
+    /// that rank events key on. Only advanced while events are pending.
+    collective_idx: u64,
+    /// Ranks that died and have not been rebuilt.
+    dead: Vec<u32>,
+    /// The failure currently poisoning the communicator (ULFM's
+    /// `MPI_ERR_PROC_FAILED` state): sticky until `buddy_recover` repairs
+    /// it.
+    active_failure: Option<RankFailure>,
+    /// The neighbor-held checkpoint of the iterate (most recent
+    /// `buddy_put`).
+    buddy_ckpt: Option<Vec<f64>>,
+    /// Recovery-ladder codes in decision order (see
+    /// [`Context::note_recovery_code`]).
+    recovery_log: Vec<u64>,
 }
 
 impl<'a> SimCtx<'a> {
@@ -438,6 +518,14 @@ impl<'a> SimCtx<'a> {
             injector: None,
             delayed: HashMap::new(),
             last_completed: None,
+            rank_events: Vec::new(),
+            rank_events_armed: false,
+            modeled_ranks: 8,
+            collective_idx: 0,
+            dead: Vec::new(),
+            active_failure: None,
+            buddy_ckpt: None,
+            recovery_log: Vec::new(),
         }
     }
 
@@ -491,7 +579,20 @@ impl<'a> SimCtx<'a> {
     /// armed every hook is a single `Option` check and the engine is
     /// bitwise-identical to one built before fault injection existed.
     pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.rank_events = plan.rank_events.clone();
+        self.rank_events_armed = !plan.rank_events.is_empty();
+        self.modeled_ranks = if plan.ranks == 0 { 8 } else { plan.ranks };
         self.injector = Some(Injector::new(plan));
+    }
+
+    /// Recovery-ladder codes noted so far, in decision order.
+    pub fn recovery_log(&self) -> &[u64] {
+        &self.recovery_log
+    }
+
+    /// Takes the recovery log, leaving it empty.
+    pub fn take_recovery_log(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.recovery_log)
     }
 
     /// The faults applied so far (empty when no plan is armed).
@@ -525,12 +626,58 @@ impl<'a> SimCtx<'a> {
         obs::span::record_span(SpanKind::Fault, site.index() as u64, obs::now_ns(), 0);
     }
 
+    /// Advances the global collective counter and fires any rank event the
+    /// plan scheduled for this collective. Called at the head of every
+    /// blocking allreduce and non-blocking post; with no pending rank
+    /// events (clean runs and armed-but-empty plans alike) this is a single
+    /// emptiness check and the engine stays bitwise-inert.
+    fn on_collective(&mut self) {
+        if self.rank_events.is_empty() {
+            return;
+        }
+        let idx = self.collective_idx;
+        self.collective_idx += 1;
+        let mut i = 0;
+        while i < self.rank_events.len() {
+            if self.rank_events[i].nth != idx {
+                i += 1;
+                continue;
+            }
+            let ev = self.rank_events.remove(i);
+            match ev.kind {
+                RankFault::Slow { factor } => {
+                    self.record(Op::RankSlow {
+                        rank: ev.rank,
+                        factor,
+                    });
+                }
+                RankFault::Dead => {
+                    self.record(Op::RankDead { rank: ev.rank });
+                    if !self.dead.contains(&ev.rank) {
+                        self.dead.push(ev.rank);
+                    }
+                    if self.active_failure.is_none() {
+                        self.active_failure = Some(RankFailure {
+                            rank: ev.rank,
+                            at_collective: idx,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// The fault-free completion path shared by `wait` and `try_wait`.
     fn complete_wait(&mut self, h: ReduceHandle) -> Vec<f64> {
-        let vals = self
+        let mut vals = self
             .inflight
             .remove(&h.id)
             .expect("wait on unknown or already-completed ReduceHandle");
+        if self.active_failure.is_some() {
+            // A dead rank never contributes: the reduction can only
+            // deliver poison, never a silently-wrong sum.
+            vals.iter_mut().for_each(|v| *v = f64::NAN);
+        }
         self.record(Op::ArWait { id: h.id });
         pscg_par::sync_trace::record(pscg_par::sync_trace::SyncEvent::ReduceComplete { id: h.id });
         obs::span::window_close(h.id);
@@ -626,10 +773,7 @@ impl Context for SimCtx<'_> {
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
         // The span arg carries the active format's code, so traces are
         // self-describing about which kernel body ran.
-        let _sp = obs::span_arg(
-            SpanKind::Spmv,
-            pscg_sparse::spmv_format().to_code() as u64,
-        );
+        let _sp = obs::span_arg(SpanKind::Spmv, pscg_sparse::spmv_format().to_code() as u64);
         self.a.spmv(x, y);
         self.inject_data(FaultSite::Spmv, y);
         self.counters.spmv += 1;
@@ -648,10 +792,7 @@ impl Context for SimCtx<'_> {
         // The constituent products below call `a.spmv` directly (no trait
         // dispatch), so this is the only span recorded — no nested Spmv
         // spans that would double-count overlap credit.
-        let _sp = obs::span_arg(
-            SpanKind::Mpk,
-            pscg_sparse::spmv_format().to_code() as u64,
-        );
+        let _sp = obs::span_arg(SpanKind::Mpk, pscg_sparse::spmv_format().to_code() as u64);
         for j in from + 1..=to {
             {
                 let (src, dst) = pow.col_pair_mut(j - 1, j);
@@ -714,6 +855,7 @@ impl Context for SimCtx<'_> {
 
     fn allreduce(&mut self, vals: &[f64]) -> Vec<f64> {
         let _sp = obs::span(SpanKind::Allreduce);
+        self.on_collective();
         self.probe_reduction_input(vals);
         self.counters.blocking_allreduce += 1;
         self.counters.reduced_doubles += vals.len() as u64;
@@ -723,10 +865,16 @@ impl Context for SimCtx<'_> {
         });
         let mut out = vals.to_vec();
         self.inject_data(FaultSite::Reduce, &mut out);
+        if self.active_failure.is_some() {
+            // See `complete_wait`: a reduction over a failed communicator
+            // delivers poison, never a silently partial sum.
+            out.iter_mut().for_each(|v| *v = f64::NAN);
+        }
         out
     }
 
     fn iallreduce(&mut self, vals: &[f64]) -> ReduceHandle {
+        self.on_collective();
         self.probe_reduction_input(vals);
         let id = self.next_id;
         self.next_id += 1;
@@ -750,6 +898,23 @@ impl Context for SimCtx<'_> {
     }
 
     fn try_wait(&mut self, h: ReduceHandle) -> WaitOutcome {
+        if let Some(failure) = self.active_failure {
+            // ULFM semantics: the wait raises the process failure instead
+            // of a value. Retire the handle — the trace records a
+            // non-retriable timeout so the overlap window closes and
+            // replay's pending-set accounting stays exact.
+            let id = h.id;
+            self.inflight
+                .remove(&id)
+                .expect("wait on unknown or already-completed ReduceHandle");
+            self.delayed.remove(&id);
+            self.record(Op::ArTimeout {
+                id,
+                retriable: false,
+            });
+            obs::span::window_close(id);
+            return WaitOutcome::RankFailed(failure);
+        }
         if self.injector.is_none() {
             return WaitOutcome::Done(self.complete_wait(h));
         }
@@ -844,6 +1009,43 @@ impl Context for SimCtx<'_> {
             .clone();
         self.record(Op::RedRead { id: h.id });
         vals
+    }
+
+    fn rank_failure(&self) -> Option<RankFailure> {
+        self.active_failure
+    }
+
+    fn buddy_put(&mut self, x: &[f64]) {
+        // Only worth modeling when the plan can actually kill a rank; on
+        // every other run the checkpoint would be dead weight.
+        if self.rank_events_armed {
+            self.buddy_ckpt = Some(x.to_vec());
+        }
+    }
+
+    fn buddy_recover(&mut self) -> BuddyRecovery {
+        let Some(failure) = self.active_failure else {
+            return BuddyRecovery::NoFailure;
+        };
+        let buddy = (failure.rank + 1) % self.modeled_ranks;
+        if self.dead.contains(&buddy) {
+            return BuddyRecovery::Lost {
+                rank: failure.rank,
+                buddy,
+            };
+        }
+        // The buddy holds the checkpoint: rebuild the partition, shrink
+        // the failure out of the communicator and resume.
+        self.active_failure = None;
+        self.dead.retain(|&r| r != failure.rank);
+        BuddyRecovery::Restored {
+            rank: failure.rank,
+            x: self.buddy_ckpt.clone(),
+        }
+    }
+
+    fn note_recovery_code(&mut self, code: u64) {
+        self.recovery_log.push(code);
     }
 
     fn buf_of(&mut self, v: &[f64]) -> BufId {
@@ -1157,6 +1359,7 @@ mod tests {
                     timeouts += 1;
                     h = handle.expect("delayed handle stays waitable");
                 }
+                WaitOutcome::RankFailed(f) => panic!("no rank events armed, got {f}"),
             }
         };
         assert_eq!(got, vec![4.0]);
@@ -1177,6 +1380,124 @@ mod tests {
             WaitOutcome::Done(v) => assert_eq!(v, vec![1.0, 2.0], "stale payload delivered"),
             other => panic!("duplicate completes (with stale data), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rank_death_fails_collectives_until_buddy_recovery() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(3).with_ranks(8).with_rank_dead(3, 1));
+
+        // Collective 0: clean.
+        assert!(ctx.rank_failure().is_none());
+        assert_eq!(ctx.allreduce(&[2.0]), vec![2.0]);
+        ctx.buddy_put(&[7.0; 4]);
+
+        // Collective 1: rank 3 dies. Blocking reductions poison...
+        let poisoned = ctx.allreduce(&[2.0]);
+        assert!(poisoned[0].is_nan(), "dead-rank reduction must poison");
+        let failure = ctx.rank_failure().expect("failure is sticky");
+        assert_eq!((failure.rank, failure.at_collective), (3, 1));
+
+        // ...and a posted reduction raises the failure at the wait,
+        // retiring its handle.
+        let h = ctx.iallreduce(&[1.0]);
+        match ctx.try_wait(h) {
+            WaitOutcome::RankFailed(f) => assert_eq!(f.rank, 3),
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+
+        // The buddy (rank 4) survives: recovery restores the checkpoint
+        // and the communicator works again.
+        match ctx.buddy_recover() {
+            BuddyRecovery::Restored { rank, x } => {
+                assert_eq!(rank, 3);
+                assert_eq!(x.as_deref(), Some(&[7.0; 4][..]));
+            }
+            other => panic!("expected Restored, got {other:?}"),
+        }
+        assert!(ctx.rank_failure().is_none());
+        assert_eq!(ctx.allreduce(&[5.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn buddy_death_makes_the_partition_unrecoverable() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(
+            FaultPlan::new(3)
+                .with_ranks(8)
+                .with_rank_dead(3, 0)
+                .with_rank_dead(4, 0),
+        );
+        let _ = ctx.allreduce(&[1.0]); // both die at collective 0
+        match ctx.buddy_recover() {
+            BuddyRecovery::Lost { rank, buddy } => {
+                assert_eq!((rank, buddy), (3, 4));
+            }
+            other => panic!("expected Lost, got {other:?}"),
+        }
+        // The failure stays active: collectives keep failing explicitly.
+        assert!(ctx.rank_failure().is_some());
+    }
+
+    #[test]
+    fn death_before_first_checkpoint_restores_without_an_iterate() {
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(3).with_ranks(4).with_rank_dead(2, 0));
+        let _ = ctx.allreduce(&[1.0]);
+        match ctx.buddy_recover() {
+            BuddyRecovery::Restored { rank: 2, x: None } => {}
+            other => panic!("expected Restored without iterate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_event_records_a_trace_marker_only() {
+        let (a, prof) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::traced(&a, Box::new(IdentityOp::new(n)), prof);
+        ctx.arm_faults(FaultPlan::new(3).with_ranks(8).with_rank_slow(5, 4.0, 1));
+        assert_eq!(ctx.allreduce(&[1.0]), vec![1.0]);
+        assert_eq!(
+            ctx.allreduce(&[2.0]),
+            vec![2.0],
+            "stragglers never corrupt data"
+        );
+        assert!(ctx.rank_failure().is_none());
+        let trace = ctx.take_trace().unwrap();
+        let slow: Vec<_> = trace
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::RankSlow { rank: 5, .. }))
+            .collect();
+        assert_eq!(slow.len(), 1);
+    }
+
+    #[test]
+    fn armed_rank_free_plan_keeps_the_collective_path_inert() {
+        // A plan with data faults but no rank events must never advance the
+        // collective counter or store buddy checkpoints.
+        use pscg_fault::FaultAction;
+        let (a, _) = ctx_pair();
+        let n = a.nrows();
+        let mut ctx = SimCtx::serial(&a, Box::new(IdentityOp::new(n)));
+        ctx.arm_faults(FaultPlan::new(9).with(FaultSite::Pc, 99, FaultAction::Nan));
+        for _ in 0..4 {
+            let _ = ctx.allreduce(&[1.0]);
+        }
+        ctx.buddy_put(&[1.0]);
+        assert_eq!(
+            ctx.collective_idx, 0,
+            "counter gated on pending rank events"
+        );
+        assert!(ctx.buddy_ckpt.is_none(), "checkpoints gated on rank events");
+        assert!(ctx.rank_failure().is_none());
+        assert!(ctx.recovery_log().is_empty());
     }
 
     #[test]

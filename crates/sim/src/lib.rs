@@ -36,9 +36,10 @@ pub mod thread;
 pub mod trace;
 
 pub use collective::{
-    AllreduceModel, CommId, InflightTracker, ReduceTimeout, ScheduleViolation, WaitOutcome,
+    AllreduceModel, CommError, CommId, InflightTracker, RankFailure, ReduceTimeout,
+    ScheduleViolation, WaitOutcome,
 };
-pub use context::{Context, OpCounters, ReduceHandle, SimCtx};
+pub use context::{BuddyRecovery, Context, OpCounters, ReduceHandle, SimCtx};
 pub use machine::Machine;
 pub use noise::NoiseModel;
 pub use profile::{Layout, MatrixProfile, SpmvWork};

@@ -59,6 +59,10 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
     let mut t = 0.0f64;
     let mut pending: HashMap<u64, f64> = HashMap::new(); // id -> completion or G
     let mut mpk_works: HashMap<(usize, usize), SpmvWork> = HashMap::new();
+    // Straggler stretch factor on collective durations: an allreduce is only
+    // as fast as its slowest participant, so one slowed rank stretches every
+    // subsequent reduction (clean traces never carry the marker; 1.0).
+    let mut straggler = 1.0f64;
 
     for op in &trace.ops {
         match *op {
@@ -121,7 +125,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 t += ct;
             }
             Op::ArPost { id, doubles, .. } => {
-                let g = machine.allreduce_time(p, doubles);
+                let g = machine.allreduce_time(p, doubles) * straggler;
                 res.allreduce_total += g;
                 // Store the absolute completion time (async progress) or
                 // the raw duration to expose at the wait (no progress).
@@ -142,7 +146,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 t += exposed;
             }
             Op::ArBlocking { doubles, .. } => {
-                let g = machine.allreduce_time(p, doubles);
+                let g = machine.allreduce_time(p, doubles) * straggler;
                 res.allreduce_total += g;
                 res.allreduce_exposed += g;
                 t += g;
@@ -166,6 +170,15 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
             Op::ResCheck { relres } => {
                 res.residual_timeline.push((t, relres));
             }
+            // A straggling rank gates every later reduction: the worst
+            // observed factor applies from here on.
+            Op::RankSlow { factor, .. } => {
+                straggler = straggler.max(factor);
+            }
+            // A rank death is a correctness/recovery event; the model does
+            // not price the rebuild itself. Post-death ops in the trace ran
+            // on the survivor communicator.
+            Op::RankDead { .. } => {}
         }
     }
     assert!(pending.is_empty(), "trace ended with unawaited allreduces");
@@ -280,6 +293,44 @@ mod tests {
         let mut tr = base_trace();
         tr.push(Op::post(9, 2));
         replay(&tr, &Machine::sahasrat(), 4);
+    }
+
+    #[test]
+    fn straggler_marker_stretches_later_allreduces() {
+        let mut clean = base_trace();
+        clean.push(Op::blocking(8));
+        clean.push(Op::blocking(8));
+        let mut slow = base_trace();
+        slow.push(Op::blocking(8));
+        slow.push(Op::RankSlow {
+            rank: 3,
+            factor: 4.0,
+        });
+        slow.push(Op::blocking(8));
+        let m = Machine::sahasrat();
+        let rc = replay(&clean, &m, 48);
+        let rs = replay(&slow, &m, 48);
+        // First reduction identical, second stretched 4x: total 2G vs 5G.
+        assert!((rs.allreduce_total / rc.allreduce_total - 2.5).abs() < 1e-12);
+        assert_eq!(rs.allreduce_exposed, rs.allreduce_total);
+    }
+
+    #[test]
+    fn rank_death_marker_is_free_and_keeps_traces_replayable() {
+        let mut tr = base_trace();
+        tr.push(Op::post(1, 8));
+        tr.push(Op::RankDead { rank: 3 });
+        // The solver saw the failure at the wait: the handle retires via a
+        // non-retriable timeout, as the tracing engine records.
+        tr.push(Op::ArTimeout {
+            id: 1,
+            retriable: false,
+        });
+        tr.push(Op::spmv(0));
+        let m = Machine::sahasrat();
+        let r = replay(&tr, &m, 24);
+        assert_eq!(r.allreduce_exposed, 0.0, "retired reduction never exposed");
+        assert!(r.allreduce_total > 0.0);
     }
 
     #[test]

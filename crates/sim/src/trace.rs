@@ -165,6 +165,24 @@ pub enum Op {
         /// Relative residual norm at this check.
         relres: f64,
     },
+    /// A modeled rank turned straggler here (rank-event fault plans only):
+    /// every collective from this point on completes `factor`× slower, so
+    /// the replay stretches post→wait windows honestly instead of letting
+    /// the overlap accounting hide the slow rank. Zero cost by itself;
+    /// clean runs never record it.
+    RankSlow {
+        /// The straggling rank.
+        rank: u32,
+        /// Collective completion-time multiplier (finite, ≥ 1).
+        factor: f64,
+    },
+    /// A modeled rank died here (rank-event fault plans only). Marker for
+    /// post-mortem analysis: the ops that follow ran on the survivor
+    /// communicator (or aborted). Zero cost; clean runs never record it.
+    RankDead {
+        /// The dead rank.
+        rank: u32,
+    },
 }
 
 impl Op {

@@ -6,10 +6,14 @@
 //!    the tolerance (possibly after residual replacement / restart), or
 //! 2. an explicit [`SolveError`].
 //!
-//! Never a hang (the test completing at all covers that: a dropped
-//! completion surfaces as a timeout in the simulator, not a blocked wait),
-//! and never a silent wrong answer (claimed convergence contradicted by
-//! the recomputed residual).
+//! Never a hang — every solve runs on a worker thread under a wall-clock
+//! watchdog, so a method that blocks fails *fast* with its name and the
+//! armed plan echoed instead of eating the suite's timeout — and never a
+//! silent wrong answer (claimed convergence contradicted by the
+//! recomputed residual).
+
+use std::sync::mpsc;
+use std::time::Duration;
 
 use pipescg::methods::MethodKind;
 use pipescg::solver::SolveOptions;
@@ -45,37 +49,74 @@ fn problem() -> (pscg_sparse::CsrMatrix, Vec<f64>) {
     (a, b)
 }
 
+/// What the worker thread observed, sent back for the watchdog to judge.
+struct CampaignVerdict {
+    hits: usize,
+    /// `Some((stop, final_relres, true_relres))` for an accepted result,
+    /// `None` for an explicit error (also an acceptable outcome).
+    accepted: Option<(String, f64, f64)>,
+    error: Option<String>,
+}
+
 /// Solves `method` under `plan` through the resilient supervisor and
-/// enforces the recover-or-report contract. Returns how many faults the
-/// injector actually applied.
+/// enforces the recover-or-report contract, with a wall-clock watchdog: a
+/// solve that produces no verdict within 60 s fails fast with the method
+/// name and the plan echoed. Returns how many faults the injector applied.
 fn assert_recovers_or_reports(method: MethodKind, plan: FaultPlan, label: &str) -> usize {
-    let (a, b) = problem();
-    let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
-    ctx.arm_faults(plan);
-    let opts = SolveOptions::with_rtol(RTOL).with_s(3);
-    let outcome = method.solve_resilient(&mut ctx, &b, None, &opts);
-    let hits = ctx.fault_log().len();
-    match outcome {
-        Ok(res) => {
-            let t = res.true_relres(&a, &b);
-            if res.converged() {
-                assert!(
-                    t.is_finite() && t <= RTOL * 100.0,
-                    "{} [{label}]: silent wrong answer — reported {:?} at relres \
-                     {:.3e} but true relres is {t:.3e}",
-                    method.name(),
-                    res.stop,
-                    res.final_relres
-                );
-            }
-        }
-        Err(e) => {
-            // An explicit error is an acceptable outcome — the solver
-            // refused to vouch for a solution it could not verify.
-            eprintln!("{} [{label}]: explicit error: {e}", method.name());
-        }
+    let plan_text = plan.to_text();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let (a, b) = problem();
+        let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+        ctx.arm_faults(plan);
+        let opts = SolveOptions::with_rtol(RTOL).with_s(3);
+        let outcome = method.solve_resilient(&mut ctx, &b, None, &opts);
+        let hits = ctx.fault_log().len();
+        let v = match outcome {
+            Ok(res) => CampaignVerdict {
+                hits,
+                accepted: res.converged().then(|| {
+                    (
+                        format!("{:?}", res.stop),
+                        res.final_relres,
+                        res.true_relres(&a, &b),
+                    )
+                }),
+                error: None,
+            },
+            Err(e) => CampaignVerdict {
+                hits,
+                accepted: None,
+                error: Some(e.to_string()),
+            },
+        };
+        let _ = tx.send(v);
+    });
+    let v = match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(v) => v,
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!(
+            "{} [{label}]: HANG — no verdict within 60s under plan:\n{plan_text}",
+            method.name()
+        ),
+        Err(mpsc::RecvTimeoutError::Disconnected) => panic!(
+            "{} [{label}]: worker died without a verdict under plan:\n{plan_text}",
+            method.name()
+        ),
+    };
+    if let Some((stop, relres, t)) = &v.accepted {
+        assert!(
+            t.is_finite() && *t <= RTOL * 100.0,
+            "{} [{label}]: silent wrong answer — reported {stop} at relres \
+             {relres:.3e} but true relres is {t:.3e}",
+            method.name(),
+        );
     }
-    hits
+    if let Some(e) = &v.error {
+        // An explicit error is an acceptable outcome — the solver refused
+        // to vouch for a solution it could not verify.
+        eprintln!("{} [{label}]: explicit error: {e}", method.name());
+    }
+    v.hits
 }
 
 #[test]
@@ -124,5 +165,19 @@ fn combined_campaign_still_ends_in_a_verdict() {
             .with(FaultSite::Wait, 2, FaultAction::Drop);
         let hits = assert_recovers_or_reports(method, plan, "combined");
         assert!(hits >= 1, "{}: no fault fired", method.name());
+    }
+}
+
+#[test]
+fn data_faults_composed_with_a_rank_death_still_end_in_a_verdict() {
+    // The chaos generator mixes data corruption with rank failure; the
+    // recover-or-report contract must hold for the composition too.
+    for method in all_methods() {
+        let plan = FaultPlan::new(15)
+            .with(FaultSite::Spmv, 4, FaultAction::BitFlip { bit: 48 })
+            .with(FaultSite::Wait, 1, FaultAction::Delay { ticks: 2 })
+            .with_rank_dead(3, 6)
+            .with_rank_slow(5, 4.0, 2);
+        assert_recovers_or_reports(method, plan, "data + rank death");
     }
 }

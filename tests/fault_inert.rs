@@ -13,7 +13,7 @@
 
 use pipescg::methods::MethodKind;
 use pipescg::solver::SolveOptions;
-use pscg_fault::FaultPlan;
+use pscg_fault::{chaos, ChaosConfig, FaultPlan};
 use pscg_precond::Jacobi;
 use pscg_sim::{Layout, MatrixProfile, SimCtx};
 use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
@@ -103,30 +103,52 @@ fn empty_fault_plan_is_bitwise_inert() {
     pscg_par::knobs::set_spmv_chunk_nnz(256);
     pscg_par::knobs::set_gram_chunk_rows(64);
 
+    // A zero-bound chaos plan must come out empty — the generated
+    // equivalent of an inert hand-written plan.
+    let zero_chaos = chaos::generate(
+        0xDEAD_BEEF,
+        &ChaosConfig {
+            max_data_faults: 0,
+            max_completion_faults: 0,
+            max_rank_events: 0,
+            ..Default::default()
+        },
+    );
+    assert!(zero_chaos.events.is_empty() && zero_chaos.rank_events.is_empty());
+
     for threads in [1usize, 4] {
         pscg_par::set_global_threads(threads);
         for method in all_methods() {
             let plain = run(method, None);
-            let armed = run(method, Some(FaultPlan::new(0xDEAD_BEEF)));
-
-            assert_eq!(
-                plain.hist_bits,
-                armed.hist_bits,
-                "{} @{threads}t: residual history changed with empty plan armed",
-                method.name()
-            );
-            assert_eq!(
-                plain.x_bits,
-                armed.x_bits,
-                "{} @{threads}t: solution changed with empty plan armed",
-                method.name()
-            );
-            assert_eq!(
-                plain.shapes,
-                armed.shapes,
-                "{} @{threads}t: operation sequence changed with empty plan armed",
-                method.name()
-            );
+            // Three armed-but-empty shapes: a bare plan, a plan that sets
+            // the modeled rank count without any rank events (the chaos
+            // machinery armed yet idle), and a zero-bound generated plan.
+            let variants: [(&str, FaultPlan); 3] = [
+                ("empty plan", FaultPlan::new(0xDEAD_BEEF)),
+                ("ranks-only plan", FaultPlan::new(0xDEAD_BEEF).with_ranks(8)),
+                ("zero-bound chaos plan", zero_chaos.clone()),
+            ];
+            for (label, plan) in variants {
+                let armed = run(method, Some(plan));
+                assert_eq!(
+                    plain.hist_bits,
+                    armed.hist_bits,
+                    "{} @{threads}t: residual history changed with {label} armed",
+                    method.name()
+                );
+                assert_eq!(
+                    plain.x_bits,
+                    armed.x_bits,
+                    "{} @{threads}t: solution changed with {label} armed",
+                    method.name()
+                );
+                assert_eq!(
+                    plain.shapes,
+                    armed.shapes,
+                    "{} @{threads}t: operation sequence changed with {label} armed",
+                    method.name()
+                );
+            }
         }
     }
     pscg_par::set_global_threads(1);

@@ -10,6 +10,7 @@
 
 use pipescg::methods::MethodKind;
 use pipescg::solver::SolveOptions;
+use pscg_fault::FaultPlan;
 use pscg_precond::Jacobi;
 use pscg_sim::{replay, Layout, Machine, MatrixProfile, NoiseModel, SimCtx};
 use pscg_sparse::stencil::{poisson3d_7pt, Grid3};
@@ -86,6 +87,69 @@ fn noisy_replay_is_bitwise_reproducible_across_runs_and_threads() {
             "{}: replayed noisy schedule differs between 1 and 4 threads",
             method.name()
         );
+    }
+    pscg_par::set_global_threads(1);
+}
+
+#[test]
+fn rank_failure_recovery_is_bitwise_deterministic_across_runs_and_threads() {
+    // Same seed + same rank-failure plan ⇒ bitwise-identical outcome AND
+    // the identical recovery-code sequence, across repeated runs and
+    // across pool thread counts. Recovery *decisions* are part of the
+    // deterministic observable, not a side effect of scheduling.
+    pscg_par::knobs::set_spmv_chunk_nnz(256);
+    pscg_par::knobs::set_gram_chunk_rows(64);
+
+    for method in [MethodKind::Pcg, MethodKind::Scg, MethodKind::PipePscg] {
+        let mut seen: Option<(Vec<u64>, Vec<u64>, Vec<u64>)> = None;
+        for threads in [1usize, 4] {
+            pscg_par::set_global_threads(threads);
+            for run in 0..2 {
+                let g = Grid3::cube(8);
+                let a = poisson3d_7pt(g, None);
+                let b = a.mul_vec(&vec![1.0; a.nrows()]);
+                let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
+                ctx.arm_faults(FaultPlan::new(31).with_rank_dead(2, 5));
+                let opts = SolveOptions::with_rtol(1e-6).with_s(4);
+                let res = method
+                    .solve_resilient(&mut ctx, &b, None, &opts)
+                    .unwrap_or_else(|e| panic!("{} @{threads}t run {run}: {e}", method.name()));
+                let got = (
+                    res.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    res.history.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                    ctx.take_recovery_log(),
+                );
+                assert!(
+                    got.2.contains(&9),
+                    "{} @{threads}t run {run}: no rank rebuild in {:?}",
+                    method.name(),
+                    got.2
+                );
+                match &seen {
+                    None => seen = Some(got),
+                    Some(first) => {
+                        assert_eq!(
+                            first.0,
+                            got.0,
+                            "{} @{threads}t run {run}: solution bits diverged",
+                            method.name()
+                        );
+                        assert_eq!(
+                            first.1,
+                            got.1,
+                            "{} @{threads}t run {run}: history bits diverged",
+                            method.name()
+                        );
+                        assert_eq!(
+                            first.2,
+                            got.2,
+                            "{} @{threads}t run {run}: recovery-code sequence diverged",
+                            method.name()
+                        );
+                    }
+                }
+            }
+        }
     }
     pscg_par::set_global_threads(1);
 }
