@@ -220,6 +220,17 @@ pub fn check_exit_codes_source(source: &str) -> Result<String, Vec<String>> {
             ));
         }
     }
+    // A code reserved twice is drift even when both rows name real
+    // classes; gaps (17, the perf-report binary) are legal.
+    let mut seen = Vec::new();
+    for (code, variant) in &table {
+        if seen.contains(code) {
+            errors.push(format!(
+                "doc table reserves code {code} twice (second time for FindingClass::{variant})"
+            ));
+        }
+        seen.push(*code);
+    }
     if errors.is_empty() {
         Ok(format!(
             "exit-code table OK: {} classes documented",
@@ -291,9 +302,61 @@ mod exit_code_table_tests {
     #[test]
     fn shipped_exit_code_table_matches_the_enum() {
         match check_exit_codes() {
-            Ok(summary) => assert!(summary.contains("8 classes"), "{summary}"),
+            Ok(summary) => assert!(summary.contains("9 classes"), "{summary}"),
             Err(errors) => panic!("exit-code lint failed:\n{}", errors.join("\n")),
         }
+    }
+
+    /// Rows the parser cannot interpret (non-integer code, no
+    /// `FindingClass::` reference, separator rows) are skipped, not
+    /// misread as reservations.
+    #[test]
+    fn malformed_rows_are_skipped() {
+        let source = "\
+//! | code | class | meaning |
+//! |---|---|---|
+//! | ten | [`FindingClass::Hazard`] | word, not number |
+//! | 12 | a bare description | no class reference |
+//! | 13 | [`FindingClass::DocTable`] | well-formed |
+";
+        assert_eq!(
+            parse_exit_code_table(source),
+            vec![(13, "DocTable".to_string())]
+        );
+    }
+
+    /// The same code reserved for two classes is drift even when both
+    /// rows are individually well-formed.
+    #[test]
+    fn duplicate_reserved_code_is_caught() {
+        let mut source = String::from("//! | code | class | meaning |\n//! |---|---|---|\n");
+        for class in FindingClass::ALL {
+            source.push_str(&format!(
+                "//! | {} | [`FindingClass::{class:?}`] | x |\n",
+                class.exit_code()
+            ));
+        }
+        source.push_str("//! | 18 | [`FindingClass::Hazard`] | duplicate |\n");
+        let errors = check_exit_codes_source(&source).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("reserves code 18 twice")),
+            "{errors:?}"
+        );
+    }
+
+    /// Gaps in the code sequence are legal: 17 belongs to the perf-report
+    /// binary, so a table that is complete-but-gapped must pass.
+    #[test]
+    fn gap_at_17_is_legal() {
+        let mut source = String::from("//! | code | class | meaning |\n//! |---|---|---|\n");
+        for class in FindingClass::ALL {
+            source.push_str(&format!(
+                "//! | {} | [`FindingClass::{class:?}`] | x |\n",
+                class.exit_code()
+            ));
+        }
+        let summary = check_exit_codes_source(&source).expect("gapped table must pass");
+        assert!(summary.contains("9 classes"), "{summary}");
     }
 
     #[test]

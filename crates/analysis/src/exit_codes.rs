@@ -16,6 +16,7 @@
 //! | 15 | [`FindingClass::Race`]      | race detector found unordered accesses |
 //! | 16 | [`FindingClass::Ir`]        | method IR failed static verification or trace conformance |
 //! | 18 | [`FindingClass::Chaos`]     | chaos campaign violation (hang or silent-wrong answer) |
+//! | 19 | [`FindingClass::Lint`]      | source lint finding (`lint-source`, `repro --lint-source`) |
 //!
 //! Codes 1 (generic failure) and 2 (usage error) keep their conventional
 //! meanings. When a run produces several classes, the process exits with
@@ -48,12 +49,16 @@ pub enum FindingClass {
     /// The chaos campaign (`repro --chaos`) observed a resilience-contract
     /// violation: a hung method or a silently wrong accepted answer.
     Chaos,
+    /// The `pscg-lint` source scanner (`lint-source`, `repro
+    /// --lint-source`) found an unsuppressed violation of a numeric-safety
+    /// or registry-sync invariant.
+    Lint,
 }
 
 impl FindingClass {
     /// Every finding class, in severity order (matching the doc table
     /// above; `doc_lint::check_exit_codes` keeps the two in sync).
-    pub const ALL: [FindingClass; 8] = [
+    pub const ALL: [FindingClass; 9] = [
         FindingClass::Hazard,
         FindingClass::Structure,
         FindingClass::Probe,
@@ -62,6 +67,7 @@ impl FindingClass {
         FindingClass::Race,
         FindingClass::Ir,
         FindingClass::Chaos,
+        FindingClass::Lint,
     ];
 
     /// The reserved process exit code of this class.
@@ -76,6 +82,7 @@ impl FindingClass {
             FindingClass::Ir => 16,
             // 17 is reserved by the perf-report analyzer binary.
             FindingClass::Chaos => 18,
+            FindingClass::Lint => 19,
         }
     }
 }
@@ -91,6 +98,7 @@ impl fmt::Display for FindingClass {
             FindingClass::Race => "race",
             FindingClass::Ir => "ir",
             FindingClass::Chaos => "chaos",
+            FindingClass::Lint => "lint",
         };
         write!(f, "{name}")
     }
@@ -115,7 +123,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), all.len(), "codes collide: {codes:?}");
         // Stay clear of the conventional 0/1/2 and of the shell's 126+.
-        assert!(codes.iter().all(|&c| (10..=18).contains(&c)));
+        assert!(codes.iter().all(|&c| (10..=19).contains(&c)));
         // 17 belongs to the perf-report binary, not a finding class.
         assert!(!codes.contains(&17));
     }

@@ -15,6 +15,8 @@
 //! machine-model replay then produces the whole scaling curve, so even the
 //! `paper` scale is tractable on one core.
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod microbench;
 pub mod perf_report;

@@ -92,8 +92,8 @@ pub fn best_s(
     candidates
         .iter()
         .map(|&s| s_cost(machine, profile, p, s, pc_flops_per_row, pc_bytes_per_row))
-        .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite costs"))
-        .unwrap()
+        .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite costs")) // pscg-lint: allow(panic-in-hot-path, setup-time autotune; costs are finite closed forms)
+        .unwrap() // pscg-lint: allow(panic-in-hot-path, setup-time autotune over the nonempty candidate set asserted above)
 }
 
 /// Convenience: `best_s` over s ∈ 1..=8 with a Jacobi-cost preconditioner.

@@ -180,6 +180,18 @@ pub(crate) fn relres_from_sq(norm_sq: f64, bnorm: f64) -> f64 {
     }
 }
 
+/// Norm from a reduced squared norm, preserving a non-finite input as NaN.
+/// Same contract as [`relres_from_sq`] without the reference division:
+/// clamps only tiny negative rounding, never a poisoned reduction.
+#[inline]
+pub(crate) fn norm_from_sq(norm_sq: f64) -> f64 {
+    if norm_sq.is_finite() {
+        norm_sq.max(0.0).sqrt()
+    } else {
+        f64::NAN
+    }
+}
+
 /// The convergence-test reference norm of `b` in the norm the test uses:
 /// `‖b‖`, `‖M⁻¹b‖` or `√(b, M⁻¹b)` — matching the residual norm on the
 /// other side of `‖·‖ < rtol·ref` (the PETSc convention; the paper's §VI-E
@@ -197,10 +209,8 @@ pub(crate) fn global_ref_norm<C: Context>(
     let bu = ctx.local_dot(b, &ub);
     let red = ctx.allreduce(&[bb, uu, bu]);
     match opts.ref_norm {
-        crate::solver::RefNorm::PlainB => red[0].max(0.0).sqrt(),
-        crate::solver::RefNorm::Matched => {
-            opts.norm.pick_sq(red[0], red[1], red[2]).max(0.0).sqrt()
-        }
+        crate::solver::RefNorm::PlainB => norm_from_sq(red[0]),
+        crate::solver::RefNorm::Matched => norm_from_sq(opts.norm.pick_sq(red[0], red[1], red[2])),
     }
 }
 

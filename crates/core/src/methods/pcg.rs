@@ -47,7 +47,9 @@ pub fn solve<C: Context>(
         x,
         iterations: iters,
         stop,
-        final_relres: *history.last().unwrap(),
+        // History is never empty (the initial residual is pushed above),
+        // but a NaN fallback beats an abort mid-solve if that changes.
+        final_relres: history.last().copied().unwrap_or(f64::NAN),
         history,
         counters: *ctx.counters(),
         method: "PCG",
@@ -59,7 +61,7 @@ pub fn solve<C: Context>(
     if ctx.rank_failure().is_some() {
         return result(ctx, x, 0, StopReason::RankFailed, history);
     }
-    if norm0_sq.is_finite() && norm0_sq.max(0.0).sqrt() < threshold {
+    if crate::methods::norm_from_sq(norm0_sq) < threshold {
         return result(ctx, x, 0, StopReason::Converged, history);
     }
 

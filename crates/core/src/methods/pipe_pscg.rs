@@ -322,6 +322,7 @@ fn extend_powers<C: Context>(
     }
     for j in from..to {
         ctx.spmv(upow.col(j), rpow.col_mut(j + 1));
+        // pscg-lint: allow(float-eq, exact identity-scaling skip; sigma is a set parameter, not computed)
         if sigma != 1.0 {
             ctx.scale_v(sigma, rpow.col_mut(j + 1));
         }

@@ -515,7 +515,7 @@ mod tests {
         };
         let res = solve(&mut ctx, &b, None, &opts);
         assert!(res.converged());
-        let trace = ctx.take_trace().unwrap();
+        let trace = ctx.take_trace().expect("SimCtx::traced records a trace");
         let mut in_window = false;
         let mut spmvs_in_window = 0;
         let mut windows = 0;
@@ -587,8 +587,8 @@ mod mpk_tests {
         let mut c2 = SimCtx::traced(&a, Box::new(IdentityOp::new(a.nrows())), prof);
         let r2 = solve_mpk(&mut c2, &b, None, &opts);
         assert!(r1.converged() && r2.converged());
-        let t1 = c1.take_trace().unwrap();
-        let t2 = c2.take_trace().unwrap();
+        let t1 = c1.take_trace().expect("SimCtx::traced records a trace");
+        let t2 = c2.take_trace().expect("SimCtx::traced records a trace");
         // Same logical SPMV count either way.
         assert_eq!(t1.comm_counts().0, t2.comm_counts().0);
         // At high rank counts the batched halo (fewer message latencies)

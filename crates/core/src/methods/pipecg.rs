@@ -109,6 +109,7 @@ pub fn solve<C: Context>(
         } else {
             let beta = gamma / gamma_old;
             let denom = delta - beta * gamma / alpha_old;
+            // pscg-lint: allow(float-eq, exact-zero division guard; any nonzero denom is usable)
             if denom == 0.0 || !denom.is_finite() {
                 resil.rollback(ctx, &mut x);
                 stop = StopReason::Breakdown;
@@ -201,8 +202,14 @@ mod tests {
         let (a, b) = problem();
         let mut ctx = SimCtx::serial(&a, Box::new(Jacobi::new(&a)));
         let res = solve(&mut ctx, &b, None, &SolveOptions::with_rtol(1e-8));
-        let first = res.history.first().unwrap();
-        let last = res.history.last().unwrap();
+        let first = res
+            .history
+            .first()
+            .expect("history starts with the initial residual");
+        let last = res
+            .history
+            .last()
+            .expect("history starts with the initial residual");
         assert!(last < &(first * 1e-6));
     }
 }

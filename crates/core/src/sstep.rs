@@ -158,6 +158,7 @@ pub fn extend_scaled_powers<C: Context>(
             let (src, dst) = pow.col_pair_mut(j - 1, j);
             ctx.spmv(src, dst);
         }
+        // pscg-lint: allow(float-eq, exact identity-scaling skip; sigma is a set parameter, not computed)
         if sigma != 1.0 {
             ctx.scale_v(sigma, pow.col_mut(j));
         }

@@ -1,0 +1,9 @@
+// allow-syntax fixture: malformed, reasonless and unknown-pass
+// directives are themselves findings and cannot be suppressed.
+fn fixture_bad_allows(x: f64) -> f64 {
+    let a = x; // pscg-lint: allow(float-eq) lint-hit
+    let b = x; // pscg-lint: allow(no-such-pass, some reason) lint-hit
+    let c = x; // pscg-lint: allowing things lint-hit
+    let d = x; // pscg-lint: allow(float-eq, ) lint-hit
+    a + b + c + d
+}

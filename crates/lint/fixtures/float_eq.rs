@@ -1,0 +1,13 @@
+// float-eq fixture: exact ==/!= against float literals or f32/f64
+// constants must be flagged outside tests; the allow must suppress.
+fn fixture_eq(x: f64) -> bool {
+    let a = x == 0.0; // lint-hit
+    let b = x != 1.0; // lint-hit
+    let c = x == f64::INFINITY; // lint-hit
+    let ok = x == 2.0; // pscg-lint: allow(float-eq, fixture: documents the suppressed shape)
+    a || b || c || ok
+}
+
+fn integer_eq_is_fine(n: usize) -> bool {
+    n == 0
+}

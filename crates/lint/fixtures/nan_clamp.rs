@@ -1,0 +1,10 @@
+// nan-clamp fixture: clamp idioms that map a poisoned NaN into a fake
+// in-range value. Marked lines must be flagged; the allow must
+// suppress its site.
+fn fixture_norm(norm_sq: f64, bnorm: f64) -> f64 {
+    let bad = norm_sq.max(0.0).sqrt() / bnorm; // lint-hit
+    let also_bad = norm_sq.max(0.0); // lint-hit
+    let clamped_cmp = norm_sq.clamp(0.0, 1.0).sqrt(); // lint-hit
+    let ok = norm_sq.max(0.0).sqrt(); // pscg-lint: allow(nan-clamp, fixture: documents the suppressed shape)
+    bad + also_bad + clamped_cmp + ok
+}

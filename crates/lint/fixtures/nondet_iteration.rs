@@ -1,0 +1,19 @@
+// nondet-iteration fixture: iterating a hash container in
+// determinism-contract code must be flagged; an order-insensitive use
+// justified by an allow must not, and BTreeMap iteration is always fine.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+fn fixture_iter(slots: HashMap<u64, f64>, tree: BTreeMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in slots.iter() { // lint-hit
+        acc += *v;
+    }
+    for v in slots.values() { // pscg-lint: allow(nondet-iteration, fixture: order-insensitive sum)
+        acc += *v;
+    }
+    for (_k, v) in tree.iter() {
+        acc += *v;
+    }
+    acc
+}

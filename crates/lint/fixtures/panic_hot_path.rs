@@ -1,0 +1,22 @@
+// panic-in-hot-path fixture: unwrap/expect/panic!/indexing asserts in
+// non-test solver-crate code must be flagged; lock()/wait() poison
+// propagation and allowed sites must not.
+fn fixture_aborts(vals: &[f64]) -> f64 {
+    let first = *vals.first().unwrap(); // lint-hit
+    let second = *vals.get(1).expect("fixture"); // lint-hit
+    if vals.is_empty() {
+        panic!("fixture"); // lint-hit
+    }
+    assert!(vals[0].is_finite()); // lint-hit
+    let ok = *vals.last().unwrap(); // pscg-lint: allow(panic-in-hot-path, fixture: documents the suppressed shape)
+    first + second + ok
+}
+
+fn poison_propagation(m: &std::sync::Mutex<f64>) -> f64 {
+    *m.lock().unwrap()
+}
+
+fn shape_assert(vals: &[f64], n: usize) {
+    assert_eq!(vals.len(), n, "shape contract at the API boundary");
+    debug_assert!(vals[0].is_finite());
+}

@@ -1,0 +1,17 @@
+// unguarded-convergence fixture: a relres/threshold comparison with no
+// preceding trust check must be flagged; a guarded or allowed one must
+// not.
+fn fixture_solver(relres: f64, threshold: f64) -> bool {
+    relres < threshold // lint-hit
+}
+
+fn allowed_solver(relres: f64, threshold: f64) -> bool {
+    relres < threshold // pscg-lint: allow(unguarded-convergence, fixture: documents the suppressed shape)
+}
+
+fn guarded_solver(relres: f64, threshold: f64) -> bool {
+    if !relres.is_finite() {
+        return false;
+    }
+    relres < threshold
+}

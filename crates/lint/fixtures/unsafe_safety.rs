@@ -1,0 +1,15 @@
+// unsafe-without-safety fixture: a bare unsafe must be flagged; one
+// carrying an adjacent invariant comment or an allow must not. (This
+// header deliberately avoids the justification marker words.)
+fn fixture_unsafe(p: *const f64) -> f64 {
+    unsafe { *p } // lint-hit
+}
+
+fn allowed(p: *const f64) -> f64 {
+    unsafe { *p } // pscg-lint: allow(unsafe-without-safety, fixture: documents the suppressed shape)
+}
+
+fn justified(p: *const f64) -> f64 {
+    // SAFETY: the fixture pointer is valid by construction.
+    unsafe { *p }
+}

@@ -1,0 +1,110 @@
+//! Workspace source lint driver.
+//!
+//! ```text
+//! lint-source [--root DIR] [--json FILE] [--list] [--plant]
+//! ```
+//!
+//! Scans every `.rs` file under `crates/*/src` and `src/` (plus the
+//! README/DESIGN registry tables) with the `pscg-lint` pass catalog and
+//! prints findings as `file:line: [pass] message`. Exits **19**
+//! (`FindingClass::Lint`) when any finding survives suppression, 0 on a
+//! clean tree.
+//!
+//! `--plant` injects a known-bad virtual source and *requires* every code
+//! pass to flag it, exiting 19 when the gate holds and 1 when any planted
+//! violation escapes — the engine's non-vacuousness proof, mirroring
+//! `repro --chaos-plant`.
+//!
+//! `--json FILE` additionally writes the findings as a JSON artifact
+//! (uploaded by the CI `lint-source` job).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use pscg_lint::passes::all_passes;
+use pscg_lint::{engine, plant, Workspace};
+
+/// Default workspace root: two levels above this crate's manifest.
+const DEFAULT_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+fn main() {
+    let mut root = PathBuf::from(DEFAULT_ROOT);
+    let mut json_out: Option<PathBuf> = None;
+    let mut do_plant = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(f) => json_out = Some(PathBuf::from(f)),
+                None => usage("--json needs a file"),
+            },
+            "--plant" => do_plant = true,
+            "--list" => {
+                for p in all_passes() {
+                    println!("{:26} {}", p.name(), p.description());
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("lint-source [--root DIR] [--json FILE] [--list] [--plant]");
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lint-source: {e}");
+            exit(1);
+        }
+    };
+
+    if do_plant {
+        let (report, escaped) = plant::run_with_plant(ws);
+        print!("{}", engine::render_text(&report));
+        if let Some(p) = &json_out {
+            write_json(p, &report);
+        }
+        if escaped.is_empty() {
+            println!(
+                "lint-source: plant caught by all {} code passes — exiting {} to prove the gate",
+                plant::PLANTED_PASSES.len(),
+                engine::EXIT_LINT
+            );
+            exit(engine::EXIT_LINT);
+        }
+        eprintln!(
+            "lint-source: PLANT ESCAPED — passes {escaped:?} did not fire on {}",
+            plant::PLANT_PATH
+        );
+        exit(1);
+    }
+
+    let report = engine::run(&ws);
+    print!("{}", engine::render_text(&report));
+    if let Some(p) = &json_out {
+        write_json(p, &report);
+    }
+    if report.findings.is_empty() {
+        exit(0);
+    }
+    exit(engine::EXIT_LINT);
+}
+
+fn write_json(path: &PathBuf, report: &engine::Report) {
+    if let Err(e) = std::fs::write(path, engine::render_json(report)) {
+        eprintln!("lint-source: cannot write {}: {e}", path.display());
+        exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("lint-source: {msg}");
+    exit(2);
+}

@@ -1,0 +1,258 @@
+//! The lint engine: workspace loading, pass execution, suppression
+//! filtering and reporting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::passes::all_passes;
+use crate::source::SourceFile;
+
+/// Reserved process exit code of the `lint-source` binary on findings.
+/// Registered as `FindingClass::Lint` in `pscg-analysis::exit_codes`; the
+/// `registry-exit-codes` pass keeps the two in sync.
+pub const EXIT_LINT: i32 = 19;
+
+/// A non-Rust documentation file the registry passes read (README.md,
+/// DESIGN.md).
+#[derive(Debug)]
+pub struct DocFile {
+    /// Path relative to the workspace root.
+    pub rel_path: String,
+    /// Raw text.
+    pub text: String,
+}
+
+/// Everything a pass can look at.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Root directory (informational; files are pre-loaded).
+    pub root: PathBuf,
+    /// Parsed Rust sources under `crates/*/src` and `src/`.
+    pub files: Vec<SourceFile>,
+    /// Markdown registry documents.
+    pub docs: Vec<DocFile>,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass that produced it.
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub rel_path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`: every `.rs` file under
+    /// `crates/*/src` and the top-level `src/`, plus the registry
+    /// documents. `fixtures/` and `target/` never enter the scan set —
+    /// fixtures carry seeded violations by design.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        let passes = pass_names();
+        let crates_dir = root.join("crates");
+        let mut src_roots: Vec<PathBuf> = vec![root.join("src")];
+        if crates_dir.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
+                .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .map(|p| p.join("src"))
+                .filter(|p| p.is_dir())
+                .collect();
+            entries.sort();
+            src_roots.extend(entries);
+        }
+        for src_root in src_roots {
+            if !src_root.is_dir() {
+                continue;
+            }
+            let mut paths = Vec::new();
+            walk_rs(&src_root, &mut paths)?;
+            paths.sort();
+            for p in paths {
+                let text = fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(SourceFile::parse(&rel, &text, &passes));
+            }
+        }
+        let mut docs = Vec::new();
+        for name in ["README.md", "DESIGN.md"] {
+            let p = root.join(name);
+            if p.is_file() {
+                let text = fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+                docs.push(DocFile {
+                    rel_path: name.to_string(),
+                    text,
+                });
+            }
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            docs,
+        })
+    }
+
+    /// Adds a virtual (in-memory) source to the scan set — the `--plant`
+    /// mechanism. The path decides which scoped passes apply to it.
+    pub fn add_virtual(&mut self, rel_path: &str, text: &str) {
+        let passes = pass_names();
+        self.files.push(SourceFile::parse(rel_path, text, &passes));
+    }
+
+    /// Looks a source up by its workspace-relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// Recursively collects `.rs` files, skipping `fixtures` and `target`
+/// directories.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let p = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if p.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            walk_rs(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Names of every registered pass (for allow-directive validation).
+pub fn pass_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_passes().iter().map(|p| p.name()).collect();
+    names.push("allow-syntax");
+    names
+}
+
+/// The outcome of one engine run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by (path, line, pass).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of (valid) inline allows present in the tree.
+    pub allows: usize,
+    /// Number of passes run.
+    pub passes_run: usize,
+}
+
+/// Runs every pass over the workspace and filters suppressed findings.
+/// Malformed allow directives are reported as `allow-syntax` findings and
+/// cannot themselves be suppressed.
+pub fn run(ws: &Workspace) -> Report {
+    let passes = all_passes();
+    let mut findings = Vec::new();
+    for pass in &passes {
+        for f in pass.check(ws) {
+            let suppressed = ws
+                .file(&f.rel_path)
+                .map(|sf| sf.allowed(f.pass, f.line))
+                .unwrap_or(false);
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+    }
+    for sf in &ws.files {
+        for bad in &sf.bad_allows {
+            findings.push(Finding {
+                pass: "allow-syntax",
+                rel_path: sf.rel_path.clone(),
+                line: bad.line,
+                message: bad.problem.clone(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.rel_path.as_str(), a.line, a.pass).cmp(&(b.rel_path.as_str(), b.line, b.pass))
+    });
+    Report {
+        findings,
+        files_scanned: ws.files.len(),
+        allows: ws.files.iter().map(|f| f.allows.len()).sum(),
+        passes_run: passes.len(),
+    }
+}
+
+/// Convenience: load + run in one call.
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    Ok(run(&Workspace::load(root)?))
+}
+
+/// Renders findings as a stable plain-text listing.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.rel_path, f.line, f.pass, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "lint-source: {} files scanned, {} passes, {} findings, {} allows\n",
+        report.files_scanned,
+        report.passes_run,
+        report.findings.len(),
+        report.allows
+    ));
+    out
+}
+
+/// Renders findings as a JSON artifact (hand-rolled; std-only crate).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            escape(f.pass),
+            escape(&f.rel_path),
+            f.line,
+            escape(&f.message),
+            if i + 1 == report.findings.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"files_scanned\": {},\n  \"passes\": {},\n  \"allows\": {}\n}}\n",
+        report.files_scanned, report.passes_run, report.allows
+    ));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

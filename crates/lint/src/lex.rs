@@ -1,0 +1,455 @@
+//! A lightweight Rust lexer: enough token structure for pattern-level
+//! source analysis, none of the grammar.
+//!
+//! The passes in this crate match *token shapes* (`.max(…).sqrt()`,
+//! `ident ( … )`, comment text), so the lexer only has to get the hard
+//! lexical boundaries right — strings, raw strings, char literals vs.
+//! lifetimes, nested block comments, float literals with exponents —
+//! and carry a line number per token. It never needs to parse
+//! expressions.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `relres`, …).
+    Ident,
+    /// Numeric literal, including suffixes and exponents (`0.0`, `1e-5`,
+    /// `42u64`).
+    Number,
+    /// String literal (plain, raw, byte); text excludes the quotes'
+    /// content semantics — the raw source slice is kept.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (doc and non-doc alike); text includes the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested); text includes delimiters.
+    BlockComment,
+    /// Punctuation, with a small set of compound operators fused
+    /// (`==`, `!=`, `<=`, `>=`, `::`, `->`, `=>`, `..`, `&&`, `||`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The raw source slice.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is a comment of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Compound operators fused into one `Punct` token, longest first so the
+/// match is greedy.
+const COMPOUND: [&str; 17] = [
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<", ">>",
+    "+=", "-=",
+];
+
+/// Lexes `src` into tokens. Whitespace is skipped (line numbers carry the
+/// layout information the passes need). Unterminated constructs consume
+/// to end of input rather than erroring: the lint must degrade gracefully
+/// on code mid-edit.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let push = |toks: &mut Vec<Token>, kind, text: String, line| {
+        toks.push(Token { kind, text, line });
+    };
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            push(
+                &mut toks,
+                TokKind::LineComment,
+                b[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            push(
+                &mut toks,
+                TokKind::BlockComment,
+                b[start..i].iter().collect(),
+                start_line,
+            );
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#…#", br", b", b'.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (skip, is_raw) = match (c, b[i + 1]) {
+                ('r', '"') | ('r', '#') => (1usize, true),
+                ('b', '"') => (1, false),
+                ('b', 'r') if i + 2 < n && (b[i + 2] == '"' || b[i + 2] == '#') => (2, true),
+                ('b', '\'') => {
+                    // Byte char literal b'x'.
+                    let start = i;
+                    let start_line = line;
+                    i += 2;
+                    if i < n && b[i] == '\\' {
+                        i += 1;
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    push(
+                        &mut toks,
+                        TokKind::Char,
+                        b[start..i.min(n)].iter().collect(),
+                        start_line,
+                    );
+                    continue;
+                }
+                _ => (0, false),
+            };
+            if skip > 0 {
+                let start = i;
+                let start_line = line;
+                i += skip;
+                if is_raw {
+                    let mut hashes = 0usize;
+                    while i < n && b[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && b[i] == '"' {
+                        i += 1;
+                        'raw: while i < n {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            if b[i] == '"' {
+                                let mut j = i + 1;
+                                let mut h = 0usize;
+                                while j < n && b[j] == '#' && h < hashes {
+                                    h += 1;
+                                    j += 1;
+                                }
+                                if h == hashes {
+                                    i = j;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                        push(
+                            &mut toks,
+                            TokKind::Str,
+                            b[start..i.min(n)].iter().collect(),
+                            start_line,
+                        );
+                        continue;
+                    }
+                    // `r` not actually starting a raw string (e.g. `r#ident`
+                    // never happens, but an ident starting with r does):
+                    // fall through to the ident path below from `start`.
+                    i = start;
+                } else {
+                    // b"…": delegate to the plain-string scanner below by
+                    // positioning on the quote.
+                    i = start + 1;
+                    let (ni, nline) = scan_string(&b, i, line);
+                    push(
+                        &mut toks,
+                        TokKind::Str,
+                        b[start..ni.min(n)].iter().collect(),
+                        start_line,
+                    );
+                    i = ni;
+                    line = nline;
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            let (ni, nline) = scan_string(&b, i, line);
+            push(
+                &mut toks,
+                TokKind::Str,
+                b[start..ni.min(n)].iter().collect(),
+                start_line,
+            );
+            i = ni;
+            line = nline;
+            continue;
+        }
+        if c == '\'' {
+            // Disambiguate char literal from lifetime: 'x' / '\n' are
+            // chars; 'ident (no closing quote right after one char) is a
+            // lifetime.
+            if i + 1 < n && b[i + 1] == '\\' {
+                let start = i;
+                i += 2;
+                if i < n {
+                    i += 1; // escaped char (or first of \u{…}, handled below)
+                }
+                while i < n && b[i] != '\'' && b[i] != '\n' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                push(&mut toks, TokKind::Char, b[start..i].iter().collect(), line);
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                let start = i;
+                i += 3;
+                push(&mut toks, TokKind::Char, b[start..i].iter().collect(), line);
+                continue;
+            }
+            // Lifetime.
+            let start = i;
+            i += 1;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            push(
+                &mut toks,
+                TokKind::Lifetime,
+                b[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                // Exponent sign: 1e-5 / 2.5E+3.
+                if (b[i] == 'e' || b[i] == 'E')
+                    && i + 1 < n
+                    && (b[i + 1] == '+' || b[i + 1] == '-')
+                    && i + 2 < n
+                    && b[i + 2].is_ascii_digit()
+                {
+                    i += 2;
+                }
+                i += 1;
+            }
+            // Fractional part: consume `.` unless it starts a method call
+            // (`.max`) or a range (`..`).
+            if i < n && b[i] == '.' {
+                let next = b.get(i + 1).copied().unwrap_or(' ');
+                if next.is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                        if (b[i] == 'e' || b[i] == 'E')
+                            && i + 1 < n
+                            && (b[i + 1] == '+' || b[i + 1] == '-')
+                        {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                } else if !(next.is_alphabetic() || next == '_' || next == '.') {
+                    // Trailing-dot float like `0.` in `x.max(0.)`.
+                    i += 1;
+                }
+            }
+            push(
+                &mut toks,
+                TokKind::Number,
+                b[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            i += 1;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            push(
+                &mut toks,
+                TokKind::Ident,
+                b[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        // Punctuation: greedy compound match.
+        let mut matched = false;
+        for op in COMPOUND {
+            let len = op.chars().count();
+            if i + len <= n && b[i..i + len].iter().collect::<String>() == op {
+                push(&mut toks, TokKind::Punct, op.to_string(), line);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            push(&mut toks, TokKind::Punct, c.to_string(), line);
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Scans a plain `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote and the updated line count.
+fn scan_string(b: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    debug_assert_eq!(b[i], '"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            // An escape consumes the next char too — which can be the
+            // newline of a `\`-continuation and must still count.
+            '\\' => {
+                if b.get(i + 1) == Some(&'\n') {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (i + 1, line),
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw_strings() {
+        let toks = kinds(r##"let s = "a \" b"; let r = r#"raw " here"#;"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs.len(), 2, "{toks:?}");
+        assert!(strs[0].contains("\\\""));
+        assert!(strs[1].starts_with("r#\""));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2, "{toks:?}");
+        assert_eq!(chars, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let toks = lex("/* outer /* inner */ still */\nfn f() {}\n// tail");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("inner"));
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 2);
+        let tail = toks.iter().find(|t| t.text == "// tail").unwrap();
+        assert_eq!(tail.line, 3);
+    }
+
+    #[test]
+    fn float_literals_with_exponents_and_trailing_dot() {
+        let toks = kinds("let a = 1e-5; let b = 2.5E+3; let c = x.max(0.); a[1..2]");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(nums.contains(&"1e-5"), "{nums:?}");
+        assert!(nums.contains(&"2.5E+3"), "{nums:?}");
+        assert!(nums.contains(&"0."), "{nums:?}");
+        // Range stays two ints + `..`, not a float.
+        assert!(nums.contains(&"1") && nums.contains(&"2"), "{nums:?}");
+    }
+
+    #[test]
+    fn method_call_on_number_is_not_a_fraction() {
+        let toks = kinds("0.0f64.max(1.0)");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0.0f64", "1.0"], "{toks:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn line_numbers_survive_string_continuations_and_multiline_strings() {
+        let toks = lex("let a = \"one \\\n two\";\nlet b = \"x\ny\";\nfn f() {}");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3, "{toks:?}");
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 5, "{toks:?}");
+    }
+
+    #[test]
+    fn compound_operators_fuse() {
+        let toks = kinds("a == b != c <= d >= e :: f -> g => h .. i && j || k");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            ops,
+            ["==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||"]
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! **float-eq** — exact equality on floating-point expressions.
+//!
+//! `==`/`!=` between floats is almost always a rounding bug in numeric
+//! code; where it is intentional (exact sparsity skips, exact breakdown
+//! guards before a division, bitwise-determinism checks) the site must
+//! say so with a reasoned allow or compare bit patterns via `to_bits()`.
+//!
+//! Detection is heuristic (the lexer has no types): an `==`/`!=` whose
+//! adjacent operand token is a float literal, or an `f32::`/`f64::`
+//! associated constant (`NAN`, `INFINITY`, `EPSILON`, …). Comparisons of
+//! two float *variables* are invisible to it — the fixture suite pins the
+//! shapes it must catch. Non-test code only.
+
+use super::{finding, is_float_lit, Pass};
+use crate::engine::{Finding, Workspace};
+
+/// The pass.
+pub struct FloatEq;
+
+impl Pass for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact ==/!= against float literals or f32/f64 constants outside tests"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !file.rel_path.starts_with("crates/") && !file.rel_path.starts_with("src/") {
+                continue;
+            }
+            for i in 0..file.clen() {
+                let op = file.ct(i);
+                if !matches!(op, "==" | "!=") || file.in_test(i) {
+                    continue;
+                }
+                let float_left = i >= 1 && is_float_lit(file.ck(i - 1), file.ct(i - 1))
+                    || (i >= 3
+                        && file.ct(i - 2) == "::"
+                        && matches!(file.ct(i - 3), "f32" | "f64"));
+                let float_right = is_float_lit(file.ck(i + 1), file.ct(i + 1))
+                    || (matches!(file.ct(i + 1), "f32" | "f64") && file.ct(i + 2) == "::");
+                if float_left || float_right {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "exact float {op}: rounding makes exact equality fragile; compare \
+                             with a tolerance, use to_bits() for bitwise intent, or justify the \
+                             exact comparison with an allow"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

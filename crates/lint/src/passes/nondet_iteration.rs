@@ -1,0 +1,172 @@
+//! **nondet-iteration** — hash-order iteration in code under a bitwise
+//! determinism contract.
+//!
+//! `tests/par_determinism.rs` and the replay suites promise bitwise
+//! identical results across runs and thread counts. `HashMap`/`HashSet`
+//! iteration order is unspecified, so *iterating* one in kernel, solver
+//! or replay code (folding floats, emitting events, draining work) can
+//! silently break that contract even when every individual value is
+//! right. Keyed lookup is fine; iteration needs `BTreeMap`/`BTreeSet`, a
+//! sort, or a reasoned allow (e.g. the iteration is order-insensitive by
+//! construction).
+//!
+//! Detection: names bound to a `HashMap`/`HashSet` type in the file
+//! (let bindings, struct fields, params), then any `for … in` or
+//! `.iter()/.keys()/.values()/.drain()/.retain()/.into_iter()` over such
+//! a name. Scope: non-test code of `par`, `sparse`, `core`, `sim`.
+
+use super::{finding, in_crates, Pass};
+use crate::engine::{Finding, Workspace};
+use crate::lex::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Crates whose non-test code is in scope.
+const SCOPE: [&str; 4] = ["par", "sparse", "core", "sim"];
+
+/// Iteration methods that expose hash order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// The pass.
+pub struct NondetIteration;
+
+/// Collects identifiers bound to a HashMap/HashSet type in this file:
+/// `name: …HashMap<…` (fields, params, annotated lets) and
+/// `let name = HashMap::new()/with_capacity(…)`.
+fn hash_bound_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..file.clen() {
+        let t = file.ct(i);
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        // Walk back over type-wrapper tokens (`Mutex<`, `Option<`, `&`,
+        // `::`, idents, `<`) to find `name :`.
+        let mut j = i;
+        while j > 0 {
+            let p = file.ct(j - 1);
+            let is_wrapper = p == "<"
+                || p == "&"
+                || p == "::"
+                || (file.ck(j - 1) == TokKind::Ident && p != "let" && p != "mut");
+            if p == ":" {
+                if j >= 2 && file.ck(j - 2) == TokKind::Ident {
+                    names.insert(file.ct(j - 2).to_string());
+                }
+                break;
+            }
+            if !is_wrapper {
+                break;
+            }
+            j -= 1;
+        }
+        // `let [mut] name = …HashMap::…` with no type annotation.
+        if file.ct(i + 1) == "::" {
+            let mut j = i;
+            while j > 0 && !matches!(file.ct(j - 1), ";" | "{" | "}" | "=") {
+                j -= 1;
+            }
+            if j > 0 && file.ct(j - 1) == "=" {
+                let mut k = j - 1;
+                while k > 0 && !matches!(file.ct(k - 1), ";" | "{" | "}") {
+                    k -= 1;
+                }
+                if file.ct(k) == "let" {
+                    let name_pos = if file.ct(k + 1) == "mut" {
+                        k + 2
+                    } else {
+                        k + 1
+                    };
+                    if file.ck(name_pos) == TokKind::Ident {
+                        names.insert(file.ct(name_pos).to_string());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+impl Pass for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration in determinism-contract code (kernels, solvers, replay)"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !in_crates(file, &SCOPE) {
+                continue;
+            }
+            let names = hash_bound_names(file);
+            if names.is_empty() {
+                continue;
+            }
+            for i in 0..file.clen() {
+                if file.in_test(i) {
+                    continue;
+                }
+                let t = file.ct(i);
+                // name.iter() / self.name.drain() …
+                if file.ck(i) == TokKind::Ident
+                    && names.contains(t)
+                    && file.ct(i + 1) == "."
+                    && ITER_METHODS.contains(&file.ct(i + 2))
+                    && file.ct(i + 3) == "("
+                {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "`{t}.{}()` iterates a hash container in determinism-contract code: \
+                             hash order is unspecified; use BTreeMap/BTreeSet, sort first, or \
+                             justify order-insensitivity with an allow",
+                            file.ct(i + 2)
+                        ),
+                    ));
+                    continue;
+                }
+                // for … in <expr containing a hash-bound name> { … }
+                if t == "for" {
+                    let mut j = i + 1;
+                    while j < file.clen() && file.ct(j) != "in" {
+                        j += 1;
+                    }
+                    let mut k = j;
+                    while k < file.clen() && file.ct(k) != "{" {
+                        if file.ck(k) == TokKind::Ident && names.contains(file.ct(k)) {
+                            out.push(finding(
+                                self.name(),
+                                file,
+                                i,
+                                format!(
+                                    "`for … in` over hash container `{}` in determinism-contract \
+                                     code: hash order is unspecified; use BTreeMap/BTreeSet, sort \
+                                     first, or justify with an allow",
+                                    file.ct(k)
+                                ),
+                            ));
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,120 @@
+//! **panic-in-hot-path** — abort paths in code that must degrade to typed
+//! errors.
+//!
+//! The resilient supervisor's whole contract is "recover or return a
+//! typed error, never die": a stray `unwrap()` in a solver loop or kernel
+//! turns a recoverable fault into a process abort (and on the
+//! thread-backed engine, a poisoned pool). Flagged in non-test code of
+//! `core`, `par`, `sparse`, `sim`:
+//!
+//! - `.unwrap()` / `.expect(…)` — except directly on `lock(…)` or a
+//!   condvar `wait(…)`, where panicking *propagates* a poison panic from
+//!   another thread rather than creating a new failure mode (masking it
+//!   with `unwrap_or_else` would hide the original bug);
+//! - `panic!(…)`;
+//! - `assert!`/`assert_eq!`/`assert_ne!` whose condition indexes a slice
+//!   (`[`…`]` in the arguments) — a bounds-adjacent abort in kernel code.
+//!   Plain asserts on arguments (shape checks at API boundaries) are the
+//!   documented contract and stay legal; `debug_assert!` is compiled out
+//!   of release builds and is always legal.
+
+use super::{finding, in_crates, Pass};
+use crate::engine::{Finding, Workspace};
+
+/// Crates whose non-test code is in scope.
+const SCOPE: [&str; 4] = ["core", "par", "sparse", "sim"];
+
+/// The pass.
+pub struct PanicHotPath;
+
+impl Pass for PanicHotPath {
+    fn name(&self) -> &'static str {
+        "panic-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/indexing asserts in non-test solver, kernel and engine code"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !in_crates(file, &SCOPE) {
+                continue;
+            }
+            for i in 0..file.clen() {
+                if file.in_test(i) {
+                    continue;
+                }
+                let t = file.ct(i);
+                // `.unwrap()` / `.expect(…)`, with the lock() exemption.
+                if (t == "unwrap" || t == "expect")
+                    && file.ct(i.wrapping_sub(1)) == "."
+                    && file.ct(i + 1) == "("
+                {
+                    // Receiver is `lock(…)`/`wait(…)`: walk back over the
+                    // closing paren at i-2 to the call's method name.
+                    let mut poison_propagation = false;
+                    if i >= 4 && file.ct(i - 2) == ")" {
+                        let mut depth = 1i32;
+                        let mut j = i - 2;
+                        while j > 0 && depth > 0 {
+                            j -= 1;
+                            match file.ct(j) {
+                                ")" => depth += 1,
+                                "(" => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                        poison_propagation =
+                            depth == 0 && j > 0 && matches!(file.ct(j - 1), "lock" | "wait");
+                    }
+                    if poison_propagation {
+                        continue;
+                    }
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            ".{t}() in hot-path code: a recoverable condition becomes a process \
+                             abort; return a typed error or justify with an allow"
+                        ),
+                    ));
+                    continue;
+                }
+                if t == "panic" && file.ct(i + 1) == "!" {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        i,
+                        "panic! in hot-path code: the resilience ladder cannot catch an abort; \
+                         return a typed error or justify with an allow"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+                if matches!(t, "assert" | "assert_eq" | "assert_ne")
+                    && file.ct(i + 1) == "!"
+                    && file.ct(i + 2) == "("
+                {
+                    if let Some(close) = file.match_delim(i + 2) {
+                        if (i + 3..close).any(|j| file.ct(j) == "[") {
+                            out.push(finding(
+                                self.name(),
+                                file,
+                                i,
+                                format!(
+                                    "{t}! with an indexing condition in hot-path code: both the \
+                                     assert and the index can abort mid-solve; hoist the check \
+                                     into a typed error or justify with an allow"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}

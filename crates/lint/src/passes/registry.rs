@@ -1,0 +1,557 @@
+//! **registry passes** — human-maintained tables parsed against the code
+//! that defines them.
+//!
+//! Three registries drift silently when only one side is edited:
+//!
+//! - `registry-exit-codes`: the reserved-exit-code tables (module docs of
+//!   `crates/analysis/src/exit_codes.rs`, plus the README table) vs. the
+//!   `FindingClass` enum, its `exit_code()` arms and its `Display` names.
+//!   Gaps are legal (17 is reserved by the perf-report binary, not a
+//!   finding class); duplicates are not.
+//! - `registry-recovery-codes`: the recovery-code tables in README.md and
+//!   DESIGN.md vs. the `pub mod code` constants in
+//!   `crates/core/src/resilience.rs`.
+//! - `registry-span-kinds`: the span-kind table in DESIGN.md vs.
+//!   `SpanKind` in `crates/obs/src/span.rs` — and the enum's own internal
+//!   consistency (variants ↔ `name()` arms ↔ the `ALL` list).
+//!
+//! All parsing is textual/token-level, so the std-only lint crate audits
+//! these registries without depending on the crates it checks.
+
+use super::Pass;
+use crate::engine::{Finding, Workspace};
+use crate::lex::TokKind;
+use crate::source::SourceFile;
+
+/// Splits a markdown table row (optionally behind a `//!` doc prefix)
+/// into trimmed cells; `None` when the line is not a row.
+pub fn table_cells(line: &str) -> Option<Vec<String>> {
+    let line = line.trim_start();
+    let line = line
+        .strip_prefix("//!")
+        .map(str::trim_start)
+        .unwrap_or(line);
+    let rest = line.strip_prefix('|')?;
+    Some(rest.split('|').map(|c| c.trim().to_string()).collect())
+}
+
+/// Extracts the content of the first backtick span in a cell.
+fn backticked(cell: &str) -> Option<String> {
+    let start = cell.find('`')?;
+    let rest = &cell[start + 1..];
+    let end = rest.find('`')?;
+    Some(rest[..end].to_string())
+}
+
+/// Parses a `(code, name)` table anchored at the first row whose header
+/// cells start with `header_prefix` (e.g. `["code", "class"]`). Returns
+/// the rows with their 1-based line numbers.
+pub fn parse_code_table(text: &str, header_prefix: &[&str]) -> Vec<(u32, i64, String)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let Some(cells) = table_cells(line) else {
+            if in_table {
+                break;
+            }
+            continue;
+        };
+        if !in_table {
+            let matches_header = header_prefix
+                .iter()
+                .enumerate()
+                .all(|(i, h)| cells.get(i).is_some_and(|c| c.eq_ignore_ascii_case(h)));
+            if matches_header {
+                in_table = true;
+            }
+            continue;
+        }
+        if cells.first().is_some_and(|c| c.starts_with("---")) {
+            continue;
+        }
+        let Some(code) = cells.first().and_then(|c| c.parse::<i64>().ok()) else {
+            // A malformed data row inside the table is a real drift risk:
+            // report it via a sentinel the caller turns into a finding.
+            rows.push((lineno, i64::MIN, cells.first().cloned().unwrap_or_default()));
+            continue;
+        };
+        let Some(name) = cells.get(1).map(|c| {
+            let raw = backticked(c).unwrap_or_else(|| c.clone());
+            // Doc tables may write `FindingClass::Hazard`; the code truth
+            // uses bare names — compare path-stripped.
+            raw.rsplit("::").next().unwrap_or(&raw).to_string()
+        }) else {
+            continue;
+        };
+        rows.push((lineno, code, name));
+    }
+    rows
+}
+
+/// Parses a one-column name table (e.g. the span-kind table) anchored the
+/// same way; returns `(line, name)`.
+pub fn parse_name_table(text: &str, header_prefix: &[&str]) -> Vec<(u32, String)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let Some(cells) = table_cells(line) else {
+            if in_table {
+                break;
+            }
+            continue;
+        };
+        if !in_table {
+            let matches_header = header_prefix
+                .iter()
+                .enumerate()
+                .all(|(i, h)| cells.get(i).is_some_and(|c| c.eq_ignore_ascii_case(h)));
+            if matches_header {
+                in_table = true;
+            }
+            continue;
+        }
+        if cells.first().is_some_and(|c| c.starts_with("---")) {
+            continue;
+        }
+        if let Some(name) = cells.first().and_then(|c| backticked(c)) {
+            rows.push((lineno, name));
+        }
+    }
+    rows
+}
+
+/// Parses `Enum :: Variant => value` match arms inside the span of the
+/// function named `fn_name`, where value is an integer literal.
+fn parse_int_arms(file: &SourceFile, fn_name: &str, enum_name: &str) -> Vec<(String, i64)> {
+    let mut out = Vec::new();
+    let Some(span) = file.fns.iter().find(|f| f.name == fn_name) else {
+        return out;
+    };
+    for i in span.body_start..span.end {
+        if file.ct(i) == enum_name && file.ct(i + 1) == "::" && file.ct(i + 3) == "=>" {
+            if let Ok(v) = file.ct(i + 4).parse::<i64>() {
+                out.push((file.ct(i + 2).to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+/// Parses `Enum :: Variant => "str"` match arms inside `fn_name`.
+fn parse_str_arms(file: &SourceFile, fn_name: &str, enum_name: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Some(span) = file.fns.iter().find(|f| f.name == fn_name) else {
+        return out;
+    };
+    for i in span.body_start..span.end {
+        if file.ct(i) == enum_name && file.ct(i + 1) == "::" && file.ct(i + 3) == "=>" {
+            let val = file.ct(i + 4);
+            if val.starts_with('"') && val.ends_with('"') && val.len() >= 2 {
+                out.push((
+                    file.ct(i + 2).to_string(),
+                    val[1..val.len() - 1].to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the variant names of `pub enum <name>`.
+fn parse_enum_variants(file: &SourceFile, name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..file.clen() {
+        if file.ct(i) == "enum" && file.ct(i + 1) == name && file.ct(i + 2) == "{" {
+            let Some(close) = file.match_delim(i + 2) else {
+                return out;
+            };
+            let mut j = i + 3;
+            while j < close {
+                if file.ck(j) == TokKind::Ident && (file.ct(j + 1) == "," || j + 1 == close) {
+                    out.push(file.ct(j).to_string());
+                }
+                j += 1;
+            }
+            return out;
+        }
+    }
+    out
+}
+
+/// Parses `Enum :: Variant` entries of the `ALL` array initializer.
+fn parse_all_list(file: &SourceFile, enum_name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..file.clen() {
+        if file.ct(i) == "ALL" && file.ct(i + 1) == ":" {
+            // Skip the array-type annotation `[Enum; N]` first — its `;`
+            // must not end the `=` search — then find the initializer.
+            let mut j = i + 2;
+            if file.ct(j) == "[" {
+                match file.match_delim(j) {
+                    Some(c) => j = c + 1,
+                    None => continue,
+                }
+            }
+            while j < file.clen() && file.ct(j) != "=" && file.ct(j) != ";" {
+                j += 1;
+            }
+            if file.ct(j) != "=" {
+                continue;
+            }
+            while j < file.clen() && file.ct(j) != "[" {
+                j += 1;
+            }
+            let Some(close) = file.match_delim(j) else {
+                return out;
+            };
+            for k in j..close {
+                if file.ct(k) == enum_name && file.ct(k + 1) == "::" {
+                    out.push(file.ct(k + 2).to_string());
+                }
+            }
+            return out;
+        }
+    }
+    out
+}
+
+/// Parses `pub const NAME: u64 = N;` constants inside `pub mod code`.
+fn parse_code_consts(file: &SourceFile) -> Vec<(String, i64)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    // Locate `mod code {`.
+    let mut body = None;
+    while i + 2 < file.clen() {
+        if file.ct(i) == "mod" && file.ct(i + 1) == "code" && file.ct(i + 2) == "{" {
+            body = file.match_delim(i + 2).map(|c| (i + 3, c));
+            break;
+        }
+        i += 1;
+    }
+    let Some((start, end)) = body else {
+        return out;
+    };
+    let mut j = start;
+    while j < end {
+        if file.ct(j) == "const"
+            && file.ck(j + 1) == TokKind::Ident
+            && file.ct(j + 2) == ":"
+            && file.ct(j + 4) == "="
+        {
+            if let Ok(v) = file.ct(j + 5).parse::<i64>() {
+                out.push((file.ct(j + 1).to_string(), v));
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Set-compares `(code, name)` rows from a doc table against the code
+/// truth, appending mismatch findings.
+fn diff_code_table(
+    pass: &'static str,
+    doc_path: &str,
+    rows: &[(u32, i64, String)],
+    truth: &[(String, i64)],
+    label: &str,
+    out: &mut Vec<Finding>,
+) {
+    if rows.is_empty() {
+        out.push(Finding {
+            pass,
+            rel_path: doc_path.to_string(),
+            line: 1,
+            message: format!("no {label} table found (anchored by its header row)"),
+        });
+        return;
+    }
+    let mut seen = Vec::new();
+    for (line, code, name) in rows {
+        if *code == i64::MIN {
+            out.push(Finding {
+                pass,
+                rel_path: doc_path.to_string(),
+                line: *line,
+                message: format!(
+                    "malformed {label} row: first cell {name:?} is not an integer code"
+                ),
+            });
+            continue;
+        }
+        if seen.contains(code) {
+            out.push(Finding {
+                pass,
+                rel_path: doc_path.to_string(),
+                line: *line,
+                message: format!("duplicate code {code} in the {label} table"),
+            });
+        }
+        seen.push(*code);
+        match truth.iter().find(|(n, _)| n == name) {
+            None => out.push(Finding {
+                pass,
+                rel_path: doc_path.to_string(),
+                line: *line,
+                message: format!("{label} table row {code} names unknown entry {name:?}"),
+            }),
+            Some((_, actual)) if actual != code => out.push(Finding {
+                pass,
+                rel_path: doc_path.to_string(),
+                line: *line,
+                message: format!("{label} table says {name} = {code}, the code says {actual}"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, code) in truth {
+        if !rows.iter().any(|(_, _, n)| n == name) {
+            out.push(Finding {
+                pass,
+                rel_path: doc_path.to_string(),
+                line: 1,
+                message: format!("{label} table is missing {name} (= {code})"),
+            });
+        }
+    }
+}
+
+/// The exit-code registry pass.
+pub struct ExitCodes;
+
+/// Source path of the exit-code registry.
+const EXIT_CODES_RS: &str = "crates/analysis/src/exit_codes.rs";
+
+impl Pass for ExitCodes {
+    fn name(&self) -> &'static str {
+        "registry-exit-codes"
+    }
+
+    fn description(&self) -> &'static str {
+        "exit-code tables (exit_codes.rs docs, README) vs. FindingClass arms"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let Some(file) = ws.file(EXIT_CODES_RS) else {
+            return vec![Finding {
+                pass: self.name(),
+                rel_path: EXIT_CODES_RS.to_string(),
+                line: 1,
+                message: "registry source missing from the scan set".to_string(),
+            }];
+        };
+        let variants = parse_enum_variants(file, "FindingClass");
+        let arms = parse_int_arms(file, "exit_code", "FindingClass");
+        let display = parse_str_arms(file, "fmt", "FindingClass");
+        let all = parse_all_list(file, "FindingClass");
+        // Internal consistency of the enum itself.
+        for v in &variants {
+            if !arms.iter().any(|(n, _)| n == v) {
+                out.push(Finding {
+                    pass: self.name(),
+                    rel_path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!("FindingClass::{v} has no exit_code() arm"),
+                });
+            }
+            if !all.contains(v) {
+                out.push(Finding {
+                    pass: self.name(),
+                    rel_path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!("FindingClass::{v} missing from FindingClass::ALL"),
+                });
+            }
+        }
+        let mut codes: Vec<i64> = arms.iter().map(|(_, c)| *c).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        if codes.len() != arms.len() {
+            out.push(Finding {
+                pass: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: 1,
+                message: "duplicate exit codes across FindingClass variants".to_string(),
+            });
+        }
+        // The module-doc table in the same file, keyed by variant name.
+        let doc_rows = parse_code_table(&file.text, &["code", "class"]);
+        diff_code_table(
+            self.name(),
+            &file.rel_path,
+            &doc_rows,
+            &arms,
+            "exit-code",
+            &mut out,
+        );
+        // The README table, keyed by Display name.
+        let display_truth: Vec<(String, i64)> = display
+            .iter()
+            .filter_map(|(v, name)| {
+                arms.iter()
+                    .find(|(av, _)| av == v)
+                    .map(|(_, c)| (name.clone(), *c))
+            })
+            .collect();
+        if let Some(readme) = ws.docs.iter().find(|d| d.rel_path == "README.md") {
+            let rows = parse_code_table(&readme.text, &["code", "class"]);
+            diff_code_table(
+                self.name(),
+                &readme.rel_path,
+                &rows,
+                &display_truth,
+                "exit-code",
+                &mut out,
+            );
+        }
+        out
+    }
+}
+
+/// The recovery-code registry pass.
+pub struct RecoveryCodes;
+
+/// Source path of the recovery-code registry.
+const RESILIENCE_RS: &str = "crates/core/src/resilience.rs";
+
+impl Pass for RecoveryCodes {
+    fn name(&self) -> &'static str {
+        "registry-recovery-codes"
+    }
+
+    fn description(&self) -> &'static str {
+        "recovery-code tables (README, DESIGN §8) vs. resilience::code constants"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let Some(file) = ws.file(RESILIENCE_RS) else {
+            return vec![Finding {
+                pass: self.name(),
+                rel_path: RESILIENCE_RS.to_string(),
+                line: 1,
+                message: "registry source missing from the scan set".to_string(),
+            }];
+        };
+        let consts = parse_code_consts(file);
+        if consts.is_empty() {
+            out.push(Finding {
+                pass: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: 1,
+                message: "no `pub mod code` constants found in resilience.rs".to_string(),
+            });
+            return out;
+        }
+        for doc in &ws.docs {
+            let rows = parse_code_table(&doc.text, &["code", "action"]);
+            diff_code_table(
+                self.name(),
+                &doc.rel_path,
+                &rows,
+                &consts,
+                "recovery-code",
+                &mut out,
+            );
+        }
+        out
+    }
+}
+
+/// The span-kind registry pass.
+pub struct SpanKinds;
+
+/// Source path of the span-kind registry.
+const SPAN_RS: &str = "crates/obs/src/span.rs";
+
+impl Pass for SpanKinds {
+    fn name(&self) -> &'static str {
+        "registry-span-kinds"
+    }
+
+    fn description(&self) -> &'static str {
+        "span-kind table (DESIGN §7) vs. SpanKind names, plus enum/name()/ALL consistency"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let Some(file) = ws.file(SPAN_RS) else {
+            return vec![Finding {
+                pass: self.name(),
+                rel_path: SPAN_RS.to_string(),
+                line: 1,
+                message: "registry source missing from the scan set".to_string(),
+            }];
+        };
+        let variants = parse_enum_variants(file, "SpanKind");
+        let names = parse_str_arms(file, "name", "SpanKind");
+        let all = parse_all_list(file, "SpanKind");
+        for v in &variants {
+            if !names.iter().any(|(n, _)| n == v) {
+                out.push(Finding {
+                    pass: self.name(),
+                    rel_path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!("SpanKind::{v} has no name() arm"),
+                });
+            }
+            if !all.contains(v) {
+                out.push(Finding {
+                    pass: self.name(),
+                    rel_path: file.rel_path.clone(),
+                    line: 1,
+                    message: format!("SpanKind::{v} missing from SpanKind::ALL"),
+                });
+            }
+        }
+        if all.len() != variants.len() {
+            out.push(Finding {
+                pass: self.name(),
+                rel_path: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "SpanKind::ALL lists {} entries but the enum has {} variants",
+                    all.len(),
+                    variants.len()
+                ),
+            });
+        }
+        if let Some(design) = ws.docs.iter().find(|d| d.rel_path == "DESIGN.md") {
+            let rows = parse_name_table(&design.text, &["span kind"]);
+            if rows.is_empty() {
+                out.push(Finding {
+                    pass: self.name(),
+                    rel_path: design.rel_path.clone(),
+                    line: 1,
+                    message: "no span-kind table found (anchored by a `span kind` header)"
+                        .to_string(),
+                });
+            } else {
+                for (line, n) in &rows {
+                    if !names.iter().any(|(_, s)| s == n) {
+                        out.push(Finding {
+                            pass: self.name(),
+                            rel_path: design.rel_path.clone(),
+                            line: *line,
+                            message: format!("span-kind table names unknown kind `{n}`"),
+                        });
+                    }
+                }
+                for (_, s) in &names {
+                    if !rows.iter().any(|(_, n)| n == s) {
+                        out.push(Finding {
+                            pass: self.name(),
+                            rel_path: design.rel_path.clone(),
+                            line: 1,
+                            message: format!("span-kind table is missing `{s}`"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,106 @@
+//! **unguarded-convergence** — a convergence decision taken before the
+//! method has checked that its inputs can be trusted.
+//!
+//! A relres/threshold comparison (`relres * bnorm < threshold`,
+//! `… < opts.rtol`, …) in a solver loop must be preceded *in the same
+//! function* by a trust check: `ctx.rank_failure()` (a dead peer poisons
+//! every later reduction) or a finiteness test (`is_finite` / `is_nan`).
+//! PR 9's chaos campaign showed what happens otherwise: a NaN norm
+//! clamped to zero reads as instant convergence. This pass makes the
+//! fixed discipline a standing gate in `crates/core/src/methods/*`.
+
+use super::{finding, Pass};
+use crate::engine::{Finding, Workspace};
+use crate::lex::TokKind;
+
+/// Identifiers whose presence marks a comparison as a convergence test.
+fn is_convergence_ident(text: &str) -> bool {
+    text.contains("relres") || text == "threshold" || text == "rtol"
+}
+
+/// Identifiers that count as a trust check when seen earlier in the
+/// function: an explicit rank/finiteness test, the typed-error reduction
+/// wait (whose `Err` arm exits before any comparison), or the
+/// NaN-preserving residual constructors (a poisoned value stays NaN and
+/// fails every `<`).
+fn is_guard_ident(text: &str) -> bool {
+    matches!(
+        text,
+        "rank_failure"
+            | "is_finite"
+            | "is_nan"
+            | "is_infinite"
+            | "wait_reduction"
+            | "relres_from_sq"
+            | "norm_from_sq"
+    )
+}
+
+/// The pass.
+pub struct UnguardedConvergence;
+
+impl Pass for UnguardedConvergence {
+    fn name(&self) -> &'static str {
+        "unguarded-convergence"
+    }
+
+    fn description(&self) -> &'static str {
+        "relres/threshold comparisons not preceded in-function by a rank-failure or finiteness check"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !file.rel_path.starts_with("crates/core/src/methods/") {
+                continue;
+            }
+            for i in 0..file.clen() {
+                if !matches!(file.ct(i), "<" | "<=") || file.in_test(i) {
+                    continue;
+                }
+                // Generics (`Vec<f64>`) have a type name straight before
+                // the angle bracket; comparisons compare lowercase values.
+                let prev = file.ct(i.wrapping_sub(1));
+                if file.ck(i.wrapping_sub(1)) == TokKind::Ident
+                    && prev.chars().next().is_some_and(|c| c.is_uppercase())
+                {
+                    continue;
+                }
+                // The statement window: back to the nearest statement
+                // boundary, forward to the next one.
+                let mut s = i;
+                while s > 0 && !matches!(file.ct(s - 1), ";" | "{" | "}") {
+                    s -= 1;
+                }
+                let mut e = i;
+                while e < file.clen() && !matches!(file.ct(e), ";" | "{") {
+                    e += 1;
+                }
+                let is_convergence = (s..e)
+                    .any(|j| file.ck(j) == TokKind::Ident && is_convergence_ident(file.ct(j)));
+                if !is_convergence {
+                    continue;
+                }
+                let Some(f) = file.fn_containing(i) else {
+                    continue;
+                };
+                let guarded = (f.body_start..i)
+                    .any(|j| file.ck(j) == TokKind::Ident && is_guard_ident(file.ct(j)));
+                if !guarded {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "convergence comparison in `{}` with no preceding rank_failure()/\
+                             finiteness check: a poisoned reduction would be interpreted as a \
+                             residual",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

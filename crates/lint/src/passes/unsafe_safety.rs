@@ -1,0 +1,73 @@
+//! **unsafe-without-safety** — every `unsafe` keyword must carry an
+//! adjacent safety argument.
+//!
+//! PR 5 audited the tree once by hand; this pass makes the audit a
+//! standing gate. An `unsafe` block, fn, impl or trait anywhere in the
+//! workspace (tests included — an unjustified transmute in a test is
+//! still a transmute) must have, within the eight lines above it or on
+//! its own line, a comment containing `SAFETY:` or a doc section
+//! `# Safety`. Eight lines accommodates the multi-sentence invariant
+//! arguments the kernel code writes; for an `unsafe fn` under a long
+//! doc block, the window extends across the contiguous run of comment
+//! lines directly above the item.
+
+use super::{finding, Pass};
+use crate::engine::{Finding, Workspace};
+
+/// How many lines above the `unsafe` token a safety comment may sit.
+const WINDOW: u32 = 8;
+
+/// The pass.
+pub struct UnsafeWithoutSafety;
+
+impl Pass for UnsafeWithoutSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-without-safety"
+    }
+
+    fn description(&self) -> &'static str {
+        "unsafe blocks/fns/impls without an adjacent SAFETY: (or # Safety) comment"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            for i in 0..file.clen() {
+                if file.ct(i) != "unsafe" {
+                    continue;
+                }
+                let line = file.cline(i);
+                let mut low = line.saturating_sub(WINDOW);
+                // A doc block reaching into the window extends it: keep
+                // lowering the floor while the line below it carries a
+                // comment, so a long `# Safety` section is never cut off.
+                let comment_lines: Vec<u32> = file
+                    .tokens
+                    .iter()
+                    .filter(|t| t.is_comment())
+                    .map(|t| t.line)
+                    .collect();
+                while low > 1 && comment_lines.contains(&(low - 1)) {
+                    low -= 1;
+                }
+                let justified = file.tokens.iter().any(|t| {
+                    t.is_comment()
+                        && t.line >= low
+                        && t.line <= line
+                        && (t.text.contains("SAFETY:") || t.text.contains("# Safety"))
+                });
+                if !justified {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        i,
+                        "unsafe without an adjacent SAFETY: comment (or `# Safety` doc \
+                         section) stating the invariant that makes it sound"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

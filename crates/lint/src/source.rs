@@ -1,0 +1,414 @@
+//! The per-file source model the passes run against: lexed tokens with a
+//! comment-free "code view", `#[cfg(test)]` / `#[test]` region detection,
+//! function spans, and parsed `pscg-lint: allow(…)` directives.
+
+use crate::lex::{lex, TokKind, Token};
+
+/// An inline suppression directive:
+/// `// pscg-lint: allow(<pass>, <reason>)`.
+///
+/// A directive covers findings on its own line and on the next line that
+/// carries code (so it can sit on the line above a long expression or
+/// trail the offending line). The reason is mandatory — an allow without
+/// one is itself a finding of the `allow-syntax` pass.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Pass name the directive suppresses.
+    pub pass: String,
+    /// Human reason; must be non-empty.
+    pub reason: String,
+    /// Line of the directive comment.
+    pub line: u32,
+    /// Lines the directive covers (its own plus the next code line).
+    pub covers: Vec<u32>,
+}
+
+/// A malformed suppression directive, reported by the `allow-syntax`
+/// pass.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// Line of the directive comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// A `fn` item's extent, used for in-function analyses and blessed-helper
+/// exemptions.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Code-token index of the `fn` keyword.
+    pub start: usize,
+    /// Code-token index of the body's opening `{`.
+    pub body_start: usize,
+    /// Code-token index of the closing `}` (inclusive).
+    pub end: usize,
+}
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (virtual paths are allowed for
+    /// planted sources).
+    pub rel_path: String,
+    /// Raw text.
+    pub text: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens — the "code view" the
+    /// pattern passes scan.
+    pub code: Vec<usize>,
+    /// Code-view index ranges `[start, end]` (inclusive) lying inside
+    /// `#[cfg(test)]` modules or `#[test]` functions.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Function spans, in source order (outer functions precede the
+    /// nested ones they contain).
+    pub fns: Vec<FnSpan>,
+    /// Parsed suppression directives.
+    pub allows: Vec<Allow>,
+    /// Malformed suppression directives.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(rel_path: &str, text: &str, known_passes: &[&str]) -> SourceFile {
+        let tokens = lex(text);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let mut f = SourceFile {
+            rel_path: rel_path.to_string(),
+            text: text.to_string(),
+            tokens,
+            code,
+            test_regions: Vec::new(),
+            fns: Vec::new(),
+            allows: Vec::new(),
+            bad_allows: Vec::new(),
+        };
+        f.find_test_regions();
+        f.find_fns();
+        f.find_allows(known_passes);
+        f
+    }
+
+    /// The code-view token at position `i`, or a static empty token text
+    /// past the end (simplifies lookahead in the passes).
+    pub fn ct(&self, i: usize) -> &str {
+        self.code
+            .get(i)
+            .map(|&t| self.tokens[t].text.as_str())
+            .unwrap_or("")
+    }
+
+    /// Kind of the code-view token at `i` (`Punct` past the end).
+    pub fn ck(&self, i: usize) -> TokKind {
+        self.code
+            .get(i)
+            .map(|&t| self.tokens[t].kind)
+            .unwrap_or(TokKind::Punct)
+    }
+
+    /// Line of the code-view token at `i`.
+    pub fn cline(&self, i: usize) -> u32 {
+        self.code.get(i).map(|&t| self.tokens[t].line).unwrap_or(0)
+    }
+
+    /// Number of code-view tokens.
+    pub fn clen(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the code-view position lies in a test region.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+
+    /// The innermost function span containing code-view position `i`.
+    pub fn fn_containing(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| i >= f.start && i <= f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+
+    /// Finds the code-view index of the delimiter matching the opener at
+    /// `open` (one of `(`/`[`/`{`). Returns `None` on imbalance.
+    pub fn match_delim(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.ct(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for i in open..self.clen() {
+            let t = self.ct(i);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks `#[cfg(test)] mod …` bodies and `#[test] fn …` bodies.
+    fn find_test_regions(&mut self) {
+        let mut i = 0usize;
+        while i + 1 < self.clen() {
+            if self.ct(i) == "#" && self.ct(i + 1) == "[" {
+                let Some(close) = self.match_delim(i + 1) else {
+                    break;
+                };
+                let is_test_attr = (i + 2..close).any(|j| self.ct(j) == "test");
+                if is_test_attr {
+                    // Skip any further attributes between this one and the
+                    // item, then find the item's body braces.
+                    let mut j = close + 1;
+                    while self.ct(j) == "#" && self.ct(j + 1) == "[" {
+                        match self.match_delim(j + 1) {
+                            Some(c) => j = c + 1,
+                            None => break,
+                        }
+                    }
+                    let mut k = j;
+                    while k < self.clen() && self.ct(k) != "{" && self.ct(k) != ";" {
+                        k += 1;
+                    }
+                    if self.ct(k) == "{" {
+                        if let Some(end) = self.match_delim(k) {
+                            self.test_regions.push((i, end));
+                            i = end + 1;
+                            continue;
+                        }
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Records every `fn` item with a body.
+    fn find_fns(&mut self) {
+        let mut i = 0usize;
+        while i < self.clen() {
+            if self.ct(i) == "fn" && self.ck(i + 1) == TokKind::Ident {
+                let name = self.ct(i + 1).to_string();
+                // Find the body `{`, stopping at `;` (trait method
+                // declarations have no body).
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut body = None;
+                while j < self.clen() {
+                    match self.ct(j) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        // The lexer fuses shift operators; in a signature
+                        // they can only be nested-generic closers.
+                        ">>" => angle -= 2,
+                        "<<" => angle += 2,
+                        "->" => {}
+                        ";" if angle <= 0 => break,
+                        "{" if angle <= 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(b) = body {
+                    if let Some(end) = self.match_delim(b) {
+                        self.fns.push(FnSpan {
+                            name,
+                            start: i,
+                            body_start: b,
+                            end,
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses `pscg-lint:` directives out of line comments.
+    fn find_allows(&mut self, known_passes: &[&str]) {
+        // Lines that carry at least one code token, for directive targeting.
+        let code_lines: Vec<u32> = {
+            let mut v: Vec<u32> = self.code.iter().map(|&t| self.tokens[t].line).collect();
+            v.dedup();
+            v
+        };
+        for tok in &self.tokens {
+            if tok.kind != TokKind::LineComment {
+                continue;
+            }
+            // Directives live in plain `//` comments only; `///`/`//!`
+            // docs may *talk about* the syntax without enacting it.
+            if tok.text.starts_with("///") || tok.text.starts_with("//!") {
+                continue;
+            }
+            let Some(at) = tok.text.find("pscg-lint:") else {
+                continue;
+            };
+            let rest = tok.text[at + "pscg-lint:".len()..].trim();
+            let line = tok.line;
+            let Some(inner) = rest
+                .strip_prefix("allow(")
+                .and_then(|r| r.rfind(')').map(|e| &r[..e]))
+            else {
+                self.bad_allows.push(BadAllow {
+                    line,
+                    problem: format!(
+                        "malformed directive {rest:?}: expected allow(<pass>, <reason>)"
+                    ),
+                });
+                continue;
+            };
+            let Some((pass, reason)) = inner.split_once(',') else {
+                self.bad_allows.push(BadAllow {
+                    line,
+                    problem: format!("allow({inner}) has no reason: every allow must say why"),
+                });
+                continue;
+            };
+            let (pass, reason) = (pass.trim().to_string(), reason.trim().to_string());
+            if reason.is_empty() {
+                self.bad_allows.push(BadAllow {
+                    line,
+                    problem: format!("allow({pass}, …) has an empty reason"),
+                });
+                continue;
+            }
+            if !known_passes.contains(&pass.as_str()) {
+                self.bad_allows.push(BadAllow {
+                    line,
+                    problem: format!("allow names unknown pass {pass:?}"),
+                });
+                continue;
+            }
+            // A trailing directive (code on its own line) covers exactly
+            // that line; a directive on a comment-only line covers the
+            // next line that carries code.
+            let mut covers = vec![line];
+            if !code_lines.contains(&line) {
+                if let Some(&next) = code_lines.iter().find(|&&l| l > line) {
+                    covers.push(next);
+                }
+            }
+            self.allows.push(Allow {
+                pass,
+                reason,
+                line,
+                covers,
+            });
+        }
+    }
+
+    /// True when a finding of `pass` at `line` is suppressed by an allow.
+    pub fn allowed(&self, pass: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.pass == pass && a.covers.contains(&line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PASSES: &[&str] = &["nan-clamp", "float-eq"];
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_and_test_fns() {
+        let src = "\
+fn hot() { let x = 1; }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let y = 2; }
+}
+";
+        let f = SourceFile::parse("a.rs", src, PASSES);
+        let hot = f
+            .code
+            .iter()
+            .position(|&t| f.tokens[t].text == "x")
+            .unwrap();
+        let y = f
+            .code
+            .iter()
+            .position(|&t| f.tokens[t].text == "y")
+            .unwrap();
+        assert!(!f.in_test(hot));
+        assert!(f.in_test(y));
+    }
+
+    #[test]
+    fn standalone_test_fn_is_a_test_region() {
+        let src = "#[test]\nfn t() { let y = 2; }\nfn hot() { let x = 1; }\n";
+        let f = SourceFile::parse("a.rs", src, PASSES);
+        let y = f
+            .code
+            .iter()
+            .position(|&t| f.tokens[t].text == "y")
+            .unwrap();
+        let x = f
+            .code
+            .iter()
+            .position(|&t| f.tokens[t].text == "x")
+            .unwrap();
+        assert!(f.in_test(y));
+        assert!(!f.in_test(x));
+    }
+
+    #[test]
+    fn fn_spans_nest_and_resolve_innermost() {
+        let src = "fn outer() { fn inner() { let z = 3; } }";
+        let f = SourceFile::parse("a.rs", src, PASSES);
+        assert_eq!(f.fns.len(), 2);
+        let z = f
+            .code
+            .iter()
+            .position(|&t| f.tokens[t].text == "z")
+            .unwrap();
+        assert_eq!(f.fn_containing(z).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn generic_return_type_does_not_end_fn_search() {
+        let src = "fn f() -> Result<(), Vec<u8>> { let w = 4; }";
+        let f = SourceFile::parse("a.rs", src, PASSES);
+        assert_eq!(f.fns.len(), 1, "{:?}", f.fns);
+    }
+
+    #[test]
+    fn allow_directive_covers_next_code_line_and_requires_reason() {
+        let src = "\
+// pscg-lint: allow(nan-clamp, model time clamp on finite operands)
+let a = x.max(0.0);
+let b = y.max(0.0); // pscg-lint: allow(nan-clamp, trailing form)
+// pscg-lint: allow(float-eq)
+let c = 1;
+// pscg-lint: allow(no-such-pass, reason)
+let d = 2;
+";
+        let f = SourceFile::parse("a.rs", src, PASSES);
+        assert!(f.allowed("nan-clamp", 2));
+        assert!(f.allowed("nan-clamp", 3));
+        assert!(!f.allowed("nan-clamp", 5));
+        assert_eq!(f.bad_allows.len(), 2, "{:?}", f.bad_allows);
+        assert!(f.bad_allows[0].problem.contains("no reason"));
+        assert!(f.bad_allows[1].problem.contains("unknown pass"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Drift-detection proof for the registry-sync passes, on synthetic
+//! registries: a clean enum/table pair is quiet, and every drift shape
+//! (wrong code, missing row, duplicate, malformed row, ALL mismatch)
+//! produces the expected finding. Legal gaps (the real tree keeps 17
+//! for the perf-report gate) stay quiet.
+
+use pscg_lint::engine::DocFile;
+use pscg_lint::{run, Finding, Workspace};
+use std::path::PathBuf;
+
+/// A minimal exit-code registry whose module-doc table matches its
+/// enum, arms, Display names and ALL list.
+const EXIT_SOURCE: &str = r#"
+//! | code | class | meaning |
+//! |------|-------|---------|
+//! | 10 | Alpha | first |
+//! | 11 | Beta | second |
+
+pub enum FindingClass {
+    Alpha,
+    Beta,
+}
+
+impl FindingClass {
+    pub const ALL: [FindingClass; 2] = [FindingClass::Alpha, FindingClass::Beta];
+
+    pub fn exit_code(self) -> i32 {
+        match self {
+            FindingClass::Alpha => 10,
+            FindingClass::Beta => 11,
+        }
+    }
+}
+
+impl fmt::Display for FindingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FindingClass::Alpha => "alpha",
+            FindingClass::Beta => "beta",
+        };
+        f.write_str(s)
+    }
+}
+"#;
+
+/// A README table keyed by Display names, consistent with EXIT_SOURCE.
+const EXIT_README: &str = "\
+| code | class | meaning |
+|------|-------|---------|
+| 10 | `alpha` | first |
+| 11 | `beta` | second |
+";
+
+/// Runs the full pass set over a synthetic exit-code registry and
+/// returns only the registry-exit-codes findings.
+fn exit_findings(source: &str, readme: Option<&str>) -> Vec<Finding> {
+    let mut ws = Workspace {
+        root: PathBuf::from("."),
+        files: Vec::new(),
+        docs: Vec::new(),
+    };
+    ws.add_virtual("crates/analysis/src/exit_codes.rs", source);
+    if let Some(text) = readme {
+        ws.docs.push(DocFile {
+            rel_path: "README.md".to_string(),
+            text: text.to_string(),
+        });
+    }
+    run(&ws)
+        .findings
+        .into_iter()
+        .filter(|f| f.pass == "registry-exit-codes")
+        .collect()
+}
+
+#[test]
+fn consistent_registry_is_quiet() {
+    let got = exit_findings(EXIT_SOURCE, Some(EXIT_README));
+    assert!(got.is_empty(), "unexpected findings: {got:?}");
+}
+
+#[test]
+fn doc_table_code_drift_is_caught() {
+    let drifted = EXIT_SOURCE.replace("//! | 11 | Beta | second |", "//! | 12 | Beta | second |");
+    let got = exit_findings(&drifted, None);
+    assert!(
+        got.iter()
+            .any(|f| f.message.contains("table says Beta = 12, the code says 11")),
+        "drift not reported: {got:?}"
+    );
+}
+
+#[test]
+fn doc_table_missing_row_is_caught() {
+    let drifted = EXIT_SOURCE.replace("//! | 11 | Beta | second |\n", "");
+    let got = exit_findings(&drifted, None);
+    assert!(
+        got.iter().any(|f| f.message.contains("missing Beta")),
+        "missing row not reported: {got:?}"
+    );
+}
+
+#[test]
+fn doc_table_duplicate_code_is_caught() {
+    let drifted = EXIT_SOURCE.replace("//! | 11 | Beta | second |", "//! | 10 | Beta | second |");
+    let got = exit_findings(&drifted, None);
+    assert!(
+        got.iter().any(|f| f.message.contains("duplicate code 10")),
+        "duplicate not reported: {got:?}"
+    );
+}
+
+#[test]
+fn doc_table_malformed_row_is_caught() {
+    let drifted = EXIT_SOURCE.replace(
+        "//! | 11 | Beta | second |",
+        "//! | eleven | Beta | second |",
+    );
+    let got = exit_findings(&drifted, None);
+    assert!(
+        got.iter()
+            .any(|f| f.message.contains("malformed exit-code row")),
+        "malformed row not reported: {got:?}"
+    );
+}
+
+#[test]
+fn code_gap_is_legal() {
+    // Mirror the real tree's reserved-but-unassigned 17: renumber Beta
+    // to 13 on both sides so 11–12 are a gap, which must stay quiet.
+    let gapped = EXIT_SOURCE.replace("11", "13");
+    let got = exit_findings(&gapped, None);
+    assert!(got.is_empty(), "gap wrongly reported: {got:?}");
+}
+
+#[test]
+fn variant_missing_from_all_is_caught() {
+    let drifted = EXIT_SOURCE.replace(
+        "[FindingClass::Alpha, FindingClass::Beta]",
+        "[FindingClass::Alpha]",
+    );
+    let got = exit_findings(&drifted, None);
+    assert!(
+        got.iter().any(|f| f
+            .message
+            .contains("FindingClass::Beta missing from FindingClass::ALL")),
+        "ALL drift not reported: {got:?}"
+    );
+}
+
+#[test]
+fn readme_display_name_drift_is_caught() {
+    let drifted = EXIT_README.replace("| 11 | `beta` |", "| 12 | `beta` |");
+    let got = exit_findings(EXIT_SOURCE, Some(&drifted));
+    assert!(
+        got.iter().any(|f| f.rel_path == "README.md"
+            && f.message.contains("table says beta = 12, the code says 11")),
+        "README drift not reported: {got:?}"
+    );
+}
+
+#[test]
+fn missing_registry_sources_are_findings() {
+    // An empty scan set must report all three registry sources as
+    // missing rather than silently passing.
+    let ws = Workspace {
+        root: PathBuf::from("."),
+        files: Vec::new(),
+        docs: Vec::new(),
+    };
+    let report = run(&ws);
+    for (pass, path) in [
+        ("registry-exit-codes", "crates/analysis/src/exit_codes.rs"),
+        ("registry-recovery-codes", "crates/core/src/resilience.rs"),
+        ("registry-span-kinds", "crates/obs/src/span.rs"),
+    ] {
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.pass == pass && f.rel_path == path),
+            "{pass} did not report its missing source"
+        );
+    }
+}
+
+/// A minimal recovery-code registry and a doc table that matches it.
+const RESILIENCE_SOURCE: &str = r#"
+pub mod code {
+    pub const REDUCE_RETRY: u64 = 1;
+    pub const STALL_ABORT: u64 = 2;
+}
+"#;
+
+const RECOVERY_DOC: &str = "\
+| code | action | meaning |
+|------|--------|---------|
+| 1 | `REDUCE_RETRY` | re-issue the reduction |
+| 2 | `STALL_ABORT` | give up after the stall window |
+";
+
+fn recovery_findings(source: &str, doc: &str) -> Vec<Finding> {
+    let mut ws = Workspace {
+        root: PathBuf::from("."),
+        files: Vec::new(),
+        docs: Vec::new(),
+    };
+    ws.add_virtual("crates/core/src/resilience.rs", source);
+    ws.docs.push(DocFile {
+        rel_path: "DESIGN.md".to_string(),
+        text: doc.to_string(),
+    });
+    run(&ws)
+        .findings
+        .into_iter()
+        .filter(|f| f.pass == "registry-recovery-codes")
+        .collect()
+}
+
+#[test]
+fn consistent_recovery_registry_is_quiet() {
+    let got = recovery_findings(RESILIENCE_SOURCE, RECOVERY_DOC);
+    assert!(got.is_empty(), "unexpected findings: {got:?}");
+}
+
+#[test]
+fn recovery_code_drift_is_caught() {
+    let drifted = RECOVERY_DOC.replace("| 2 | `STALL_ABORT` |", "| 3 | `STALL_ABORT` |");
+    let got = recovery_findings(RESILIENCE_SOURCE, &drifted);
+    assert!(
+        got.iter().any(|f| f
+            .message
+            .contains("table says STALL_ABORT = 3, the code says 2")),
+        "drift not reported: {got:?}"
+    );
+}
+
+/// A minimal span-kind registry and the DESIGN table that matches it.
+const SPAN_SOURCE: &str = r#"
+pub enum SpanKind {
+    Spmv,
+    Dot,
+}
+
+impl SpanKind {
+    pub const ALL: [SpanKind; 2] = [SpanKind::Spmv, SpanKind::Dot];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Spmv => "spmv",
+            SpanKind::Dot => "dot",
+        }
+    }
+}
+"#;
+
+const SPAN_DOC: &str = "\
+| span kind | records |
+|-----------|---------|
+| `spmv` | local matvec |
+| `dot` | reduction |
+";
+
+fn span_findings(source: &str, doc: &str) -> Vec<Finding> {
+    let mut ws = Workspace {
+        root: PathBuf::from("."),
+        files: Vec::new(),
+        docs: Vec::new(),
+    };
+    ws.add_virtual("crates/obs/src/span.rs", source);
+    ws.docs.push(DocFile {
+        rel_path: "DESIGN.md".to_string(),
+        text: doc.to_string(),
+    });
+    run(&ws)
+        .findings
+        .into_iter()
+        .filter(|f| f.pass == "registry-span-kinds")
+        .collect()
+}
+
+#[test]
+fn consistent_span_registry_is_quiet() {
+    let got = span_findings(SPAN_SOURCE, SPAN_DOC);
+    assert!(got.is_empty(), "unexpected findings: {got:?}");
+}
+
+#[test]
+fn span_table_missing_kind_is_caught() {
+    let drifted = SPAN_DOC.replace("| `dot` | reduction |\n", "");
+    let got = span_findings(SPAN_SOURCE, &drifted);
+    assert!(
+        got.iter().any(|f| f.message.contains("missing `dot`")),
+        "missing kind not reported: {got:?}"
+    );
+}
+
+#[test]
+fn span_table_unknown_kind_is_caught() {
+    let drifted = SPAN_DOC.replace("| `dot` |", "| `dots` |");
+    let got = span_findings(SPAN_SOURCE, &drifted);
+    assert!(
+        got.iter()
+            .any(|f| f.message.contains("unknown kind `dots`")),
+        "unknown kind not reported: {got:?}"
+    );
+}

@@ -22,6 +22,7 @@
 //!   stand-in) and [`multigrid::gamg`] (smoothed aggregation, the `GAMG`
 //!   stand-in). Both build Galerkin coarse operators `PᵀAP`.
 
+#![warn(missing_docs)]
 // Indexed loops are the clearer idiom for the numerical kernels here
 // (triangular sweeps, stencil assembly); the iterator rewrites clippy
 // suggests obscure the row/column structure.

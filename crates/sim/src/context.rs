@@ -123,6 +123,7 @@ pub trait Context {
                 let (src, dst) = pow.col_pair_mut(j - 1, j);
                 self.spmv(src, dst);
             }
+            // pscg-lint: allow(float-eq, exact identity-scaling skip; sigma is a set parameter, not computed)
             if sigma != 1.0 {
                 self.scale_v(sigma, pow.col_mut(j));
             }
@@ -672,7 +673,7 @@ impl<'a> SimCtx<'a> {
         let mut vals = self
             .inflight
             .remove(&h.id)
-            .expect("wait on unknown or already-completed ReduceHandle");
+            .expect("wait on unknown or already-completed ReduceHandle"); // pscg-lint: allow(panic-in-hot-path, waiting on an unknown handle is a harness API-contract bug, not a runtime fault)
         if self.active_failure.is_some() {
             // A dead rank never contributes: the reduction can only
             // deliver poison, never a silently-wrong sum.
@@ -798,6 +799,7 @@ impl Context for SimCtx<'_> {
                 let (src, dst) = pow.col_pair_mut(j - 1, j);
                 self.a.spmv(src, dst);
             }
+            // pscg-lint: allow(float-eq, exact identity-scaling skip; sigma is a set parameter, not computed)
             if sigma != 1.0 {
                 pscg_sparse::kernels::scale(sigma, pow.col_mut(j));
                 self.charge_local(LocalKind::Vma, 1.0, 16.0);
@@ -906,7 +908,7 @@ impl Context for SimCtx<'_> {
             let id = h.id;
             self.inflight
                 .remove(&id)
-                .expect("wait on unknown or already-completed ReduceHandle");
+                .expect("wait on unknown or already-completed ReduceHandle"); // pscg-lint: allow(panic-in-hot-path, waiting on an unknown handle is a harness API-contract bug, not a runtime fault)
             self.delayed.remove(&id);
             self.record(Op::ArTimeout {
                 id,
@@ -939,6 +941,7 @@ impl Context for SimCtx<'_> {
                 },
             };
         }
+        // pscg-lint: allow(panic-in-hot-path, the injector is Some here; the None case returned early above)
         match self.injector.as_mut().unwrap().completion_fate() {
             None => WaitOutcome::Done(self.complete_wait(h)),
             Some(CompletionFault::Drop) => {
@@ -953,7 +956,7 @@ impl Context for SimCtx<'_> {
                 let id = h.id;
                 self.inflight
                     .remove(&id)
-                    .expect("wait on unknown or already-completed ReduceHandle");
+                    .expect("wait on unknown or already-completed ReduceHandle"); // pscg-lint: allow(panic-in-hot-path, waiting on an unknown handle is a harness API-contract bug, not a runtime fault)
                 self.record(Op::ArTimeout {
                     id,
                     retriable: false,
@@ -1005,7 +1008,7 @@ impl Context for SimCtx<'_> {
         let vals = self
             .inflight
             .get(&h.id)
-            .expect("peek of unknown or already-completed ReduceHandle")
+            .expect("peek of unknown or already-completed ReduceHandle") // pscg-lint: allow(panic-in-hot-path, peeking an unknown handle is a harness API-contract bug, not a runtime fault)
             .clone();
         self.record(Op::RedRead { id: h.id });
         vals

@@ -40,6 +40,7 @@ pub struct ReplayResult {
 impl ReplayResult {
     /// Fraction of allreduce time hidden behind computation.
     pub fn overlap_fraction(&self) -> f64 {
+        // pscg-lint: allow(float-eq, exact-zero accumulator guard before division)
         if self.allreduce_total == 0.0 {
             0.0
         } else {
@@ -134,11 +135,11 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
             Op::ArWait { id } => {
                 let stored = pending
                     .remove(&id)
-                    .expect("ArWait without matching ArPost in trace");
-                // `stored` is the absolute completion time (async progress)
-                // or the full duration exposed at the wait (no progress).
+                    .expect("ArWait without matching ArPost in trace"); // pscg-lint: allow(panic-in-hot-path, a missing ArPost means a corrupt trace; replay has no sound continuation)
+                                                                        // `stored` is the absolute completion time (async progress)
+                                                                        // or the full duration exposed at the wait (no progress).
                 let exposed = if machine.async_progress {
-                    (stored - t).max(0.0)
+                    (stored - t).max(0.0) // pscg-lint: allow(nan-clamp, clamps tiny negative float subtraction of finite trace times, never a reduction)
                 } else {
                     stored
                 };
@@ -164,7 +165,7 @@ pub fn replay(trace: &OpTrace, machine: &Machine, p: usize) -> ReplayResult {
                 if !retriable {
                     pending
                         .remove(&id)
-                        .expect("ArTimeout without matching ArPost in trace");
+                        .expect("ArTimeout without matching ArPost in trace"); // pscg-lint: allow(panic-in-hot-path, a missing ArPost means a corrupt trace; replay has no sound continuation)
                 }
             }
             Op::ResCheck { relres } => {

@@ -80,6 +80,7 @@ fn nnz_balanced_rows(row_ptr: &[usize], chunk_nnz: usize) -> Vec<usize> {
             start_nnz = row_ptr[r + 1];
         }
     }
+    // pscg-lint: allow(panic-in-hot-path, bounds starts with the 0 pushed before the loop)
     if *bounds.last().unwrap() != nrows {
         bounds.push(nrows);
     }
@@ -132,10 +133,11 @@ impl CsrMatrix {
                 vals.len()
             )));
         }
+        // pscg-lint: allow(panic-in-hot-path, row_ptr.len() == nrows + 1 >= 1 was checked just above)
         if *row_ptr.last().unwrap() != col_idx.len() {
             return Err(SparseError::InvalidCsr(format!(
                 "row_ptr[nrows] = {} != nnz = {}",
-                row_ptr.last().unwrap(),
+                row_ptr.last().unwrap(), // pscg-lint: allow(panic-in-hot-path, row_ptr.len() == nrows + 1 >= 1 was checked just above)
                 col_idx.len()
             )));
         }

@@ -153,6 +153,7 @@ impl MultiVector {
                 // accumulation chain (bitwise-equal results).
                 for k in 0..other_cols {
                     let coef = b.get(k, j);
+                    // pscg-lint: allow(float-eq, exact sparsity skip keeping accumulation chains bitwise-equal)
                     if coef == 0.0 {
                         continue;
                     }
@@ -179,6 +180,7 @@ impl MultiVector {
             // SAFETY: chunks are disjoint.
             let d = unsafe { dst.range(clo, chi) };
             for (k, &coef) in a.iter().enumerate() {
+                // pscg-lint: allow(float-eq, exact sparsity skip keeping accumulation chains bitwise-equal)
                 if coef == 0.0 {
                     continue;
                 }
@@ -203,6 +205,7 @@ impl MultiVector {
             // SAFETY: chunks are disjoint.
             let d = unsafe { dst.range(clo, chi) };
             for (k, &coef) in a.iter().enumerate() {
+                // pscg-lint: allow(float-eq, exact sparsity skip keeping accumulation chains bitwise-equal)
                 if coef == 0.0 {
                     continue;
                 }
@@ -251,6 +254,7 @@ impl MultiVector {
                 d.copy_from_slice(&src.col(off + j)[clo..chi]);
                 for k in 0..prev_cols {
                     let coef = b.get(k, j);
+                    // pscg-lint: allow(float-eq, exact sparsity skip keeping accumulation chains bitwise-equal)
                     if coef == 0.0 {
                         continue;
                     }
@@ -281,6 +285,7 @@ impl MultiVector {
             let d = unsafe { out.range(clo, chi) };
             d.copy_from_slice(&src[clo..chi]);
             for (k, &coef) in a.iter().enumerate() {
+                // pscg-lint: allow(float-eq, exact sparsity skip keeping accumulation chains bitwise-equal)
                 if coef == 0.0 {
                     continue;
                 }
@@ -452,7 +457,7 @@ fn gram_chunked(
     // Ordered combine: start from chunk 0 (a lone chunk reproduces the
     // unchunked dot bitwise) and add the rest in chunk order.
     let mut it = partials.into_iter();
-    let mut g = it.next().unwrap();
+    let mut g = it.next().unwrap(); // pscg-lint: allow(panic-in-hot-path, chunking always yields at least one partial)
     for p in it {
         for (gi, pi) in g.data_mut().iter_mut().zip(p.data()) {
             *gi += pi;

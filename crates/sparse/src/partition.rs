@@ -47,7 +47,7 @@ impl RowBlockPartition {
     /// Total number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
-        *self.offsets.last().unwrap()
+        *self.offsets.last().unwrap() // pscg-lint: allow(panic-in-hot-path, offsets always holds at least the leading 0 pushed at construction)
     }
 
     /// Row range `[lo, hi)` owned by `rank`.

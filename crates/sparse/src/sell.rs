@@ -106,7 +106,7 @@ impl SellMatrix {
                 .unwrap_or(0);
             chunk_ptr.push(chunk_ptr[ch] + width * SELL_C);
         }
-        let padded = *chunk_ptr.last().unwrap();
+        let padded = *chunk_ptr.last().unwrap(); // pscg-lint: allow(panic-in-hot-path, chunk_ptr starts with the 0 entry pushed at construction)
         let mut cols = vec![0u32; padded];
         let mut vals = vec![0.0f64; padded];
         for ch in 0..nchunks {
@@ -134,6 +134,7 @@ impl SellMatrix {
                 start = chunk_ptr[ch + 1];
             }
         }
+        // pscg-lint: allow(panic-in-hot-path, job_chunks starts with the 0 entry pushed above)
         if *job_chunks.last().unwrap() != nchunks {
             job_chunks.push(nchunks);
         }
@@ -214,7 +215,7 @@ impl SellMatrix {
             }
         }
         CsrMatrix::from_raw_parts(self.nrows, self.ncols, row_ptr, col_idx, vals)
-            .expect("SELL round-trip produced invalid CSR")
+            .expect("SELL round-trip produced invalid CSR") // pscg-lint: allow(panic-in-hot-path, assembly invariant: the round-trip emits valid CSR by construction)
     }
 
     /// One job's chunks: compute the C rows of each chunk with independent

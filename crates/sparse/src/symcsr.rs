@@ -148,6 +148,7 @@ impl SymCsrMatrix {
                 start_work = work;
             }
         }
+        // pscg-lint: allow(panic-in-hot-path, chunk_rows starts with the 0 entry pushed above)
         if *chunk_rows.last().unwrap() != n {
             chunk_rows.push(n);
         }
